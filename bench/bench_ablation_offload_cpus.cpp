@@ -1,0 +1,40 @@
+// Ablation: sensitivity of the plain-McKernel collapse to the number of
+// Linux service CPUs. The paper attributes the UMT/HACC degradation to
+// "high contention on a few Linux CPUs" (4 on OFP, vs 32–64 ranks); this
+// sweep shows the collapse easing as CPUs are added.
+#include "bench/bench_common.hpp"
+#include "src/apps/proxies.hpp"
+
+int main() {
+  using namespace pd;
+  using namespace pd::apps;
+  bench::print_banner("Ablation — Linux service CPUs vs offload collapse (UMT2013, 8 nodes)",
+                      "4 CPUs for 32 ranks is the paper's squeeze; more CPUs relieve it");
+
+  UmtParams umt;
+  auto body = [umt](mpirt::Rank& r) { return umt_rank(r, umt); };
+
+  // Linux baseline (service CPU count is irrelevant for native syscalls).
+  mpirt::ClusterOptions base;
+  base.nodes = 8;
+  base.mode = os::OsMode::linux;
+  base.mcdram_bytes = 1ull << 30;
+  base.ddr_bytes = 2ull << 30;
+  mpirt::WorldOptions wopts;
+  wopts.ranks_per_node = kUmtRpn;
+  wopts.buf_bytes = 1ull << 20;
+  const double linux_sec = run_app(base, wopts, body).runtime_sec;
+
+  TextTable table({"Service CPUs", "McKernel s", "vs Linux", "Mean queue us"});
+  for (int cpus : {1, 2, 4, 8, 16}) {
+    mpirt::ClusterOptions copts = base;
+    copts.mode = os::OsMode::mckernel;
+    copts.cfg.linux_service_cpus = cpus;
+    auto out = run_app(copts, wopts, body);
+    table.add_row({std::to_string(cpus), format_double(out.runtime_sec, 4),
+                   format_double(100.0 * linux_sec / out.runtime_sec, 1) + "%",
+                   format_double(out.mean_offload_queue_us, 1)});
+  }
+  std::printf("Linux baseline: %.4f s\n%s\n", linux_sec, table.to_string().c_str());
+  return 0;
+}

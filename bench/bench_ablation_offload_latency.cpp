@@ -1,0 +1,56 @@
+// Ablation: IKC one-way latency sensitivity of the offloaded data path.
+// Sweeps the IKC message latency and reports 1 MB ping-pong bandwidth on
+// plain McKernel — separating the *latency* component of offloading from
+// the *contention* component (see bench_ablation_offload_cpus for that).
+#include "bench/bench_common.hpp"
+#include "src/common/units.hpp"
+#include "src/mpirt/world.hpp"
+
+int main() {
+  using namespace pd;
+  using namespace pd::time_literals;
+  bench::print_banner("Ablation — IKC one-way latency vs offloaded bandwidth",
+                      "single-rank ping-pong: latency alone costs ~10-15%, not 5x");
+
+  TextTable table({"IKC one-way us", "McKernel MB/s"});
+  for (double us : {0.2, 0.5, 0.8, 1.6, 3.2, 6.4}) {
+    mpirt::ClusterOptions copts;
+    copts.nodes = 2;
+    copts.mode = os::OsMode::mckernel;
+    copts.cfg.offload_oneway = from_us(us);
+    copts.mcdram_bytes = 512ull << 20;
+    copts.ddr_bytes = 1ull << 30;
+    mpirt::Cluster cluster(copts);
+    mpirt::WorldOptions wopts;
+    wopts.ranks_per_node = 1;
+    wopts.buf_bytes = 4ull << 20;
+    mpirt::MpiWorld world(cluster, wopts);
+
+    constexpr std::uint64_t kBytes = 1_MiB;
+    const int iters = 20;
+    struct Shared {
+      Time t0 = 0, t1 = 0;
+    } shared;
+    world.run([&](mpirt::Rank& rank) -> sim::Task<> {
+      co_await rank.init();
+      co_await rank.barrier();
+      if (rank.id() == 0) shared.t0 = rank.world().cluster().engine().now();
+      for (int i = 0; i < iters; ++i) {
+        if (rank.id() == 0) {
+          co_await rank.send(1, 10 + i, kBytes);
+          co_await rank.recv(1, 1000 + i, kBytes);
+        } else {
+          co_await rank.recv(0, 10 + i, kBytes);
+          co_await rank.send(0, 1000 + i, kBytes);
+        }
+      }
+      if (rank.id() == 0) shared.t1 = rank.world().cluster().engine().now();
+      co_await rank.finalize();
+    });
+    const double sec = to_sec(shared.t1 - shared.t0);
+    table.add_row({format_double(us, 1),
+                   format_double(static_cast<double>(kBytes) * iters / (sec / 2.0) / 1e6, 1)});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Ablation: what the LWK's large-page / contiguous-physical-memory policy
+// is worth (§3.4). Run the PicoDriver fast path against an LWK address
+// space forced to the Linux-style scattered-4KiB backing: physical
+// contiguity disappears, and with it the big descriptors.
+//
+// (The model keeps the LWK pinning guarantee in both cases, so the
+// difference isolated here is purely contiguity/descriptor size.)
+#include "bench/bench_common.hpp"
+#include "src/common/units.hpp"
+#include "src/mem/address_space.hpp"
+#include "src/mem/phys.hpp"
+
+int main() {
+  using namespace pd;
+  using namespace pd::mem;
+  bench::print_banner("Ablation — LWK backing policy vs SDMA descriptor shape",
+                      "contiguous large-page backing is what enables 10 KiB descriptors");
+
+  TextTable table({"Backing policy", "2MiB-leaf fraction (8MiB map)",
+                   "Extents for 1MiB @10KiB cap", "Mean extent bytes"});
+  for (BackingPolicy policy : {BackingPolicy::lwk_contig, BackingPolicy::linux_4k}) {
+    PhysMap phys = PhysMap::knl(512ull << 20, 1ull << 30, 2);
+    AddressSpace as(phys, policy, MemKind::mcdram, 0x2000'0000ull, 42);
+    // A large mapping shows the page-size policy; a 1 MiB sub-range of it
+    // feeds the extent walk (the SDMA descriptor build).
+    auto va = as.mmap_anonymous(8_MiB, kProtRead | kProtWrite);
+    if (!va.ok()) return 1;
+    auto extents = as.physical_extents(*va, 1_MiB, 10240);
+    if (!extents.ok()) return 1;
+    std::uint64_t total = 0;
+    for (const auto& e : *extents) total += e.len;
+    table.add_row({policy == BackingPolicy::lwk_contig ? "LWK contiguous (McKernel)"
+                                                       : "scattered 4KiB (Linux-like)",
+                   format_double(as.large_page_fraction(), 2),
+                   std::to_string(extents->size()),
+                   format_double(static_cast<double>(total) / extents->size(), 0)});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf("ceil(1MiB/10KiB) = 103 extents is the contiguous optimum;\n"
+              "scattered backing degenerates to one extent per 4 KiB page (256).\n");
+  return 0;
+}

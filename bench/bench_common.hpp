@@ -1,0 +1,46 @@
+// Shared helpers for the paper-reproduction benches.
+//
+// Every bench binary prints the rows of one table/figure from the paper.
+// Set PD_QUICK=1 to trim sweep points (CI-friendly); the default regenerates
+// the full figure.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "src/common/stats.hpp"
+#include "src/os/config.hpp"
+
+namespace pd::bench {
+
+inline bool quick_mode() {
+  const char* v = std::getenv("PD_QUICK");
+  return v != nullptr && v[0] != '\0' && v[0] != '0';
+}
+
+inline void print_banner(const char* figure, const char* paper_claim) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", figure);
+  std::printf("Paper: %s\n", paper_claim);
+  std::printf("================================================================\n");
+}
+
+/// The paper's node-count axis (1..256); quick mode keeps a subset.
+inline std::vector<int> node_axis(int max_nodes = 256, int min_nodes = 1) {
+  std::vector<int> nodes;
+  for (int n = min_nodes; n <= max_nodes; n *= 2) {
+    if (quick_mode() && n != min_nodes && n != max_nodes && n != 8) continue;
+    nodes.push_back(n);
+  }
+  return nodes;
+}
+
+inline const std::vector<pd::os::OsMode>& all_modes() {
+  static const std::vector<pd::os::OsMode> modes = {
+      pd::os::OsMode::linux, pd::os::OsMode::mckernel, pd::os::OsMode::mckernel_hfi};
+  return modes;
+}
+
+}  // namespace pd::bench

@@ -1,0 +1,81 @@
+// Figures 8 and 9: kernel-level system-call breakdown for UMT2013 and
+// QBOX, comparing McKernel against McKernel+HFI1 (the paper's in-house
+// kernel profiler; pie charts rendered here as percentage tables).
+//
+// Paper results reproduced:
+//   * McKernel+HFI1 kernel time is a small fraction of plain McKernel's
+//     (7 % for UMT2013, 25 % for QBOX in the paper);
+//   * ioctl()+writev() dominate plain McKernel (> 70 % for UMT2013) and
+//     collapse below ~30 % with the PicoDriver;
+//   * for QBOX with the PicoDriver, munmap() dominates what remains — the
+//     McKernel memory-management shortcoming the paper flags as future
+//     work.
+#include <map>
+
+#include "bench/bench_common.hpp"
+#include "src/apps/proxies.hpp"
+
+namespace {
+
+using namespace pd;
+using namespace pd::apps;
+
+struct KernelBreakdown {
+  os::SyscallProfiler profiler;
+};
+
+KernelBreakdown run_mode(os::OsMode mode, const std::function<sim::Task<>(mpirt::Rank&)>& body,
+                         int rpn, std::uint64_t buf_bytes) {
+  mpirt::ClusterOptions copts;
+  copts.nodes = 8;
+  copts.mode = mode;
+  copts.mcdram_bytes = 1ull << 30;
+  copts.ddr_bytes = 2ull << 30;
+  mpirt::WorldOptions wopts;
+  wopts.ranks_per_node = rpn;
+  wopts.buf_bytes = buf_bytes;
+  auto out = run_app(copts, wopts, body);
+  return KernelBreakdown{std::move(out.kernel)};
+}
+
+void print_figure(const char* figure, const char* app,
+                  const std::function<sim::Task<>(mpirt::Rank&)>& body, int rpn,
+                  std::uint64_t buf_bytes) {
+  const auto mck = run_mode(os::OsMode::mckernel, body, rpn, buf_bytes);
+  const auto hfi = run_mode(os::OsMode::mckernel_hfi, body, rpn, buf_bytes);
+
+  std::printf("--- %s: %s syscall breakdown (8 nodes) ---\n", figure, app);
+  const char* calls[] = {"read", "open", "mmap", "munmap", "ioctl", "writev", "nanosleep"};
+  TextTable table({"Syscall", "McKernel %", "McKernel+HFI1 %"});
+  for (const char* call : calls) {
+    table.add_row({call, format_double(100.0 * mck.profiler.share_of(call), 1),
+                   format_double(100.0 * hfi.profiler.share_of(call), 1)});
+  }
+  std::printf("%s", table.to_string().c_str());
+
+  const double mck_total = to_ms(mck.profiler.total_kernel_time());
+  const double hfi_total = to_ms(hfi.profiler.total_kernel_time());
+  std::printf("Total kernel time: McKernel %.2f ms, McKernel+HFI1 %.2f ms (%.0f%% of McKernel)\n",
+              mck_total, hfi_total, 100.0 * hfi_total / mck_total);
+  const double mck_datapath =
+      100.0 * (mck.profiler.share_of("ioctl") + mck.profiler.share_of("writev"));
+  const double hfi_datapath =
+      100.0 * (hfi.profiler.share_of("ioctl") + hfi.profiler.share_of("writev"));
+  std::printf("ioctl+writev share: McKernel %.1f%% -> McKernel+HFI1 %.1f%%\n\n", mck_datapath,
+              hfi_datapath);
+}
+
+}  // namespace
+
+int main() {
+  bench::print_banner("Figures 8 & 9 — kernel-profiler syscall breakdowns",
+                      "HFI1 kernel time 7%/25% of McKernel's; ioctl+writev >70% -> <30%; "
+                      "munmap dominates QBOX+HFI1");
+  UmtParams umt;
+  print_figure("Figure 8", "UMT2013", [umt](mpirt::Rank& r) { return umt_rank(r, umt); },
+               kUmtRpn, 1ull << 20);
+  QboxParams qbox;
+  print_figure("Figure 9", "QBOX", [qbox](mpirt::Rank& r) { return qbox_rank(r, qbox); },
+               kQboxRpn, 4ull << 20);
+  return 0;
+}

@@ -1,0 +1,29 @@
+#include "src/apps/runner.hpp"
+
+namespace pd::apps {
+
+RunOutcome run_app(const mpirt::ClusterOptions& copts, const mpirt::WorldOptions& wopts,
+                   const std::function<sim::Task<>(mpirt::Rank&)>& body) {
+  mpirt::Cluster cluster(copts);
+  mpirt::MpiWorld world(cluster, wopts);
+  world.run(body);
+
+  RunOutcome out;
+  out.runtime_sec = to_sec(world.max_solve());
+  out.total_sec = to_sec(world.max_runtime());
+  out.mpi = world.stats_table();
+  out.kernel = cluster.app_kernel_profile();
+  for (int n = 0; n < cluster.num_nodes(); ++n) {
+    out.sdma_descriptors += cluster.node(n).device->total_descriptors();
+    out.sdma_bytes += cluster.node(n).device->total_descriptor_bytes();
+    if (cluster.node(n).ihk) {
+      out.offloads += cluster.node(n).ihk->offload_count();
+      out.mean_offload_queue_us += cluster.node(n).ihk->mean_queueing_us();
+    }
+  }
+  if (cluster.num_nodes() > 0)
+    out.mean_offload_queue_us /= cluster.num_nodes();
+  return out;
+}
+
+}  // namespace pd::apps

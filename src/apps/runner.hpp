@@ -1,0 +1,26 @@
+// Shared harness for running one application proxy on one cluster
+// configuration and collecting everything the paper's evaluation reports.
+#pragma once
+
+#include <functional>
+
+#include "src/mpirt/world.hpp"
+
+namespace pd::apps {
+
+struct RunOutcome {
+  double runtime_sec = 0;          // max rank solve-region time (FOM⁻¹)
+  double total_sec = 0;            // max rank runtime incl. Init/Finalize
+  mpirt::MpiStatsTable mpi;        // Table-1 style per-call stats
+  os::SyscallProfiler kernel;      // Figure-8/9 style kernel profile
+  std::uint64_t sdma_descriptors = 0;
+  std::uint64_t sdma_bytes = 0;
+  std::uint64_t offloads = 0;
+  double mean_offload_queue_us = 0;
+};
+
+/// Build a cluster + world, run `body` on every rank, aggregate results.
+RunOutcome run_app(const mpirt::ClusterOptions& copts, const mpirt::WorldOptions& wopts,
+                   const std::function<sim::Task<>(mpirt::Rank&)>& body);
+
+}  // namespace pd::apps

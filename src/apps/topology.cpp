@@ -1,0 +1,47 @@
+#include "src/apps/topology.hpp"
+
+namespace pd::apps {
+
+std::array<int, 3> cart_dims(int p) {
+  // Greedy: repeatedly take the largest factor <= cube root of what's left.
+  std::array<int, 3> dims = {1, 1, 1};
+  int remaining = p;
+  for (int d = 0; d < 3; ++d) {
+    const int slots = 3 - d;
+    int best = 1;
+    for (int f = 1; f <= remaining; ++f) {
+      if (remaining % f != 0) continue;
+      // Want f close to remaining^(1/slots) from below.
+      int power = 1;
+      bool fits = true;
+      for (int s = 0; s < slots; ++s) {
+        if (power > remaining / f) {
+          fits = false;
+          break;
+        }
+        power *= f;
+      }
+      if (fits && power <= remaining) best = f;
+    }
+    dims[static_cast<std::size_t>(d)] = best;
+    remaining /= best;
+  }
+  // Whatever is left multiplies into the last dimension.
+  dims[2] *= remaining;
+  return dims;
+}
+
+std::array<int, 3> cart_coords(const std::array<int, 3>& dims, int rank) {
+  return {rank % dims[0], (rank / dims[0]) % dims[1], rank / (dims[0] * dims[1])};
+}
+
+int cart_neighbor(const std::array<int, 3>& dims, int rank, int dim, int dir) {
+  auto c = cart_coords(dims, rank);
+  const int d = dim;
+  const int moved = c[static_cast<std::size_t>(d)] + dir;
+  if (moved < 0 || moved >= dims[static_cast<std::size_t>(d)]) return -1;
+  c[static_cast<std::size_t>(d)] = moved;
+  return c[0] + dims[0] * (c[1] + dims[1] * c[2]);
+}
+
+}  // namespace pd::apps

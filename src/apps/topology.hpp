@@ -1,0 +1,20 @@
+// Rank topology helpers for the mini-app proxies: near-cubic 3-D
+// decompositions with x-major rank order, so x-neighbours tend to be
+// intra-node (as with block rank placement on OFP).
+#pragma once
+
+#include <array>
+
+namespace pd::apps {
+
+/// Factor `p` into a near-cubic (px, py, pz), px * py * pz == p.
+std::array<int, 3> cart_dims(int p);
+
+/// Coordinates of `rank` in the x-major layout.
+std::array<int, 3> cart_coords(const std::array<int, 3>& dims, int rank);
+
+/// Neighbour rank along `dim` (0..2) in direction `dir` (+1/-1), or -1 at
+/// a non-periodic boundary.
+int cart_neighbor(const std::array<int, 3>& dims, int rank, int dim, int dir);
+
+}  // namespace pd::apps

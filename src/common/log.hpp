@@ -1,0 +1,49 @@
+// Minimal leveled logger.
+//
+// Simulation components log through a process-global sink; tests lower the
+// level to `error` so ctest output stays readable. Formatting is plain
+// iostream-into-ostringstream — log calls are off the measured paths (the
+// simulator measures *simulated* time, not wall time), so convenience wins.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace pd {
+
+enum class LogLevel : int { trace = 0, debug = 1, info = 2, warn = 3, error = 4, off = 5 };
+
+namespace log_detail {
+LogLevel& global_level();
+void emit(LogLevel level, const std::string& msg);
+}  // namespace log_detail
+
+inline void set_log_level(LogLevel level) { log_detail::global_level() = level; }
+inline LogLevel log_level() { return log_detail::global_level(); }
+
+/// Stream-style log statement: `PD_LOG(info) << "booted " << n << " cpus";`
+/// The stream body is only evaluated when the level is enabled.
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { log_detail::emit(level_, out_.str()); }
+
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    out_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream out_;
+};
+
+}  // namespace pd
+
+#define PD_LOG(severity)                                   \
+  if (::pd::LogLevel::severity < ::pd::log_detail::global_level()) {} else \
+    ::pd::LogLine(::pd::LogLevel::severity)

@@ -1,0 +1,63 @@
+// Fixed-capacity single-producer ring used for hardware descriptor rings
+// (SDMA engines) and IKC channels. Capacity is fixed at construction, which
+// mirrors how real descriptor rings behave: when full, the producer must
+// back off (EAGAIN / ring-full), it never grows.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <optional>
+#include <utility>
+#include <vector>
+
+namespace pd {
+
+template <typename T>
+class RingBuffer {
+ public:
+  explicit RingBuffer(std::size_t capacity) : slots_(capacity) { assert(capacity > 0); }
+
+  std::size_t capacity() const { return slots_.size(); }
+  std::size_t size() const { return count_; }
+  bool empty() const { return count_ == 0; }
+  bool full() const { return count_ == slots_.size(); }
+  std::size_t free_slots() const { return slots_.size() - count_; }
+
+  /// Returns false (and leaves the ring untouched) when full.
+  [[nodiscard]] bool push(T item) {
+    if (full()) return false;
+    slots_[tail_] = std::move(item);
+    tail_ = advance(tail_);
+    ++count_;
+    return true;
+  }
+
+  std::optional<T> pop() {
+    if (empty()) return std::nullopt;
+    T item = std::move(slots_[head_]);
+    head_ = advance(head_);
+    --count_;
+    return item;
+  }
+
+  /// Peek without consuming; undefined when empty (asserted).
+  const T& front() const {
+    assert(!empty());
+    return slots_[head_];
+  }
+
+  void clear() {
+    head_ = tail_ = 0;
+    count_ = 0;
+  }
+
+ private:
+  std::size_t advance(std::size_t i) const { return (i + 1) % slots_.size(); }
+
+  std::vector<T> slots_;
+  std::size_t head_ = 0;
+  std::size_t tail_ = 0;
+  std::size_t count_ = 0;
+};
+
+}  // namespace pd

@@ -1,0 +1,97 @@
+#include "src/common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace pd {
+
+void RunningStats::add(double x) {
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+double RunningStats::variance() const {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const auto na = static_cast<double>(n_);
+  const auto nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  mean_ = (mean_ * na + other.mean_ * nb) / total;
+  n_ += other.n_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double Samples::mean() const {
+  if (xs_.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : xs_) s += x;
+  return s / static_cast<double>(xs_.size());
+}
+
+double Samples::percentile(double p) const {
+  if (xs_.empty()) return 0.0;
+  std::vector<double> sorted = xs_;
+  std::sort(sorted.begin(), sorted.end());
+  const double clamped = std::clamp(p, 0.0, 100.0);
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(clamped / 100.0 * static_cast<double>(sorted.size())));
+  return sorted[rank == 0 ? 0 : rank - 1];
+}
+
+TextTable::TextTable(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::to_string() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c) widths[c] = std::max(widths[c], row[c].size());
+
+  std::ostringstream out;
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out << row[c];
+      if (c + 1 < row.size())
+        out << std::string(widths[c] - row[c].size() + 2, ' ');
+    }
+    out << '\n';
+  };
+  print_row(headers_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < widths.size(); ++c) total += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+  out << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) print_row(row);
+  return out.str();
+}
+
+std::string format_double(double v, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", decimals, v);
+  return buf;
+}
+
+}  // namespace pd

@@ -1,0 +1,66 @@
+// Small statistics helpers used by the profilers and benches.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace pd {
+
+/// Streaming accumulator: count / sum / min / max / mean / variance
+/// (Welford). Cheap enough to keep one per syscall number per CPU.
+class RunningStats {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  double sum() const { return sum_; }
+  double mean() const { return n_ ? sum_ / static_cast<double>(n_) : 0.0; }
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double variance() const;
+  double stddev() const;
+
+  void merge(const RunningStats& other);
+
+ private:
+  std::size_t n_ = 0;
+  double sum_ = 0.0;
+  double m2_ = 0.0;
+  double mean_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Sample container with percentile queries; used for latency distributions
+/// in the micro-benches. Stores all samples — fine at bench scale.
+class Samples {
+ public:
+  void add(double x) { xs_.push_back(x); }
+  std::size_t count() const { return xs_.size(); }
+  double mean() const;
+  /// p in [0,100]; nearest-rank on the sorted copy.
+  double percentile(double p) const;
+
+ private:
+  std::vector<double> xs_;
+};
+
+/// Fixed-width text table writer for bench output (paper-style rows).
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+  void add_row(std::vector<std::string> cells);
+  std::string to_string() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// printf-style %.2f formatting helper used by the bench printers.
+std::string format_double(double v, int decimals);
+
+}  // namespace pd

@@ -1,0 +1,116 @@
+// Error propagation used across the kernel / driver models.
+//
+// Device drivers speak errno, so the simulated syscall and file-operation
+// layers do too. Result<T> is a minimal expected-like type: either a value
+// or an Errno. Keeping it header-only and trivial keeps the hot simulation
+// paths allocation-free.
+#pragma once
+
+#include <cassert>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace pd {
+
+/// Subset of POSIX errno values the simulated drivers and kernels return.
+enum class Errno : int {
+  ok = 0,
+  eperm = 1,
+  enoent = 2,
+  eintr = 4,
+  eio = 5,
+  ebadf = 9,
+  eagain = 11,
+  enomem = 12,
+  efault = 14,
+  ebusy = 16,
+  eexist = 17,
+  enodev = 19,
+  einval = 22,
+  enospc = 28,
+  espipe = 29,
+  enosys = 38,
+  eoverflow = 75,
+  eopnotsupp = 95,
+};
+
+constexpr std::string_view to_string(Errno e) {
+  switch (e) {
+    case Errno::ok: return "OK";
+    case Errno::eperm: return "EPERM";
+    case Errno::enoent: return "ENOENT";
+    case Errno::eintr: return "EINTR";
+    case Errno::eio: return "EIO";
+    case Errno::ebadf: return "EBADF";
+    case Errno::eagain: return "EAGAIN";
+    case Errno::enomem: return "ENOMEM";
+    case Errno::efault: return "EFAULT";
+    case Errno::ebusy: return "EBUSY";
+    case Errno::eexist: return "EEXIST";
+    case Errno::enodev: return "ENODEV";
+    case Errno::einval: return "EINVAL";
+    case Errno::enospc: return "ENOSPC";
+    case Errno::espipe: return "ESPIPE";
+    case Errno::enosys: return "ENOSYS";
+    case Errno::eoverflow: return "EOVERFLOW";
+    case Errno::eopnotsupp: return "EOPNOTSUPP";
+  }
+  return "E?";
+}
+
+/// Value-or-errno. `Result<void>` is spelled `Status` below.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : v_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Errno err) : v_(err) { assert(err != Errno::ok); }  // NOLINT
+
+  bool ok() const { return std::holds_alternative<T>(v_); }
+  explicit operator bool() const { return ok(); }
+
+  Errno error() const { return ok() ? Errno::ok : std::get<Errno>(v_); }
+
+  T& value() & {
+    assert(ok());
+    return std::get<T>(v_);
+  }
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(v_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(v_));
+  }
+
+  T value_or(T fallback) const { return ok() ? std::get<T>(v_) : std::move(fallback); }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  std::variant<T, Errno> v_;
+};
+
+/// Success/failure with no payload.
+class [[nodiscard]] Status {
+ public:
+  Status() : err_(Errno::ok) {}
+  Status(Errno err) : err_(err) {}  // NOLINT(google-explicit-constructor)
+
+  static Status success() { return Status(); }
+
+  bool ok() const { return err_ == Errno::ok; }
+  explicit operator bool() const { return ok(); }
+  Errno error() const { return err_; }
+
+  friend bool operator==(const Status& a, const Status& b) = default;
+
+ private:
+  Errno err_;
+};
+
+}  // namespace pd

@@ -1,0 +1,52 @@
+// Simulated-time representation shared by every subsystem.
+//
+// The discrete-event engine needs a time base fine enough that transferring
+// a single byte over a 100 Gb/s link is representable: picoseconds. A signed
+// 64-bit picosecond counter covers ~106 days of simulated time, far beyond
+// any scenario in this repository.
+#pragma once
+
+#include <cstdint>
+
+namespace pd {
+
+/// Absolute simulated time (picoseconds since simulation start).
+using Time = std::int64_t;
+
+/// A span of simulated time (picoseconds).
+using Dur = std::int64_t;
+
+namespace time_literals {
+
+constexpr Dur operator""_ps(unsigned long long v) { return static_cast<Dur>(v); }
+constexpr Dur operator""_ns(unsigned long long v) { return static_cast<Dur>(v) * 1'000; }
+constexpr Dur operator""_us(unsigned long long v) { return static_cast<Dur>(v) * 1'000'000; }
+constexpr Dur operator""_ms(unsigned long long v) { return static_cast<Dur>(v) * 1'000'000'000; }
+constexpr Dur operator""_s(unsigned long long v) { return static_cast<Dur>(v) * 1'000'000'000'000; }
+
+}  // namespace time_literals
+
+/// Build a duration from fractional nanoseconds (cost constants are most
+/// naturally written in ns).
+constexpr Dur from_ns(double ns) { return static_cast<Dur>(ns * 1e3); }
+constexpr Dur from_us(double us) { return static_cast<Dur>(us * 1e6); }
+constexpr Dur from_ms(double ms) { return static_cast<Dur>(ms * 1e9); }
+
+constexpr double to_ns(Dur d) { return static_cast<double>(d) / 1e3; }
+constexpr double to_us(Dur d) { return static_cast<double>(d) / 1e6; }
+constexpr double to_ms(Dur d) { return static_cast<double>(d) / 1e9; }
+constexpr double to_sec(Dur d) { return static_cast<double>(d) / 1e12; }
+
+/// Time to move `bytes` at `bytes_per_sec`, rounded up to a whole picosecond
+/// so back-to-back transfers never collapse to zero duration.
+constexpr Dur transfer_time(std::uint64_t bytes, double bytes_per_sec) {
+  if (bytes == 0 || bytes_per_sec <= 0.0) return 0;
+  const double ps = static_cast<double>(bytes) * 1e12 / bytes_per_sec;
+  const Dur whole = static_cast<Dur>(ps);
+  // Round up, but tolerate floating-point dust so exact divisions (used in
+  // tests and calibration math) stay exact.
+  const double frac = ps - static_cast<double>(whole);
+  return whole + (frac > 1e-6 ? 1 : 0);
+}
+
+}  // namespace pd

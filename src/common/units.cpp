@@ -1,0 +1,25 @@
+#include "src/common/units.hpp"
+
+#include <cstdio>
+
+namespace pd {
+
+std::string format_bytes(std::uint64_t bytes) {
+  char buf[64];
+  if (bytes >= 1_MiB && bytes % 1_MiB == 0) {
+    std::snprintf(buf, sizeof buf, "%lluM", static_cast<unsigned long long>(bytes / 1_MiB));
+  } else if (bytes >= 1_KiB && bytes % 1_KiB == 0) {
+    std::snprintf(buf, sizeof buf, "%lluK", static_cast<unsigned long long>(bytes / 1_KiB));
+  } else {
+    std::snprintf(buf, sizeof buf, "%llu", static_cast<unsigned long long>(bytes));
+  }
+  return buf;
+}
+
+std::string format_bandwidth(double bytes_per_sec) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.1f MB/s", bytes_per_sec / 1e6);
+  return buf;
+}
+
+}  // namespace pd

@@ -1,0 +1,20 @@
+// Byte-size constants and human-readable formatting.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace pd {
+
+constexpr std::uint64_t operator""_KiB(unsigned long long v) { return v * 1024ull; }
+constexpr std::uint64_t operator""_MiB(unsigned long long v) { return v * 1024ull * 1024ull; }
+constexpr std::uint64_t operator""_GiB(unsigned long long v) { return v * 1024ull * 1024ull * 1024ull; }
+
+/// "4 KiB"-style rendering, exact power-of-two sizes only get the suffix;
+/// everything else falls back to plain bytes.
+std::string format_bytes(std::uint64_t bytes);
+
+/// "9234.5 MB/s" given bytes and a duration in seconds.
+std::string format_bandwidth(double bytes_per_sec);
+
+}  // namespace pd

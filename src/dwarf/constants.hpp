@@ -1,0 +1,89 @@
+// DWARF4 tag / attribute / form constants (the subset this library emits
+// and consumes). Values are the standard ones from the DWARF4 specification
+// so the streams are recognizable with standard tooling conventions.
+#pragma once
+
+#include <cstdint>
+
+namespace pd::dwarf {
+
+// Tags (DWARF4 §7.5.4, Figure 18).
+enum : std::uint64_t {
+  DW_TAG_array_type = 0x01,
+  DW_TAG_enumeration_type = 0x04,
+  DW_TAG_member = 0x0d,
+  DW_TAG_pointer_type = 0x0f,
+  DW_TAG_compile_unit = 0x11,
+  DW_TAG_structure_type = 0x13,
+  DW_TAG_typedef = 0x16,
+  DW_TAG_union_type = 0x17,
+  DW_TAG_subrange_type = 0x21,
+  DW_TAG_base_type = 0x24,
+  DW_TAG_const_type = 0x26,
+  DW_TAG_enumerator = 0x28,
+  DW_TAG_variable = 0x34,
+  DW_TAG_volatile_type = 0x35,
+};
+
+/// Human-readable tag names (dwarfdump-style output).
+constexpr const char* tag_name(std::uint64_t tag) {
+  switch (tag) {
+    case DW_TAG_array_type: return "DW_TAG_array_type";
+    case DW_TAG_enumeration_type: return "DW_TAG_enumeration_type";
+    case DW_TAG_member: return "DW_TAG_member";
+    case DW_TAG_pointer_type: return "DW_TAG_pointer_type";
+    case DW_TAG_compile_unit: return "DW_TAG_compile_unit";
+    case DW_TAG_structure_type: return "DW_TAG_structure_type";
+    case DW_TAG_typedef: return "DW_TAG_typedef";
+    case DW_TAG_union_type: return "DW_TAG_union_type";
+    case DW_TAG_subrange_type: return "DW_TAG_subrange_type";
+    case DW_TAG_base_type: return "DW_TAG_base_type";
+    case DW_TAG_const_type: return "DW_TAG_const_type";
+    case DW_TAG_enumerator: return "DW_TAG_enumerator";
+    case DW_TAG_variable: return "DW_TAG_variable";
+    case DW_TAG_volatile_type: return "DW_TAG_volatile_type";
+  }
+  return "DW_TAG_<unknown>";
+}
+
+// Attributes (DWARF4 §7.5.4, Figure 20).
+enum : std::uint64_t {
+  DW_AT_name = 0x03,
+  DW_AT_byte_size = 0x0b,
+  DW_AT_bit_offset = 0x0c,
+  DW_AT_bit_size = 0x0d,
+  DW_AT_const_value = 0x1c,
+  DW_AT_producer = 0x25,
+  DW_AT_count = 0x37,
+  DW_AT_data_member_location = 0x38,
+  DW_AT_declaration = 0x3c,
+  DW_AT_encoding = 0x3e,
+  DW_AT_type = 0x49,
+};
+
+// Forms (DWARF4 §7.5.4, Figure 21).
+enum : std::uint64_t {
+  DW_FORM_data1 = 0x0b,
+  DW_FORM_string = 0x08,
+  DW_FORM_strp = 0x0e,  // offset into .debug_str
+  DW_FORM_udata = 0x0f,
+  DW_FORM_sdata = 0x0d,
+  DW_FORM_ref4 = 0x13,
+  DW_FORM_flag_present = 0x19,
+};
+
+// Base-type encodings (DW_AT_encoding values, DWARF4 §7.8).
+enum : std::uint8_t {
+  DW_ATE_address = 0x01,
+  DW_ATE_boolean = 0x02,
+  DW_ATE_float = 0x04,
+  DW_ATE_signed = 0x05,
+  DW_ATE_signed_char = 0x06,
+  DW_ATE_unsigned = 0x07,
+  DW_ATE_unsigned_char = 0x08,
+};
+
+constexpr std::uint16_t kDwarfVersion = 4;
+constexpr std::uint8_t kAddressSize = 8;
+
+}  // namespace pd::dwarf

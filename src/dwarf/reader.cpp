@@ -1,0 +1,289 @@
+#include "src/dwarf/reader.hpp"
+
+#include <sstream>
+
+#include "src/dwarf/constants.hpp"
+#include "src/dwarf/leb128.hpp"
+
+namespace pd::dwarf {
+
+namespace {
+
+struct AbbrevAttr {
+  std::uint64_t attr;
+  std::uint64_t form;
+};
+
+struct Abbrev {
+  std::uint64_t tag = 0;
+  bool has_children = false;
+  std::vector<AbbrevAttr> attrs;
+};
+
+Result<std::map<std::uint64_t, Abbrev>> parse_abbrev_table(const std::vector<std::uint8_t>& raw) {
+  std::map<std::uint64_t, Abbrev> table;
+  ByteCursor cur(raw.data(), raw.size());
+  while (true) {
+    auto code = cur.read_uleb128();
+    if (!code) return code.error();
+    if (*code == 0) break;  // table terminator
+    Abbrev ab;
+    auto tag = cur.read_uleb128();
+    if (!tag) return tag.error();
+    ab.tag = *tag;
+    auto children = cur.read_u8();
+    if (!children) return children.error();
+    ab.has_children = *children != 0;
+    while (true) {
+      auto attr = cur.read_uleb128();
+      if (!attr) return attr.error();
+      auto form = cur.read_uleb128();
+      if (!form) return form.error();
+      if (*attr == 0 && *form == 0) break;
+      ab.attrs.push_back(AbbrevAttr{*attr, *form});
+    }
+    table.emplace(*code, std::move(ab));
+  }
+  return table;
+}
+
+Result<AttrValue> read_form(ByteCursor& cur, std::uint64_t form,
+                            const std::vector<std::uint8_t>& str) {
+  switch (form) {
+    case DW_FORM_data1: {
+      auto v = cur.read_u8();
+      if (!v) return v.error();
+      return AttrValue{static_cast<std::uint64_t>(*v)};
+    }
+    case DW_FORM_udata: {
+      auto v = cur.read_uleb128();
+      if (!v) return v.error();
+      return AttrValue{*v};
+    }
+    case DW_FORM_sdata: {
+      auto v = cur.read_sleb128();
+      if (!v) return v.error();
+      return AttrValue{*v};
+    }
+    case DW_FORM_ref4: {
+      auto v = cur.read_u32();
+      if (!v) return v.error();
+      return AttrValue{static_cast<std::uint64_t>(*v)};
+    }
+    case DW_FORM_string: {
+      auto v = cur.read_cstring();
+      if (!v) return v.error();
+      return AttrValue{std::move(*v)};
+    }
+    case DW_FORM_strp: {
+      auto off = cur.read_u32();
+      if (!off) return off.error();
+      if (*off >= str.size()) return Errno::einval;
+      ByteCursor sc(str.data(), str.size());
+      sc.seek(*off);
+      auto v = sc.read_cstring();
+      if (!v) return v.error();
+      return AttrValue{std::move(*v)};
+    }
+    case DW_FORM_flag_present:
+      return AttrValue{true};
+    default:
+      return Errno::einval;  // unsupported form
+  }
+}
+
+std::uint64_t uleb_len(std::uint64_t v) {
+  std::uint64_t n = 1;
+  while (v >= 0x80) {
+    v >>= 7;
+    ++n;
+  }
+  return n;
+}
+
+// Recursive-descent DIE parser. `depth` guards against corrupt input
+// producing unbounded recursion.
+Result<std::unique_ptr<Die>> parse_die(ByteCursor& cur,
+                                       const std::map<std::uint64_t, Abbrev>& abbrevs,
+                                       const std::vector<std::uint8_t>& str,
+                                       std::uint64_t abbrev_code, int depth) {
+  if (depth > 64) return Errno::einval;
+  auto it = abbrevs.find(abbrev_code);
+  if (it == abbrevs.end()) return Errno::einval;
+  const Abbrev& ab = it->second;
+
+  auto die = std::make_unique<Die>();
+  die->tag = ab.tag;
+  for (const auto& spec : ab.attrs) {
+    auto value = read_form(cur, spec.form, str);
+    if (!value) return value.error();
+    die->attrs.emplace_back(spec.attr, std::move(*value));
+  }
+  if (ab.has_children) {
+    while (true) {
+      auto code = cur.read_uleb128();
+      if (!code) return code.error();
+      if (*code == 0) break;  // end of children
+      const std::uint64_t child_offset = cur.offset();
+      auto child = parse_die(cur, abbrevs, str, *code, depth + 1);
+      if (!child) return child.error();
+      // The DIE's offset is where its abbrev code begins; re-derive it from
+      // the cursor position before the code was read.
+      (*child)->offset = child_offset - uleb_len(*code);
+      die->children.push_back(std::move(*child));
+    }
+  }
+  return die;
+}
+
+void index_dies(const Die& die, std::map<std::uint64_t, const Die*>& by_offset) {
+  by_offset.emplace(die.offset, &die);
+  for (const auto& child : die.children) index_dies(*child, by_offset);
+}
+
+const Die* find_named_rec(const Die& die, std::uint64_t tag, const std::string& name) {
+  if (die.tag == tag) {
+    auto n = die.name();
+    if (n && *n == name) return &die;
+  }
+  for (const auto& child : die.children) {
+    if (const Die* hit = find_named_rec(*child, tag, name)) return hit;
+  }
+  return nullptr;
+}
+
+void collect_tag_rec(const Die& die, std::uint64_t tag, std::vector<const Die*>& out) {
+  if (die.tag == tag) out.push_back(&die);
+  for (const auto& child : die.children) collect_tag_rec(*child, tag, out);
+}
+
+}  // namespace
+
+const AttrValue* Die::find_attr(std::uint64_t attr) const {
+  for (const auto& [a, v] : attrs)
+    if (a == attr) return &v;
+  return nullptr;
+}
+
+std::optional<std::string> Die::name() const {
+  const AttrValue* v = find_attr(DW_AT_name);
+  if (v == nullptr) return std::nullopt;
+  if (const auto* s = std::get_if<std::string>(v)) return *s;
+  return std::nullopt;
+}
+
+std::optional<std::uint64_t> Die::unsigned_attr(std::uint64_t attr) const {
+  const AttrValue* v = find_attr(attr);
+  if (v == nullptr) return std::nullopt;
+  if (const auto* u = std::get_if<std::uint64_t>(v)) return *u;
+  if (const auto* s = std::get_if<std::int64_t>(v)) {
+    if (*s >= 0) return static_cast<std::uint64_t>(*s);
+  }
+  return std::nullopt;
+}
+
+std::optional<std::int64_t> Die::signed_attr(std::uint64_t attr) const {
+  const AttrValue* v = find_attr(attr);
+  if (v == nullptr) return std::nullopt;
+  if (const auto* s = std::get_if<std::int64_t>(v)) return *s;
+  if (const auto* u = std::get_if<std::uint64_t>(v)) return static_cast<std::int64_t>(*u);
+  return std::nullopt;
+}
+
+Result<DebugInfoView> DebugInfoView::parse(const std::vector<std::uint8_t>& abbrev,
+                                           const std::vector<std::uint8_t>& info,
+                                           const std::vector<std::uint8_t>& str) {
+  auto abbrevs = parse_abbrev_table(abbrev);
+  if (!abbrevs) return abbrevs.error();
+
+  ByteCursor cur(info.data(), info.size());
+  auto unit_length = cur.read_u32();
+  if (!unit_length) return unit_length.error();
+  if (*unit_length + 4 > info.size()) return Errno::einval;
+  auto version = cur.read_u16();
+  if (!version) return version.error();
+  if (*version != kDwarfVersion) return Errno::einval;
+  auto abbrev_off = cur.read_u32();
+  if (!abbrev_off) return abbrev_off.error();
+  auto addr_size = cur.read_u8();
+  if (!addr_size) return addr_size.error();
+
+  const std::uint64_t cu_offset = cur.offset();
+  auto code = cur.read_uleb128();
+  if (!code) return code.error();
+  if (*code == 0) return Errno::einval;
+  auto cu = parse_die(cur, *abbrevs, str, *code, 0);
+  if (!cu) return cu.error();
+  (*cu)->offset = cu_offset;
+
+  DebugInfoView view;
+  view.cu_ = std::move(*cu);
+  index_dies(*view.cu_, view.by_offset_);
+  return view;
+}
+
+const Die* DebugInfoView::at_offset(std::uint64_t offset) const {
+  auto it = by_offset_.find(offset);
+  return it == by_offset_.end() ? nullptr : it->second;
+}
+
+const Die* DebugInfoView::type_of(const Die& die) const {
+  auto ref = die.unsigned_attr(DW_AT_type);
+  if (!ref) return nullptr;
+  return at_offset(*ref);
+}
+
+const Die* DebugInfoView::find_named(std::uint64_t tag, const std::string& name) const {
+  return find_named_rec(*cu_, tag, name);
+}
+
+std::vector<const Die*> DebugInfoView::all_with_tag(std::uint64_t tag) const {
+  std::vector<const Die*> out;
+  collect_tag_rec(*cu_, tag, out);
+  return out;
+}
+
+namespace {
+
+const char* attr_name(std::uint64_t attr) {
+  switch (attr) {
+    case DW_AT_name: return "DW_AT_name";
+    case DW_AT_byte_size: return "DW_AT_byte_size";
+    case DW_AT_const_value: return "DW_AT_const_value";
+    case DW_AT_producer: return "DW_AT_producer";
+    case DW_AT_count: return "DW_AT_count";
+    case DW_AT_data_member_location: return "DW_AT_data_member_location";
+    case DW_AT_declaration: return "DW_AT_declaration";
+    case DW_AT_encoding: return "DW_AT_encoding";
+    case DW_AT_type: return "DW_AT_type";
+  }
+  return "DW_AT_<unknown>";
+}
+
+void dump_die(const Die& die, int depth, std::ostringstream& out) {
+  out << std::string(static_cast<std::size_t>(depth) * 2, ' ') << "<0x" << std::hex
+      << die.offset << std::dec << "> " << tag_name(die.tag);
+  for (const auto& [attr, value] : die.attrs) {
+    out << ' ' << attr_name(attr) << '=';
+    if (const auto* u = std::get_if<std::uint64_t>(&value))
+      out << *u;
+    else if (const auto* sgn = std::get_if<std::int64_t>(&value))
+      out << *sgn;
+    else if (const auto* str = std::get_if<std::string>(&value))
+      out << '"' << *str << '"';
+    else
+      out << "present";
+  }
+  out << '\n';
+  for (const auto& child : die.children) dump_die(*child, depth + 1, out);
+}
+
+}  // namespace
+
+std::string DebugInfoView::dump() const {
+  std::ostringstream out;
+  dump_die(*cu_, 0, out);
+  return out.str();
+}
+
+}  // namespace pd::dwarf

@@ -1,0 +1,69 @@
+// DWARF debug-info reader.
+//
+// Parses a `.debug_abbrev` + `.debug_info` pair into a DIE tree. The reader
+// is form-driven (it interprets whatever attribute/form pairs the abbrev
+// table declares, within the supported form subset), so it does not assume
+// the stream came from this library's writer.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "src/common/status.hpp"
+
+namespace pd::dwarf {
+
+using AttrValue = std::variant<std::uint64_t, std::int64_t, std::string, bool>;
+
+/// One debugging-information entry.
+struct Die {
+  std::uint64_t tag = 0;
+  std::uint64_t offset = 0;  // offset within .debug_info (ref4 target)
+  std::vector<std::pair<std::uint64_t, AttrValue>> attrs;
+  std::vector<std::unique_ptr<Die>> children;
+
+  const AttrValue* find_attr(std::uint64_t attr) const;
+  std::optional<std::string> name() const;
+  std::optional<std::uint64_t> unsigned_attr(std::uint64_t attr) const;
+  std::optional<std::int64_t> signed_attr(std::uint64_t attr) const;
+};
+
+/// Parsed compile unit with an offset index for DW_AT_type resolution.
+class DebugInfoView {
+ public:
+  /// Parse; returns EINVAL on malformed input. `str` is the .debug_str
+  /// section, required only when the abbrev table uses DW_FORM_strp.
+  static Result<DebugInfoView> parse(const std::vector<std::uint8_t>& abbrev,
+                                     const std::vector<std::uint8_t>& info,
+                                     const std::vector<std::uint8_t>& str = {});
+
+  const Die& compile_unit() const { return *cu_; }
+
+  /// Resolve a ref4 offset to its DIE (nullptr if absent).
+  const Die* at_offset(std::uint64_t offset) const;
+
+  /// Follow this DIE's DW_AT_type reference (nullptr if it has none).
+  const Die* type_of(const Die& die) const;
+
+  /// Depth-first search for the first DIE with the given tag and DW_AT_name.
+  const Die* find_named(std::uint64_t tag, const std::string& name) const;
+
+  /// All DIEs with the given tag (depth-first order).
+  std::vector<const Die*> all_with_tag(std::uint64_t tag) const;
+
+  /// dwarfdump-style rendering of the DIE tree (debugging / the CLI tool).
+  std::string dump() const;
+
+ private:
+  DebugInfoView() = default;
+
+  std::unique_ptr<Die> cu_;
+  std::map<std::uint64_t, const Die*> by_offset_;
+};
+
+}  // namespace pd::dwarf

@@ -1,0 +1,375 @@
+#include "src/dwarf/writer.hpp"
+
+#include <cassert>
+#include <map>
+
+#include "src/dwarf/constants.hpp"
+#include "src/dwarf/leb128.hpp"
+
+namespace pd::dwarf {
+
+namespace {
+
+// Fixed abbreviation codes; one per DIE shape the builder emits.
+enum AbbrevCode : std::uint64_t {
+  kCompileUnit = 1,
+  kBaseType = 2,
+  kPointerType = 3,
+  kPointerVoid = 4,  // pointer with no DW_AT_type (void *)
+  kEnumType = 5,
+  kEnumerator = 6,
+  kArrayType = 7,
+  kSubrange = 8,
+  kTypedef = 9,
+  kStructType = 10,
+  kStructDecl = 11,  // forward declaration: DW_AT_declaration
+  kUnionType = 12,
+  kMember = 13,
+  kEnumTypeAnon = 14,  // enum without a name
+  kConstType = 15,
+  kVolatileType = 16,
+  kMemberBitfield = 17,
+};
+
+struct AttrSpec {
+  std::uint64_t attr;
+  std::uint64_t form;
+};
+
+void write_abbrev_entry(std::vector<std::uint8_t>& out, std::uint64_t code, std::uint64_t tag,
+                        bool children, std::initializer_list<AttrSpec> attrs) {
+  write_uleb128(out, code);
+  write_uleb128(out, tag);
+  out.push_back(children ? 1 : 0);
+  for (const auto& a : attrs) {
+    write_uleb128(out, a.attr);
+    write_uleb128(out, a.form);
+  }
+  write_uleb128(out, 0);
+  write_uleb128(out, 0);
+}
+
+std::vector<std::uint8_t> build_abbrev_table(std::uint64_t str_form) {
+  std::vector<std::uint8_t> out;
+  write_abbrev_entry(out, kCompileUnit, DW_TAG_compile_unit, /*children=*/true,
+                     {{DW_AT_producer, str_form}, {DW_AT_name, str_form}});
+  write_abbrev_entry(out, kBaseType, DW_TAG_base_type, false,
+                     {{DW_AT_name, str_form},
+                      {DW_AT_byte_size, DW_FORM_udata},
+                      {DW_AT_encoding, DW_FORM_data1}});
+  write_abbrev_entry(out, kPointerType, DW_TAG_pointer_type, false,
+                     {{DW_AT_byte_size, DW_FORM_udata}, {DW_AT_type, DW_FORM_ref4}});
+  write_abbrev_entry(out, kPointerVoid, DW_TAG_pointer_type, false,
+                     {{DW_AT_byte_size, DW_FORM_udata}});
+  write_abbrev_entry(out, kEnumType, DW_TAG_enumeration_type, true,
+                     {{DW_AT_name, str_form}, {DW_AT_byte_size, DW_FORM_udata}});
+  write_abbrev_entry(out, kEnumTypeAnon, DW_TAG_enumeration_type, true,
+                     {{DW_AT_byte_size, DW_FORM_udata}});
+  write_abbrev_entry(out, kEnumerator, DW_TAG_enumerator, false,
+                     {{DW_AT_name, str_form}, {DW_AT_const_value, DW_FORM_sdata}});
+  write_abbrev_entry(out, kArrayType, DW_TAG_array_type, true, {{DW_AT_type, DW_FORM_ref4}});
+  write_abbrev_entry(out, kSubrange, DW_TAG_subrange_type, false,
+                     {{DW_AT_count, DW_FORM_udata}});
+  write_abbrev_entry(out, kTypedef, DW_TAG_typedef, false,
+                     {{DW_AT_name, str_form}, {DW_AT_type, DW_FORM_ref4}});
+  write_abbrev_entry(out, kStructType, DW_TAG_structure_type, true,
+                     {{DW_AT_name, str_form}, {DW_AT_byte_size, DW_FORM_udata}});
+  write_abbrev_entry(out, kStructDecl, DW_TAG_structure_type, false,
+                     {{DW_AT_name, str_form}, {DW_AT_declaration, DW_FORM_flag_present}});
+  write_abbrev_entry(out, kUnionType, DW_TAG_union_type, true,
+                     {{DW_AT_name, str_form}, {DW_AT_byte_size, DW_FORM_udata}});
+  write_abbrev_entry(out, kMember, DW_TAG_member, false,
+                     {{DW_AT_name, str_form},
+                      {DW_AT_type, DW_FORM_ref4},
+                      {DW_AT_data_member_location, DW_FORM_udata}});
+  write_abbrev_entry(out, kMemberBitfield, DW_TAG_member, false,
+                     {{DW_AT_name, str_form},
+                      {DW_AT_type, DW_FORM_ref4},
+                      {DW_AT_data_member_location, DW_FORM_udata},
+                      {DW_AT_bit_size, DW_FORM_udata},
+                      {DW_AT_bit_offset, DW_FORM_udata}});
+  write_abbrev_entry(out, kConstType, DW_TAG_const_type, false,
+                     {{DW_AT_type, DW_FORM_ref4}});
+  write_abbrev_entry(out, kVolatileType, DW_TAG_volatile_type, false,
+                     {{DW_AT_type, DW_FORM_ref4}});
+  write_uleb128(out, 0);  // table terminator
+  return out;
+}
+
+void write_u32_at(std::vector<std::uint8_t>& out, std::size_t pos, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out[pos + i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+/// Deduplicating .debug_str builder.
+class StrTab {
+ public:
+  std::uint32_t intern(const std::string& s) {
+    auto it = offsets_.find(s);
+    if (it != offsets_.end()) return it->second;
+    const auto off = static_cast<std::uint32_t>(bytes_.size());
+    bytes_.insert(bytes_.end(), s.begin(), s.end());
+    bytes_.push_back(0);
+    offsets_.emplace(s, off);
+    return off;
+  }
+  std::vector<std::uint8_t> take() { return std::move(bytes_); }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+  std::map<std::string, std::uint32_t> offsets_;
+};
+
+}  // namespace
+
+TypeRef InfoBuilder::push(Node n) {
+  nodes_.push_back(std::move(n));
+  return TypeRef{static_cast<std::uint32_t>(nodes_.size())};
+}
+
+TypeRef InfoBuilder::add_base_type(std::string name, std::uint64_t byte_size,
+                                   std::uint8_t encoding) {
+  Node n{};
+  n.kind = Kind::base;
+  n.name = std::move(name);
+  n.byte_size = byte_size;
+  n.encoding = encoding;
+  return push(std::move(n));
+}
+
+TypeRef InfoBuilder::add_pointer(TypeRef pointee) {
+  Node n{};
+  n.kind = Kind::pointer;
+  n.byte_size = 8;
+  n.referent = pointee;
+  return push(std::move(n));
+}
+
+TypeRef InfoBuilder::add_enum(std::string name, std::uint64_t byte_size,
+                              std::vector<Enumerator> values) {
+  Node n{};
+  n.kind = Kind::enumeration;
+  n.name = std::move(name);
+  n.byte_size = byte_size;
+  n.enumerators = std::move(values);
+  return push(std::move(n));
+}
+
+TypeRef InfoBuilder::add_array(TypeRef element, std::uint64_t count) {
+  return add_array_md(element, {count});
+}
+
+TypeRef InfoBuilder::add_array_md(TypeRef element, std::vector<std::uint64_t> counts) {
+  assert(element.valid() && !counts.empty());
+  Node n{};
+  n.kind = Kind::array;
+  n.referent = element;
+  n.counts = std::move(counts);
+  return push(std::move(n));
+}
+
+TypeRef InfoBuilder::add_typedef(std::string name, TypeRef target) {
+  assert(target.valid());
+  Node n{};
+  n.kind = Kind::type_def;
+  n.name = std::move(name);
+  n.referent = target;
+  return push(std::move(n));
+}
+
+TypeRef InfoBuilder::add_const(TypeRef target) {
+  assert(target.valid());
+  Node n{};
+  n.kind = Kind::const_qual;
+  n.referent = target;
+  return push(std::move(n));
+}
+
+TypeRef InfoBuilder::add_volatile(TypeRef target) {
+  assert(target.valid());
+  Node n{};
+  n.kind = Kind::volatile_qual;
+  n.referent = target;
+  return push(std::move(n));
+}
+
+TypeRef InfoBuilder::forward_struct(std::string name) {
+  Node n{};
+  n.kind = Kind::structure;
+  n.name = std::move(name);
+  n.defined = false;
+  return push(std::move(n));
+}
+
+void InfoBuilder::define_struct(TypeRef ref, std::uint64_t byte_size, std::vector<Member> members) {
+  Node& n = node(ref);
+  assert(n.kind == Kind::structure && !n.defined);
+  n.defined = true;
+  n.byte_size = byte_size;
+  n.members = std::move(members);
+}
+
+TypeRef InfoBuilder::add_struct(std::string name, std::uint64_t byte_size,
+                                std::vector<Member> members) {
+  TypeRef ref = forward_struct(std::move(name));
+  define_struct(ref, byte_size, std::move(members));
+  return ref;
+}
+
+TypeRef InfoBuilder::add_union(std::string name, std::uint64_t byte_size,
+                               std::vector<Member> members) {
+  Node n{};
+  n.kind = Kind::union_type;
+  n.name = std::move(name);
+  n.byte_size = byte_size;
+  n.members = std::move(members);
+  return push(std::move(n));
+}
+
+DebugInfo InfoBuilder::build(const std::string& producer, const std::string& cu_name,
+                             StringForm strings) const {
+  const bool use_strp = strings == StringForm::strp;
+  DebugInfo out;
+  out.abbrev = build_abbrev_table(use_strp ? DW_FORM_strp : DW_FORM_string);
+
+  std::vector<std::uint8_t>& info = out.info;
+  StrTab strtab;
+
+  auto write_string = [&](const std::string& s) {
+    if (use_strp) {
+      const std::uint32_t off = strtab.intern(s);
+      for (int i = 0; i < 4; ++i) info.push_back(static_cast<std::uint8_t>(off >> (8 * i)));
+    } else {
+      info.insert(info.end(), s.begin(), s.end());
+      info.push_back(0);
+    }
+  };
+
+  // Compile-unit header (DWARF4, 32-bit format): unit_length is patched at
+  // the end. Offsets recorded for ref4 are from the start of .debug_info,
+  // i.e. the start of this header — the convention the reader shares.
+  const std::size_t length_pos = info.size();
+  for (int i = 0; i < 4; ++i) info.push_back(0);  // unit_length placeholder
+  info.push_back(kDwarfVersion & 0xFF);
+  info.push_back(kDwarfVersion >> 8);
+  for (int i = 0; i < 4; ++i) info.push_back(0);  // debug_abbrev_offset = 0
+  info.push_back(kAddressSize);
+
+  // CU DIE.
+  write_uleb128(info, kCompileUnit);
+  write_string(producer);
+  write_string(cu_name);
+
+  // Emission with forward-reference fixups: a DW_AT_type ref4 to a node not
+  // yet emitted records (position, node index) and is patched afterwards.
+  std::vector<std::uint32_t> node_offset(nodes_.size(), 0);
+  std::vector<std::pair<std::size_t, std::uint32_t>> fixups;  // (byte pos, node idx)
+
+  auto write_type_ref = [&](TypeRef ref) {
+    assert(ref.valid());
+    const std::uint32_t idx = ref.id - 1;
+    const std::size_t pos = info.size();
+    for (int i = 0; i < 4; ++i) info.push_back(0);
+    if (node_offset[idx] != 0) {
+      write_u32_at(info, pos, node_offset[idx]);
+    } else {
+      fixups.emplace_back(pos, idx);
+    }
+  };
+
+  for (std::uint32_t idx = 0; idx < nodes_.size(); ++idx) {
+    const Node& n = nodes_[idx];
+    node_offset[idx] = static_cast<std::uint32_t>(info.size());
+    switch (n.kind) {
+      case Kind::base:
+        write_uleb128(info, kBaseType);
+        write_string(n.name);
+        write_uleb128(info, n.byte_size);
+        info.push_back(n.encoding);
+        break;
+      case Kind::pointer:
+        if (n.referent.valid()) {
+          write_uleb128(info, kPointerType);
+          write_uleb128(info, n.byte_size);
+          write_type_ref(n.referent);
+        } else {
+          write_uleb128(info, kPointerVoid);
+          write_uleb128(info, n.byte_size);
+        }
+        break;
+      case Kind::enumeration:
+        if (n.name.empty()) {
+          write_uleb128(info, kEnumTypeAnon);
+        } else {
+          write_uleb128(info, kEnumType);
+          write_string(n.name);
+        }
+        write_uleb128(info, n.byte_size);
+        for (const auto& e : n.enumerators) {
+          write_uleb128(info, kEnumerator);
+          write_string(e.name);
+          write_sleb128(info, e.value);
+        }
+        write_uleb128(info, 0);  // end of children
+        break;
+      case Kind::array:
+        write_uleb128(info, kArrayType);
+        write_type_ref(n.referent);
+        for (const std::uint64_t count : n.counts) {
+          write_uleb128(info, kSubrange);
+          write_uleb128(info, count);
+        }
+        write_uleb128(info, 0);
+        break;
+      case Kind::type_def:
+        write_uleb128(info, kTypedef);
+        write_string(n.name);
+        write_type_ref(n.referent);
+        break;
+      case Kind::const_qual:
+        write_uleb128(info, kConstType);
+        write_type_ref(n.referent);
+        break;
+      case Kind::volatile_qual:
+        write_uleb128(info, kVolatileType);
+        write_type_ref(n.referent);
+        break;
+      case Kind::structure:
+        if (!n.defined) {
+          write_uleb128(info, kStructDecl);
+          write_string(n.name);
+          break;
+        }
+        [[fallthrough]];
+      case Kind::union_type:
+        write_uleb128(info, n.kind == Kind::structure ? kStructType : kUnionType);
+        write_string(n.name);
+        write_uleb128(info, n.byte_size);
+        for (const auto& m : n.members) {
+          write_uleb128(info, m.bit_size > 0 ? kMemberBitfield : kMember);
+          write_string(m.name);
+          write_type_ref(m.type);
+          write_uleb128(info, m.offset);
+          if (m.bit_size > 0) {
+            write_uleb128(info, m.bit_size);
+            write_uleb128(info, m.bit_offset);
+          }
+        }
+        write_uleb128(info, 0);
+        break;
+    }
+  }
+
+  write_uleb128(info, 0);  // end of CU children
+
+  for (const auto& [pos, idx] : fixups) {
+    assert(node_offset[idx] != 0 && "pointer to a type that was never emitted");
+    write_u32_at(info, pos, node_offset[idx]);
+  }
+
+  // unit_length excludes the length field itself.
+  write_u32_at(info, length_pos, static_cast<std::uint32_t>(info.size() - length_pos - 4));
+  out.str = strtab.take();
+  return out;
+}
+
+}  // namespace pd::dwarf

@@ -1,0 +1,101 @@
+// Driver structure layouts, versioned like vendor releases.
+//
+// The driver's internal structures (`hfi1_filedata`, `hfi1_ctxtdata`,
+// `sdma_engine`, `sdma_state`) live as raw byte images in the Linux kernel
+// heap. The *driver* accesses them through the compiled-in layout table
+// below. The *PicoDriver* never sees this header: it learns the same
+// offsets by running dwarf-extract-struct over the module binary that
+// `ship_module()` produces — which is how the paper survives vendor
+// updates that shuffle fields (§3.2). Each version here deliberately moves
+// fields around to exercise exactly that.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/common/status.hpp"
+#include "src/dwarf/module_binary.hpp"
+
+namespace pd::hfi {
+
+/// Enum the driver stores in sdma_state::current_state.
+enum class SdmaStates : std::uint32_t {
+  s00_hw_down = 0,
+  s10_hw_start_up_halt_wait = 1,
+  s15_hw_start_up_clean_wait = 2,
+  s20_idle = 3,
+  s30_sw_clean_up_wait = 4,
+  s40_hw_clean_up_wait = 5,
+  s50_hw_halt_wait = 6,
+  s60_idle_halt_wait = 7,
+  s80_hw_freeze = 8,
+  s99_running = 9,
+};
+
+struct FieldDef {
+  std::string name;
+  std::uint64_t offset = 0;
+  std::uint64_t size = 0;
+  std::string type_name;  // for debug-info emission
+};
+
+struct StructDef {
+  std::string name;
+  std::uint64_t byte_size = 0;
+  std::vector<FieldDef> fields;
+
+  const FieldDef* field(const std::string& fname) const;
+};
+
+/// The layout table for one driver release.
+class DriverLayouts {
+ public:
+  /// Known versions: "10.8-0", "10.9-5", "11.0-2". Unknown versions fail.
+  static Result<DriverLayouts> for_version(const std::string& version);
+
+  const std::string& version() const { return version_; }
+  const StructDef* structure(const std::string& name) const;
+
+  /// Produce the shipped module binary: .text stub, .modinfo version, and
+  /// real DWARF debug info describing every structure above.
+  dwarf::ModuleBinary ship_module() const;
+
+ private:
+  std::string version_;
+  std::vector<StructDef> structs_;
+};
+
+/// Typed accessor over a raw structure image using a layout table — the
+/// driver's own (compiled-in) view of its structures.
+class StructImage {
+ public:
+  StructImage() = default;
+  StructImage(std::span<std::uint8_t> bytes, const StructDef* def) : bytes_(bytes), def_(def) {}
+
+  bool valid() const { return def_ != nullptr && bytes_.size() >= def_->byte_size; }
+
+  template <typename T>
+  T read(const std::string& field) const {
+    const FieldDef* f = def_->field(field);
+    T value{};
+    if (f == nullptr || f->size != sizeof(T) || f->offset + f->size > bytes_.size()) return value;
+    __builtin_memcpy(&value, bytes_.data() + f->offset, sizeof(T));
+    return value;
+  }
+
+  template <typename T>
+  bool write(const std::string& field, T value) {
+    const FieldDef* f = def_->field(field);
+    if (f == nullptr || f->size != sizeof(T) || f->offset + f->size > bytes_.size()) return false;
+    __builtin_memcpy(bytes_.data() + f->offset, &value, sizeof(T));
+    return true;
+  }
+
+ private:
+  std::span<std::uint8_t> bytes_;
+  const StructDef* def_ = nullptr;
+};
+
+}  // namespace pd::hfi

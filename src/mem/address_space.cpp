@@ -1,0 +1,236 @@
+#include "src/mem/address_space.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace pd::mem {
+
+AddressSpace::AddressSpace(PhysMap& phys, BackingPolicy policy, MemKind preferred_kind,
+                           VirtAddr mmap_base, std::uint64_t rng_seed)
+    : phys_(phys),
+      policy_(policy),
+      preferred_kind_(preferred_kind),
+      mmap_cursor_(mmap_base),
+      rng_(rng_seed) {}
+
+AddressSpace::~AddressSpace() {
+  // Return all anonymous backings to the physical allocator.
+  for (auto& [start, vma] : vmas_)
+    if (!vma.device) release_backing(vma);
+}
+
+Result<VirtAddr> AddressSpace::reserve_va(std::uint64_t len, std::uint64_t align) {
+  const VirtAddr addr = page_ceil(mmap_cursor_, align);
+  mmap_cursor_ = addr + page_ceil(len, kPage4K);
+  return addr;
+}
+
+Result<VirtAddr> AddressSpace::mmap_anonymous(std::uint64_t len, std::uint32_t prot) {
+  if (len == 0) return Errno::einval;
+  len = page_ceil(len, kPage4K);
+
+  std::vector<Backing> backings;
+  auto rollback = [&] {
+    for (const auto& b : backings) phys_.free(b.pa, b.len);
+  };
+
+  if (policy_ == BackingPolicy::linux_4k) {
+    // Page-by-page backing. To model a fragmented host, allocate small
+    // random-order blocks so virtually adjacent pages land on physically
+    // scattered frames (contiguity across page boundaries is rare).
+    auto va = reserve_va(len, kPage4K);
+    for (std::uint64_t off = 0; off < len; off += kPage4K) {
+      auto pa = phys_.alloc(kPage4K, preferred_kind_);
+      if (!pa.ok()) {
+        rollback();
+        return pa.error();
+      }
+      backings.push_back(Backing{*pa, kPage4K, kPage4K});
+    }
+    // Shuffle frame order before mapping: each allocation above may have
+    // been contiguous with its neighbour; a long-running kernel's page
+    // pool is not.
+    for (std::size_t i = backings.size(); i > 1; --i)
+      std::swap(backings[i - 1], backings[rng_.next_below(i)]);
+    VirtAddr cur = *va;
+    for (auto& b : backings) {
+      Status s = pt_.map(cur, b.pa, kPage4K, prot);
+      assert(s.ok());
+      (void)s;
+      cur += kPage4K;
+    }
+    Vma vma{*va, *va + len, prot, /*pinned=*/false, /*device=*/false};
+    vmas_.emplace(*va, vma);
+    backings_.emplace(*va, std::move(backings));
+    return *va;
+  }
+
+  // LWK policy: back with the largest contiguous blocks available, 2 MiB
+  // leaves when alignment allows, and pin everything up front.
+  const std::uint64_t align = len >= kPage2M ? kPage2M : kPage4K;
+  auto va = reserve_va(len, align);
+  VirtAddr cur = *va;
+  std::uint64_t remaining = len;
+  while (remaining > 0) {
+    // Try the largest power-of-two chunk (<= remaining) first, shrinking on
+    // allocation failure; chunks >= 2 MiB map with large-page leaves.
+    std::uint64_t chunk = std::uint64_t(1) << BuddyAllocator::order_for(remaining);
+    if (chunk > remaining) chunk >>= 1;
+    chunk = std::max(chunk, kPage4K);
+    Result<PhysAddr> pa = Errno::enomem;
+    while (true) {
+      pa = phys_.alloc(chunk, preferred_kind_);
+      if (pa.ok() || chunk == kPage4K) break;
+      chunk >>= 1;
+    }
+    if (!pa.ok()) {
+      rollback();
+      pt_.unmap_range(*va, cur - *va);
+      return pa.error();
+    }
+    const bool large_ok = chunk >= kPage2M && page_aligned(cur, kPage2M) &&
+                          page_aligned(*pa, kPage2M);
+    const std::uint64_t leaf = large_ok ? kPage2M : kPage4K;
+    Status s = pt_.map_range(cur, *pa, chunk, leaf, prot);
+    assert(s.ok());
+    (void)s;
+    backings.push_back(Backing{*pa, chunk, leaf});
+    // Pin every 4 KiB frame in the chunk.
+    for (std::uint64_t off = 0; off < chunk; off += kPage4K) ++pin_counts_[*pa + off];
+    cur += chunk;
+    remaining -= chunk;
+  }
+  Vma vma{*va, *va + len, prot, /*pinned=*/true, /*device=*/false};
+  vmas_.emplace(*va, vma);
+  backings_.emplace(*va, std::move(backings));
+  return *va;
+}
+
+Result<VirtAddr> AddressSpace::mmap_device(PhysAddr pa, std::uint64_t len, std::uint32_t prot) {
+  if (len == 0 || !page_aligned(pa, kPage4K)) return Errno::einval;
+  len = page_ceil(len, kPage4K);
+  auto va = reserve_va(len, kPage4K);
+  Status s = pt_.map_range(*va, pa, len, kPage4K, prot);
+  if (!s.ok()) return s.error();
+  Vma vma{*va, *va + len, prot, /*pinned=*/true, /*device=*/true};
+  vmas_.emplace(*va, vma);
+  return *va;
+}
+
+void AddressSpace::release_backing(const Vma& vma) {
+  auto it = backings_.find(vma.start);
+  if (it == backings_.end()) return;
+  for (const auto& b : it->second) {
+    if (vma.pinned)
+      for (std::uint64_t off = 0; off < b.len; off += kPage4K) {
+        auto pin = pin_counts_.find(b.pa + off);
+        if (pin != pin_counts_.end() && --pin->second == 0) pin_counts_.erase(pin);
+      }
+    phys_.free(b.pa, b.len);
+  }
+  backings_.erase(it);
+}
+
+Status AddressSpace::munmap(VirtAddr addr, std::uint64_t len) {
+  auto it = vmas_.find(addr);
+  if (it == vmas_.end() || it->second.end - it->second.start != page_ceil(len, kPage4K))
+    return Errno::einval;
+  const Vma vma = it->second;
+  pt_.unmap_range(vma.start, vma.end - vma.start);
+  if (!vma.device) release_backing(vma);
+  vmas_.erase(it);
+  return Status::success();
+}
+
+Result<PinnedPages> AddressSpace::get_user_pages(VirtAddr va, std::uint64_t len) {
+  if (len == 0) return Errno::einval;
+  const VirtAddr start = page_floor(va, kPage4K);
+  const VirtAddr end = page_ceil(va + len, kPage4K);
+  PinnedPages pages;
+  pages.frames.reserve((end - start) / kPage4K);
+  for (VirtAddr cur = start; cur < end; cur += kPage4K) {
+    auto t = pt_.translate(cur);
+    if (!t) {
+      put_user_pages(pages);  // unpin what we already took
+      return Errno::efault;
+    }
+    const PhysAddr frame = page_floor(t->pa, kPage4K);
+    ++pin_counts_[frame];
+    pages.frames.push_back(frame);
+  }
+  return pages;
+}
+
+void AddressSpace::put_user_pages(const PinnedPages& pages) {
+  for (PhysAddr frame : pages.frames) {
+    auto it = pin_counts_.find(frame);
+    assert(it != pin_counts_.end());
+    if (--it->second == 0) pin_counts_.erase(it);
+  }
+}
+
+Result<std::vector<PhysExtent>> AddressSpace::physical_extents(VirtAddr va, std::uint64_t len,
+                                                               std::uint64_t max_extent) const {
+  if (len == 0) return Errno::einval;
+  std::vector<PhysExtent> extents;
+  VirtAddr cur = va;
+  const VirtAddr end = va + len;
+  while (cur < end) {
+    auto t = pt_.translate(cur);
+    if (!t) return Errno::efault;
+    // Bytes until the end of this leaf page.
+    const std::uint64_t in_page = t->page - (cur & (t->page - 1));
+    std::uint64_t run = std::min<std::uint64_t>(in_page, end - cur);
+    // Merge with the previous extent when physically adjacent.
+    if (!extents.empty() && extents.back().pa + extents.back().len == t->pa &&
+        (max_extent == 0 || extents.back().len < max_extent)) {
+      const std::uint64_t room =
+          max_extent == 0 ? run : std::min(run, max_extent - extents.back().len);
+      extents.back().len += room;
+      if (room < run) extents.push_back(PhysExtent{t->pa + room, run - room});
+    } else {
+      extents.push_back(PhysExtent{t->pa, run});
+    }
+    // Split oversized extents down to max_extent.
+    if (max_extent != 0 && extents.back().len > max_extent) {
+      PhysExtent big = extents.back();
+      extents.pop_back();
+      std::uint64_t off = 0;
+      while (off < big.len) {
+        const std::uint64_t piece = std::min(max_extent, big.len - off);
+        extents.push_back(PhysExtent{big.pa + off, piece});
+        off += piece;
+      }
+    }
+    cur += run;
+  }
+  return extents;
+}
+
+const Vma* AddressSpace::find_vma(VirtAddr va) const {
+  auto it = vmas_.upper_bound(va);
+  if (it == vmas_.begin()) return nullptr;
+  --it;
+  return va < it->second.end ? &it->second : nullptr;
+}
+
+std::uint64_t AddressSpace::pinned_frame_count() const {
+  return static_cast<std::uint64_t>(pin_counts_.size());
+}
+
+bool AddressSpace::is_pinned(PhysAddr frame) const {
+  return pin_counts_.count(page_floor(frame, kPage4K)) > 0;
+}
+
+double AddressSpace::large_page_fraction() const {
+  std::uint64_t large = 0, total = 0;
+  for (const auto& [start, list] : backings_) {
+    for (const auto& b : list) {
+      total += b.len;
+      if (b.page == kPage2M) large += b.len;
+    }
+  }
+  return total == 0 ? 0.0 : static_cast<double>(large) / static_cast<double>(total);
+}
+
+}  // namespace pd::mem

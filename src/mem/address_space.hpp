@@ -1,0 +1,118 @@
+// Process/kernel address space: VMA bookkeeping + page-table backing with a
+// per-kernel placement policy.
+//
+// The policy difference is the heart of paper §3.4:
+//
+//   * `BackingPolicy::linux_4k` — anonymous memory is backed page by page
+//     with 4 KiB frames allocated independently (deliberately shuffled
+//     placement so adjacent virtual pages are rarely physically adjacent,
+//     as on a long-running Linux node). Pages are not pinned; drivers must
+//     use get_user_pages() to pin them.
+//
+//   * `BackingPolicy::lwk_contig` — McKernel's policy: anonymous mappings
+//     are backed by the largest available physically contiguous blocks,
+//     using 2 MiB page-table leaves when alignment permits, and are pinned
+//     at creation (unmapped only by explicit user request).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/rng.hpp"
+#include "src/common/status.hpp"
+#include "src/mem/page_table.hpp"
+#include "src/mem/phys.hpp"
+#include "src/mem/types.hpp"
+
+namespace pd::mem {
+
+enum class BackingPolicy { linux_4k, lwk_contig };
+
+/// One virtual memory area.
+struct Vma {
+  VirtAddr start = 0;
+  VirtAddr end = 0;  // exclusive
+  std::uint32_t prot = 0;
+  bool pinned = false;
+  bool device = false;  // device mapping (no physical frames owned)
+};
+
+/// A physically contiguous run backing part of a virtual range.
+struct PhysExtent {
+  PhysAddr pa = 0;
+  std::uint64_t len = 0;
+};
+
+/// Result of get_user_pages(): pinned 4 KiB frames, one per page.
+struct PinnedPages {
+  std::vector<PhysAddr> frames;
+};
+
+class AddressSpace {
+ public:
+  /// `mmap_base`: where anonymous mappings are placed (grows upward).
+  AddressSpace(PhysMap& phys, BackingPolicy policy, MemKind preferred_kind,
+               VirtAddr mmap_base, std::uint64_t rng_seed = 1);
+  ~AddressSpace();
+  AddressSpace(const AddressSpace&) = delete;
+  AddressSpace& operator=(const AddressSpace&) = delete;
+
+  BackingPolicy policy() const { return policy_; }
+
+  /// Anonymous mmap; returns the chosen virtual address.
+  Result<VirtAddr> mmap_anonymous(std::uint64_t len, std::uint32_t prot);
+
+  /// Map a device range (no frames allocated; pa supplied by the device).
+  Result<VirtAddr> mmap_device(PhysAddr pa, std::uint64_t len, std::uint32_t prot);
+
+  /// Unmap a previously mapped region. EINVAL unless [addr, addr+len)
+  /// exactly matches a VMA. Pinned LWK memory is released here too — this
+  /// is the "user requested operation" that is allowed to unpin.
+  Status munmap(VirtAddr addr, std::uint64_t len);
+
+  std::optional<Translation> translate(VirtAddr va) const { return pt_.translate(va); }
+
+  /// Linux-style get_user_pages(): pin and return the 4 KiB frames backing
+  /// [va, va+len). Fails with EFAULT if any page is unmapped.
+  Result<PinnedPages> get_user_pages(VirtAddr va, std::uint64_t len);
+  void put_user_pages(const PinnedPages& pages);
+
+  /// LWK-style page-table walk: physically contiguous runs covering
+  /// [va, va+len), each at most `max_extent` bytes (0 = unlimited).
+  /// Requires the range to be mapped; EFAULT otherwise.
+  Result<std::vector<PhysExtent>> physical_extents(VirtAddr va, std::uint64_t len,
+                                                   std::uint64_t max_extent) const;
+
+  const Vma* find_vma(VirtAddr va) const;
+  std::size_t vma_count() const { return vmas_.size(); }
+  std::uint64_t pinned_frame_count() const;
+  bool is_pinned(PhysAddr frame) const;
+
+  /// Fraction of currently mapped anonymous bytes backed by 2 MiB leaves.
+  double large_page_fraction() const;
+
+ private:
+  struct Backing {
+    PhysAddr pa;
+    std::uint64_t len;      // allocation unit handed back to PhysMap
+    std::uint64_t page;     // leaf size used in the page table
+  };
+
+  Result<VirtAddr> reserve_va(std::uint64_t len, std::uint64_t align);
+  void release_backing(const Vma& vma);
+
+  PhysMap& phys_;
+  BackingPolicy policy_;
+  MemKind preferred_kind_;
+  PageTable pt_;
+  VirtAddr mmap_cursor_;
+  Rng rng_;
+
+  std::map<VirtAddr, Vma> vmas_;                         // keyed by start
+  std::map<VirtAddr, std::vector<Backing>> backings_;    // keyed by VMA start
+  std::unordered_map<PhysAddr, std::uint32_t> pin_counts_;  // per 4 KiB frame
+};
+
+}  // namespace pd::mem

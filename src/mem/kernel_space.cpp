@@ -1,0 +1,43 @@
+#include "src/mem/kernel_space.hpp"
+
+namespace pd::mem {
+
+namespace {
+// Page tables index 48 bits; kernel VAs have the sign-extended top bits
+// stripped before mapping (the hardware does the same canonicalization).
+constexpr VirtAddr canonical48(VirtAddr va) { return va & ((1ull << 48) - 1); }
+}  // namespace
+
+Result<KernelAddressSpace> KernelAddressSpace::build(const KernelLayout& layout,
+                                                     std::uint64_t phys_bytes,
+                                                     PhysAddr image_phys_base) {
+  if (!page_aligned(image_phys_base, kPage2M)) return Errno::einval;
+  KernelAddressSpace space(layout);
+
+  // Physical direct map: 1 GiB leaves, PA 0 upward. This is where kmalloc
+  // pointers land; both kernels must map it identically for §3.1 req. 2.
+  const std::uint64_t direct_len =
+      std::min<std::uint64_t>(page_ceil(phys_bytes, kPage1G), layout.direct_map.size());
+  Status s = space.pt_.map_range(canonical48(layout.direct_map.start), 0, direct_len,
+                                 kPage1G, kProtRead | kProtWrite);
+  if (!s.ok()) return s.error();
+
+  // Kernel image: 2 MiB leaves at the layout's image range.
+  const std::uint64_t image_len = page_ceil(layout.image.size(), kPage2M);
+  s = space.pt_.map_range(canonical48(page_floor(layout.image.start, kPage2M)),
+                          image_phys_base, image_len, kPage2M,
+                          kProtRead | kProtWrite | kProtExec);
+  if (!s.ok()) return s.error();
+
+  return space;
+}
+
+Status KernelAddressSpace::alias_image(const VaRange& range, PhysAddr phys_base) {
+  if (!page_aligned(phys_base, kPage2M)) return Errno::einval;
+  const VirtAddr start = page_floor(range.start, kPage2M);
+  const std::uint64_t len = page_ceil(range.end, kPage2M) - start;
+  return pt_.map_range(canonical48(start), phys_base, len, kPage2M,
+                       kProtRead | kProtExec);
+}
+
+}  // namespace pd::mem

@@ -1,0 +1,54 @@
+// Instantiated kernel address spaces (paper §3.1, made concrete).
+//
+// va_layout.hpp describes the Figure-3 layouts symbolically; this class
+// actually builds the page tables: the physical direct map with 1 GiB
+// leaves, the kernel image with 2 MiB leaves, and — the §3.1 requirement-3
+// mechanism — aliasing another kernel's image into this space so its
+// callback TEXT is genuinely translatable here, not just "declared
+// visible". The unification tests dereference the same kmalloc pointer
+// through both kernels' page tables and check it reaches the same
+// physical byte.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "src/common/status.hpp"
+#include "src/mem/page_table.hpp"
+#include "src/mem/va_layout.hpp"
+
+namespace pd::mem {
+
+class KernelAddressSpace {
+ public:
+  /// Realize `layout` over `phys_bytes` of physical memory (rounded up to
+  /// 1 GiB for the direct map) with the kernel image at `image_phys_base`
+  /// (2 MiB aligned).
+  static Result<KernelAddressSpace> build(const KernelLayout& layout,
+                                          std::uint64_t phys_bytes,
+                                          PhysAddr image_phys_base);
+
+  KernelAddressSpace(KernelAddressSpace&&) = default;
+
+  const KernelLayout& layout() const { return layout_; }
+
+  std::optional<Translation> translate(VirtAddr va) const { return pt_.translate(va); }
+
+  /// kmalloc-style pointer: the direct-map VA of a physical address.
+  VirtAddr direct_va(PhysAddr pa) const { return layout_.direct_map_va(pa); }
+
+  /// Map a foreign image range (another kernel's TEXT/DATA/BSS) at its own
+  /// virtual addresses — what Linux does with the vmap_area reservation
+  /// for McKernel's image at LWK boot.
+  Status alias_image(const VaRange& range, PhysAddr phys_base);
+
+  std::uint64_t mapped_pages() const { return pt_.mapped_pages(); }
+
+ private:
+  explicit KernelAddressSpace(KernelLayout layout) : layout_(std::move(layout)) {}
+
+  KernelLayout layout_;
+  PageTable pt_;
+};
+
+}  // namespace pd::mem

@@ -1,0 +1,83 @@
+#include "src/mem/kheap.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace pd::mem {
+
+KernelHeap::KernelHeap(std::vector<int> owned_cpus, ForeignFreePolicy policy, PhysAddr heap_base)
+    : owned_cpus_(std::move(owned_cpus)), policy_(policy), next_addr_(heap_base) {}
+
+bool KernelHeap::owns_cpu(int cpu) const {
+  return std::find(owned_cpus_.begin(), owned_cpus_.end(), cpu) != owned_cpus_.end();
+}
+
+Result<PhysAddr> KernelHeap::kmalloc(std::uint64_t size, int cpu) {
+  if (size == 0) return Errno::einval;
+  if (!owns_cpu(cpu)) return Errno::eperm;
+  Block block;
+  block.size = size;
+  block.owner_cpu = cpu;
+  block.bytes = std::make_unique<std::uint8_t[]>(size);
+  std::memset(block.bytes.get(), 0, size);
+
+  const PhysAddr addr = next_addr_;
+  next_addr_ = page_ceil(next_addr_ + size, 64);  // 64-byte (cacheline) spacing
+  blocks_.emplace(addr, std::move(block));
+  ++stats_.allocs;
+  stats_.bytes_live += size;
+  return addr;
+}
+
+Status KernelHeap::kfree(PhysAddr addr, int cpu) {
+  auto it = blocks_.find(addr);
+  if (it == blocks_.end()) return Errno::einval;
+
+  if (owns_cpu(cpu)) {
+    stats_.bytes_live -= it->second.size;
+    ++stats_.local_frees;
+    blocks_.erase(it);
+    return Status::success();
+  }
+
+  if (policy_ == ForeignFreePolicy::fail) {
+    // Original McKernel: the per-core free list for `cpu` does not exist.
+    ++stats_.rejected_frees;
+    return Errno::eperm;
+  }
+
+  // PicoDriver extension: park the block on the owner core's remote queue.
+  remote_free_queues_[it->second.owner_cpu].push_back(addr);
+  ++stats_.remote_frees;
+  return Status::success();
+}
+
+std::size_t KernelHeap::drain_remote_frees(int cpu) {
+  auto qit = remote_free_queues_.find(cpu);
+  if (qit == remote_free_queues_.end()) return 0;
+  std::size_t drained = 0;
+  while (!qit->second.empty()) {
+    const PhysAddr addr = qit->second.front();
+    qit->second.pop_front();
+    auto it = blocks_.find(addr);
+    if (it != blocks_.end()) {
+      stats_.bytes_live -= it->second.size;
+      blocks_.erase(it);
+      ++drained;
+    }
+  }
+  return drained;
+}
+
+std::span<std::uint8_t> KernelHeap::data(PhysAddr addr) {
+  auto it = blocks_.find(addr);
+  if (it == blocks_.end()) return {};
+  return {it->second.bytes.get(), it->second.size};
+}
+
+std::size_t KernelHeap::remote_queue_depth(int cpu) const {
+  auto it = remote_free_queues_.find(cpu);
+  return it == remote_free_queues_.end() ? 0 : it->second.size();
+}
+
+}  // namespace pd::mem

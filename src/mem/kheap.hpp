@@ -1,0 +1,83 @@
+// Kernel heap with per-core free lists and cross-kernel free handling
+// (paper §3.3).
+//
+// McKernel's allocator keeps per-core free lists, so kfree() must know
+// which CPU it runs on. An SDMA completion IRQ, however, executes on a
+// *Linux* CPU while freeing LWK-allocated metadata. The original allocator
+// would fail there; the PicoDriver extension detects the foreign CPU and
+// routes the block to a remote-free queue that the owning core drains.
+//
+// Blocks carry real host bytes (`data()`): the simulated driver keeps its
+// structure images in them, and the LWK reads those images through
+// DWARF-extracted offsets — so the cross-kernel pointer story is exercised
+// with actual memory, not just bookkeeping.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "src/common/status.hpp"
+#include "src/mem/types.hpp"
+
+namespace pd::mem {
+
+/// Policy for kfree() called on a CPU outside the owning kernel's set.
+enum class ForeignFreePolicy {
+  fail,          // original McKernel: allocator is per-core, call fails
+  remote_queue,  // PicoDriver extension: enqueue for the owning core
+};
+
+class KernelHeap {
+ public:
+  struct Stats {
+    std::uint64_t allocs = 0;
+    std::uint64_t local_frees = 0;
+    std::uint64_t remote_frees = 0;    // routed through the remote queue
+    std::uint64_t rejected_frees = 0;  // failed under ForeignFreePolicy::fail
+    std::uint64_t bytes_live = 0;
+  };
+
+  /// `owned_cpus`: logical CPU ids this kernel's allocator may run on.
+  /// `heap_base`: simulated physical base of the heap arena.
+  KernelHeap(std::vector<int> owned_cpus, ForeignFreePolicy policy,
+             PhysAddr heap_base = 0x0000'00F0'0000'0000ull);
+
+  /// Allocate `size` bytes on behalf of `cpu` (must be an owned CPU).
+  /// Returns the simulated physical address of the block.
+  Result<PhysAddr> kmalloc(std::uint64_t size, int cpu);
+
+  /// Free from any CPU. Foreign CPUs follow the configured policy.
+  Status kfree(PhysAddr addr, int cpu);
+
+  /// Drain this core's remote-free queue (the owning kernel calls this
+  /// periodically, e.g. on its scheduler tick). Returns blocks reclaimed.
+  std::size_t drain_remote_frees(int cpu);
+
+  /// Host-memory view of a live block (nullptr when not allocated).
+  std::span<std::uint8_t> data(PhysAddr addr);
+
+  bool owns_cpu(int cpu) const;
+  std::size_t remote_queue_depth(int cpu) const;
+  const Stats& stats() const { return stats_; }
+  std::size_t live_blocks() const { return blocks_.size(); }
+
+ private:
+  struct Block {
+    std::uint64_t size;
+    int owner_cpu;  // core whose free list the block came from
+    std::unique_ptr<std::uint8_t[]> bytes;
+  };
+
+  std::vector<int> owned_cpus_;
+  ForeignFreePolicy policy_;
+  PhysAddr next_addr_;
+  std::map<PhysAddr, Block> blocks_;
+  std::map<int, std::deque<PhysAddr>> remote_free_queues_;  // keyed by owner cpu
+  Stats stats_;
+};
+
+}  // namespace pd::mem

@@ -1,0 +1,112 @@
+#include "src/mem/page_table.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace pd::mem {
+
+PageTable::PageTable() : root_(std::make_unique<Node>()) {}
+
+Status PageTable::map(VirtAddr va, PhysAddr pa, std::uint64_t page_size, std::uint32_t prot) {
+  if (page_size != kPage4K && page_size != kPage2M && page_size != kPage1G)
+    return Errno::einval;
+  if (!page_aligned(va, page_size) || !page_aligned(pa, page_size)) return Errno::einval;
+
+  const int leaf_level = page_size == kPage4K ? 0 : (page_size == kPage2M ? 1 : 2);
+  Node* node = root_.get();
+  for (int level = 3; level > leaf_level; --level) {
+    Entry& e = node->entries[index_at(va, level)];
+    if (e.present && e.leaf) return Errno::eexist;  // covered by a larger page
+    if (!e.child) {
+      e.present = true;
+      e.child = std::make_unique<Node>();
+    }
+    node = e.child.get();
+  }
+  Entry& e = node->entries[index_at(va, leaf_level)];
+  if (e.present) {
+    // A child table can linger after all of its leaves were unmapped; an
+    // empty table must not block a large-page mapping (kernels either
+    // free empty tables eagerly or fold them here, as we do).
+    const bool empty_table = !e.leaf && e.child != nullptr &&
+                             std::all_of(e.child->entries.begin(), e.child->entries.end(),
+                                         [](const Entry& c) { return !c.present; });
+    if (!empty_table) return Errno::eexist;
+    e.child.reset();
+  }
+  e.present = true;
+  e.leaf = true;
+  e.pa = pa;
+  e.prot = prot;
+  ++mapped_pages_;
+  return Status::success();
+}
+
+Status PageTable::map_range(VirtAddr va, PhysAddr pa, std::uint64_t len, std::uint64_t page_size,
+                            std::uint32_t prot) {
+  if (!page_aligned(len, page_size)) return Errno::einval;
+  for (std::uint64_t off = 0; off < len; off += page_size) {
+    if (Status s = map(va + off, pa + off, page_size, prot); !s.ok()) {
+      // Roll back what was mapped so a failed range leaves no residue.
+      for (std::uint64_t undo = 0; undo < off; undo += page_size) (void)unmap(va + undo);
+      return s;
+    }
+  }
+  return Status::success();
+}
+
+Status PageTable::unmap(VirtAddr va) {
+  Node* node = root_.get();
+  for (int level = 3; level >= 0; --level) {
+    Entry& e = node->entries[index_at(va, level)];
+    if (!e.present) return Errno::enoent;
+    if (e.leaf) {
+      e.present = false;
+      e.leaf = false;
+      e.pa = 0;
+      e.prot = 0;
+      --mapped_pages_;
+      return Status::success();
+    }
+    node = e.child.get();
+  }
+  return Errno::enoent;
+}
+
+void PageTable::unmap_range(VirtAddr va, std::uint64_t len) {
+  const VirtAddr start = page_floor(va, kPage4K);
+  const VirtAddr end = page_ceil(va + len, kPage4K);
+  VirtAddr cur = start;
+  while (cur < end) {
+    auto t = translate(cur);
+    if (t) {
+      const VirtAddr page_start = page_floor(cur, t->page);
+      (void)unmap(page_start);
+      cur = page_start + t->page;
+    } else {
+      cur += kPage4K;
+    }
+  }
+}
+
+std::optional<Translation> PageTable::translate(VirtAddr va) const {
+  const Node* node = root_.get();
+  for (int level = 3; level >= 0; --level) {
+    const Entry& e = node->entries[index_at(va, level)];
+    if (!e.present) return std::nullopt;
+    if (e.leaf) {
+      const std::uint64_t page =
+          level == 0 ? kPage4K : (level == 1 ? kPage2M : kPage1G);
+      assert(level <= 2);
+      Translation t;
+      t.page = page;
+      t.pa = e.pa + (va & (page - 1));
+      t.prot = e.prot;
+      return t;
+    }
+    node = e.child.get();
+  }
+  return std::nullopt;
+}
+
+}  // namespace pd::mem

@@ -1,0 +1,157 @@
+#include "src/mem/phys.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace pd::mem {
+
+BuddyAllocator::BuddyAllocator(PhysAddr base, std::uint64_t size)
+    : base_(base), free_lists_(kMaxOrder - kMinOrder + 1) {
+  assert(page_aligned(base, kPage4K));
+  assert(page_aligned(size, kPage4K));
+  // The buddy math runs over a power-of-two span starting at base_; memory
+  // beyond `size` within that span is simply never put on a free list.
+  span_ = std::uint64_t(1) << order_for(size);
+  capacity_ = 0;
+
+  // Seed free lists greedily with the largest aligned blocks that fit.
+  PhysAddr cur = base;
+  std::uint64_t remaining = size;
+  while (remaining >= kPage4K) {
+    int order = kMaxOrder;
+    while (order > kMinOrder &&
+           ((std::uint64_t(1) << order) > remaining ||
+            !page_aligned(cur - base, std::uint64_t(1) << order))) {
+      --order;
+    }
+    const std::uint64_t block = std::uint64_t(1) << order;
+    insert_block(order, cur);
+    capacity_ += block;
+    free_total_ += block;
+    cur += block;
+    remaining -= block;
+  }
+}
+
+int BuddyAllocator::order_for(std::uint64_t bytes) {
+  int order = kMinOrder;
+  while ((std::uint64_t(1) << order) < bytes && order < kMaxOrder) ++order;
+  return order;
+}
+
+std::optional<PhysAddr> BuddyAllocator::take_block(int order) {
+  auto& list = free_lists_[order - kMinOrder];
+  if (list.empty()) return std::nullopt;
+  const PhysAddr addr = list.back();
+  list.pop_back();
+  return addr;
+}
+
+void BuddyAllocator::insert_block(int order, PhysAddr addr) {
+  free_lists_[order - kMinOrder].push_back(addr);
+}
+
+bool BuddyAllocator::remove_block(int order, PhysAddr addr) {
+  auto& list = free_lists_[order - kMinOrder];
+  auto it = std::find(list.begin(), list.end(), addr);
+  if (it == list.end()) return false;
+  *it = list.back();
+  list.pop_back();
+  return true;
+}
+
+Result<PhysAddr> BuddyAllocator::alloc_order(int order) {
+  if (order < kMinOrder || order > kMaxOrder) return Errno::einval;
+  // Find the smallest available block at or above the requested order.
+  int have = order;
+  while (have <= kMaxOrder && free_lists_[have - kMinOrder].empty()) ++have;
+  if (have > kMaxOrder) return Errno::enomem;
+
+  PhysAddr addr = *take_block(have);
+  // Split down to the requested order, returning buddies to the lists.
+  while (have > order) {
+    --have;
+    insert_block(have, addr + (std::uint64_t(1) << have));
+  }
+  free_total_ -= std::uint64_t(1) << order;
+  return addr;
+}
+
+Result<PhysAddr> BuddyAllocator::alloc(std::uint64_t bytes) {
+  return alloc_order(order_for(bytes));
+}
+
+void BuddyAllocator::free(PhysAddr addr, int order) {
+  assert(order >= kMinOrder && order <= kMaxOrder);
+  assert(contains(addr));
+  // Only the block being returned adds to the free total; coalesced
+  // buddies were already counted when they were freed.
+  free_total_ += std::uint64_t(1) << order;
+  // Coalesce with the buddy while it is free.
+  while (order < kMaxOrder) {
+    const std::uint64_t block = std::uint64_t(1) << order;
+    const PhysAddr buddy = base_ + (((addr - base_) ^ block));
+    if (!remove_block(order, buddy)) break;
+    addr = std::min(addr, buddy);
+    ++order;
+  }
+  insert_block(order, addr);
+}
+
+PhysMap PhysMap::knl(std::uint64_t mcdram_bytes, std::uint64_t ddr_bytes, int numa_per_kind) {
+  PhysMap map;
+  // MCDRAM domains first (preferred), then DDR; bases spaced far apart so
+  // cross-domain contiguity never occurs by accident.
+  constexpr PhysAddr kDomainStride = 1ull << 40;  // 1 TiB apart
+  PhysAddr base = 0x0000'0001'0000'0000ull;       // skip legacy low memory
+  for (int i = 0; i < numa_per_kind; ++i) {
+    map.add_domain("mcdram" + std::to_string(i), MemKind::mcdram, base,
+                   mcdram_bytes / numa_per_kind);
+    base += kDomainStride;
+  }
+  for (int i = 0; i < numa_per_kind; ++i) {
+    map.add_domain("ddr" + std::to_string(i), MemKind::ddr, base, ddr_bytes / numa_per_kind);
+    base += kDomainStride;
+  }
+  return map;
+}
+
+void PhysMap::add_domain(std::string name, MemKind kind, PhysAddr base, std::uint64_t size) {
+  domains_.push_back(NumaDomain{std::move(name), kind, BuddyAllocator(base, size)});
+}
+
+Result<PhysAddr> PhysMap::alloc(std::uint64_t bytes, MemKind preferred) {
+  // Two passes: preferred kind first (round-robin for balance), then any.
+  for (int pass = 0; pass < 2; ++pass) {
+    for (std::size_t i = 0; i < domains_.size(); ++i) {
+      auto& dom = domains_[(next_preferred_ + i) % domains_.size()];
+      const bool match = (dom.kind == preferred);
+      if (pass == 0 ? !match : match) continue;
+      auto r = dom.allocator.alloc(bytes);
+      if (r.ok()) {
+        if (pass == 0) next_preferred_ = (next_preferred_ + i + 1) % domains_.size();
+        return r;
+      }
+    }
+  }
+  return Errno::enomem;
+}
+
+void PhysMap::free(PhysAddr addr, std::uint64_t bytes) {
+  for (auto& dom : domains_) {
+    if (dom.allocator.contains(addr)) {
+      dom.allocator.free_bytes(addr, bytes);
+      return;
+    }
+  }
+  assert(false && "free of address outside every domain");
+}
+
+std::uint64_t PhysMap::free_bytes(MemKind kind) const {
+  std::uint64_t total = 0;
+  for (const auto& dom : domains_)
+    if (dom.kind == kind) total += dom.allocator.free_bytes_total();
+  return total;
+}
+
+}  // namespace pd::mem

@@ -1,0 +1,79 @@
+// Kernel virtual-address-space layouts (paper §3.1, Figure 3).
+//
+// Three layouts are modeled: Linux x86_64, the original McKernel layout,
+// and the PicoDriver-modified McKernel layout. `check_unification` encodes
+// the three requirements from §3.1 that make cross-kernel pointer
+// dereferencing legal:
+//   1. kernel images (TEXT/DATA/BSS) must not overlap;
+//   2. the physical direct mappings must coincide (same VA → same PA), so
+//      kmalloc'd Linux pointers are valid in McKernel and vice versa;
+//   3. McKernel's image must live where Linux can map it (inside the Linux
+//      module space, reserved via vmap_area), so Linux can call McKernel
+//      callbacks.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/mem/types.hpp"
+
+namespace pd::mem {
+
+/// A named virtual range [start, end).
+struct VaRange {
+  std::string name;
+  VirtAddr start = 0;
+  VirtAddr end = 0;
+
+  std::uint64_t size() const { return end - start; }
+  bool contains(VirtAddr a) const { return a >= start && a < end; }
+  bool contains_range(const VaRange& other) const {
+    return other.start >= start && other.end <= end;
+  }
+  bool overlaps(const VaRange& other) const {
+    return start < other.end && other.start < end;
+  }
+};
+
+/// One kernel's virtual address-space layout.
+struct KernelLayout {
+  std::string kernel_name;
+  VaRange user;        // user space
+  VaRange direct_map;  // direct mapping of all physical memory
+  VaRange valloc;      // vmalloc()/ioremap() dynamic range
+  VaRange image;       // kernel TEXT/DATA/BSS
+  VaRange module_space;  // Linux only (empty for LWKs)
+
+  /// VA of a physical address through the direct map.
+  VirtAddr direct_map_va(PhysAddr pa) const { return direct_map.start + pa; }
+  /// Inverse of direct_map_va; only valid for addresses inside direct_map.
+  PhysAddr direct_map_pa(VirtAddr va) const { return va - direct_map.start; }
+};
+
+/// Linux x86_64 layout (Figure 3, left; 48-bit addressing).
+KernelLayout linux_layout();
+
+/// Original McKernel layout (Figure 3, middle): image at the same VA as
+/// Linux's, own 256 GiB direct map at a different base.
+KernelLayout mckernel_original_layout();
+
+/// PicoDriver McKernel layout (Figure 3, right): image moved to the top of
+/// the Linux module space, direct map aliased onto Linux's.
+KernelLayout mckernel_unified_layout();
+
+/// Outcome of checking the §3.1 requirements for a (Linux, LWK) pair.
+struct UnificationReport {
+  bool images_disjoint = false;       // requirement 1
+  bool direct_maps_coincide = false;  // requirement 2
+  bool lwk_image_mappable = false;    // requirement 3
+  std::vector<std::string> violations;
+
+  bool unified() const {
+    return images_disjoint && direct_maps_coincide && lwk_image_mappable;
+  }
+};
+
+UnificationReport check_unification(const KernelLayout& linux_side, const KernelLayout& lwk);
+
+}  // namespace pd::mem

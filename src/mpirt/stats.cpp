@@ -1,0 +1,45 @@
+#include "src/mpirt/stats.hpp"
+
+#include <algorithm>
+
+namespace pd::mpirt {
+
+void MpiStatsTable::add_rank(const MpiStats& stats) {
+  for (const auto& [name, entry] : stats.calls()) {
+    auto& m = merged_[name];
+    m.total += entry.total;
+    m.count += entry.count;
+    total_mpi_ += entry.total;
+  }
+  total_runtime_ += stats.runtime();
+}
+
+std::vector<MpiStatsRow> MpiStatsTable::rows(std::size_t top) const {
+  std::vector<MpiStatsRow> out;
+  for (const auto& [name, entry] : merged_) {
+    MpiStatsRow row;
+    row.call = name;
+    row.time_ms = to_ms(entry.total);
+    row.count = entry.count;
+    row.pct_mpi = total_mpi_ > 0 ? 100.0 * static_cast<double>(entry.total) /
+                                       static_cast<double>(total_mpi_)
+                                 : 0.0;
+    row.pct_runtime = total_runtime_ > 0 ? 100.0 * static_cast<double>(entry.total) /
+                                               static_cast<double>(total_runtime_)
+                                         : 0.0;
+    out.push_back(std::move(row));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const MpiStatsRow& a, const MpiStatsRow& b) { return a.time_ms > b.time_ms; });
+  if (top != 0 && out.size() > top) out.resize(top);
+  return out;
+}
+
+const MpiStatsRow* MpiStatsTable::row(const std::string& call) const {
+  cache_ = rows(0);
+  for (const auto& r : cache_)
+    if (r.call == call) return &r;
+  return nullptr;
+}
+
+}  // namespace pd::mpirt

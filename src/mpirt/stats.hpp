@@ -1,0 +1,75 @@
+// MPI-call profiling à la Intel MPI's I_MPI_STATS (used for Table 1).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/common/time.hpp"
+
+namespace pd::mpirt {
+
+/// Per-rank accumulator of time spent inside each MPI call.
+class MpiStats {
+ public:
+  void record(const std::string& call, Dur elapsed) {
+    auto& e = calls_[call];
+    e.total += elapsed;
+    ++e.count;
+  }
+
+  void set_runtime(Dur runtime) { runtime_ = runtime; }
+  Dur runtime() const { return runtime_; }
+
+  /// Solve-region bracket (the figure-of-merit window: excludes Init/
+  /// Finalize, as the mini-apps' own FOMs do).
+  void set_solve(Dur solve) { solve_ = solve; }
+  Dur solve() const { return solve_ > 0 ? solve_ : runtime_; }
+
+  Dur total_mpi_time() const {
+    Dur t = 0;
+    for (const auto& [name, e] : calls_) t += e.total;
+    return t;
+  }
+
+  struct Entry {
+    Dur total = 0;
+    std::uint64_t count = 0;
+  };
+  const std::map<std::string, Entry>& calls() const { return calls_; }
+
+ private:
+  std::map<std::string, Entry> calls_;
+  Dur runtime_ = 0;
+  Dur solve_ = 0;
+};
+
+/// Cluster-wide aggregation: Time summed over ranks (the paper's Table 1
+/// convention), %MPI of total MPI time, %Rt of total runtime.
+struct MpiStatsRow {
+  std::string call;        // e.g. "Wait" (MPI_ prefix implied)
+  double time_ms = 0;      // cumulative over all ranks
+  double pct_mpi = 0;
+  double pct_runtime = 0;
+  std::uint64_t count = 0;
+};
+
+class MpiStatsTable {
+ public:
+  void add_rank(const MpiStats& stats);
+
+  /// Rows sorted by descending cumulative time; `top` = 0 for all.
+  std::vector<MpiStatsRow> rows(std::size_t top = 0) const;
+  const MpiStatsRow* row(const std::string& call) const;
+
+  double total_mpi_ms() const { return to_ms(total_mpi_); }
+  double total_runtime_ms() const { return to_ms(total_runtime_); }
+
+ private:
+  std::map<std::string, MpiStats::Entry> merged_;
+  Dur total_mpi_ = 0;
+  Dur total_runtime_ = 0;
+  mutable std::vector<MpiStatsRow> cache_;
+};
+
+}  // namespace pd::mpirt

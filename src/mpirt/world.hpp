@@ -1,0 +1,202 @@
+// A minimal MPI-like runtime over the PSM endpoints, with an intra-node
+// shared-memory transport (as Intel MPI uses on OFP: only inter-node
+// traffic touches the HFI driver and thus the syscall paths the paper is
+// about).
+//
+// All collective algorithms are the textbook ones (dissemination barrier/
+// allreduce, binomial bcast/reduce, pairwise alltoallv, chain scan); what
+// matters for the reproduction is the *message pattern and sizes* they
+// generate, which drive the protocol selection in PSM and from there the
+// per-OS-mode syscall behaviour.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/mpirt/cluster.hpp"
+#include "src/mpirt/stats.hpp"
+#include "src/psm/endpoint.hpp"
+
+namespace pd::mpirt {
+
+struct WorldOptions {
+  int ranks_per_node = 32;
+  std::uint64_t buf_bytes = 4ull << 20;   // per-direction comm buffer
+  std::uint64_t slot_bytes = 256ull << 10;  // rotation grain for small msgs
+};
+
+class MpiWorld;
+
+/// One nonblocking-operation handle.
+struct MpiReqState {
+  bool shm = false;
+  psm::PsmHandle psm;                  // remote transport
+  bool complete = false;               // shm transport
+  std::unique_ptr<sim::Latch> done;    // shm transport
+};
+using MpiReq = std::shared_ptr<MpiReqState>;
+
+class Rank {
+ public:
+  Rank(MpiWorld& world, int id, std::unique_ptr<os::Process> proc,
+       std::unique_ptr<psm::Endpoint> ep);
+  Rank(const Rank&) = delete;
+  Rank& operator=(const Rank&) = delete;
+
+  int id() const { return id_; }
+  int node() const { return proc_->node(); }
+  MpiWorld& world() { return world_; }
+  os::Process& process() { return *proc_; }
+  psm::Endpoint& endpoint() { return *ep_; }
+  MpiStats& stats() { return stats_; }
+  const MpiStats& stats() const { return stats_; }
+
+  /// --- MPI surface (each call records into stats()) -----------------------
+  sim::Task<> init();
+  sim::Task<> finalize();
+
+  MpiReq isend(int dst, int tag, std::uint64_t bytes);
+  MpiReq irecv(int src, int tag, std::uint64_t bytes);
+  sim::Task<> wait(MpiReq req);
+  sim::Task<> waitall(std::vector<MpiReq> reqs);
+  sim::Task<> send(int dst, int tag, std::uint64_t bytes);
+  sim::Task<> recv(int src, int tag, std::uint64_t bytes);
+
+  /// Persistent requests (MPI_Send_init / MPI_Recv_init / MPI_Start):
+  /// UMT2013 uses these, and MPI_Start shows up in its Table-1 profile.
+  /// The handle is re-armed by start(); wait() completes one round.
+  struct Persistent {
+    bool is_send = false;
+    int peer = 0;
+    int tag = 0;
+    std::uint64_t bytes = 0;
+    MpiReq active;  // the in-flight round, null when idle
+  };
+  using MpiPersist = std::shared_ptr<Persistent>;
+
+  MpiPersist send_init(int dst, int tag, std::uint64_t bytes);
+  MpiPersist recv_init(int src, int tag, std::uint64_t bytes);
+  /// MPI_Start: arm one round. Recorded as "Start" (Table 1).
+  void start(const MpiPersist& p);
+  void startall(const std::vector<MpiPersist>& ps);
+  sim::Task<> wait(const MpiPersist& p);
+  sim::Task<> waitall_persist(const std::vector<MpiPersist>& ps);
+
+  sim::Task<> barrier();
+  sim::Task<> allreduce(std::uint64_t bytes);
+  sim::Task<> reduce(int root, std::uint64_t bytes);
+  sim::Task<> bcast(int root, std::uint64_t bytes);
+  sim::Task<> allgather(std::uint64_t bytes_per_rank);
+  /// Pairwise exchange among `members` (every world rank must still call
+  /// this for tag bookkeeping; non-members return immediately).
+  sim::Task<> alltoallv(const std::vector<int>& members, std::uint64_t bytes_per_pair);
+  sim::Task<> scan(std::uint64_t bytes);
+  sim::Task<> cart_create();
+  sim::Task<> comm_create();
+
+  /// Application compute (noise-modelled, not counted as MPI time).
+  sim::Task<> compute(Dur work);
+
+  /// Bracket the solve region (figure-of-merit window).
+  void solve_begin();
+  void solve_end();
+
+ private:
+  friend class MpiWorld;
+
+  MpiReq post_send(int dst, int tag, std::uint64_t bytes);
+  MpiReq post_recv(int src, int tag, std::uint64_t bytes);
+  sim::Task<> await_req(MpiReq req);
+  sim::Task<> sendrecv(int dst, int src, int tag, std::uint64_t bytes);
+
+  sim::Task<> barrier_impl();
+  sim::Task<> dissemination(std::uint64_t bytes_per_round);
+  sim::Task<> allgather_impl(std::uint64_t bytes_per_rank);
+  sim::Task<> bcast_impl(int root, std::uint64_t bytes);
+
+  // Hierarchical collective building blocks (Intel-MPI style: shared
+  // memory within the node, only node leaders on the fabric).
+  int node_leader() const;
+  int local_index() const;
+  os::SyscallProfiler& kernel_profiler() { return proc_->kernel().profiler(); }
+  sim::Task<> intra_reduce_to_leader(std::uint64_t bytes);
+  sim::Task<> intra_release_from_leader(std::uint64_t bytes);
+  sim::Task<> leader_dissemination(std::uint64_t bytes);
+
+  mem::VirtAddr send_slot(std::uint64_t bytes);
+  mem::VirtAddr recv_slot(std::uint64_t bytes);
+  int coll_tag(int round) const;
+
+  MpiWorld& world_;
+  int id_;
+  std::unique_ptr<os::Process> proc_;
+  std::unique_ptr<psm::Endpoint> ep_;
+  MpiStats stats_;
+
+  mem::VirtAddr sendbuf_ = 0;
+  mem::VirtAddr recvbuf_ = 0;
+  std::uint64_t send_slot_idx_ = 0;
+  std::uint64_t recv_slot_idx_ = 0;
+  std::uint32_t coll_seq_ = 0;
+  Time init_start_ = 0;
+  Time solve_start_ = 0;
+};
+
+class MpiWorld {
+ public:
+  MpiWorld(Cluster& cluster, WorldOptions opts = {});
+
+  int size() const { return static_cast<int>(ranks_.size()); }
+  Rank& rank(int r) { return *ranks_.at(static_cast<std::size_t>(r)); }
+  Cluster& cluster() { return cluster_; }
+  const WorldOptions& options() const { return opts_; }
+
+  int node_of(int r) const { return r / opts_.ranks_per_node; }
+  int ctxt_of(int r) const { return r % opts_.ranks_per_node; }
+
+  /// Run the SPMD program: spawn `body` on every rank and drive the engine
+  /// until the cluster is idle. Asserts every rank ran to completion.
+  void run(const std::function<sim::Task<>(Rank&)>& body);
+
+  /// Aggregated Table-1 style statistics over all ranks.
+  MpiStatsTable stats_table() const;
+
+  /// Longest per-rank runtime (the figure-of-merit for weak scaling).
+  Dur max_runtime() const;
+  /// Longest per-rank solve-region time (falls back to runtime when the
+  /// program set no solve bracket).
+  Dur max_solve() const;
+
+ private:
+  friend class Rank;
+
+  // Intra-node shared-memory transport.
+  struct ShmPosted {
+    MpiReq req;
+    int src;
+    int tag;
+  };
+  struct ShmPending {
+    int src;
+    int tag;
+    std::uint64_t bytes;
+  };
+  struct ShmInbox {
+    std::vector<ShmPosted> posted;
+    std::vector<ShmPending> unexpected;
+  };
+
+  void shm_send(int src, int dst, int tag, std::uint64_t bytes);
+  void shm_post(int dst, MpiReq req, int src, int tag);
+  static void shm_complete(MpiReq& req);
+
+  Cluster& cluster_;
+  WorldOptions opts_;
+  std::vector<std::unique_ptr<Rank>> ranks_;
+  std::vector<ShmInbox> inboxes_;
+  int completed_ = 0;
+};
+
+}  // namespace pd::mpirt

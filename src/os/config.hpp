@@ -1,0 +1,106 @@
+// Calibration constants for the simulated software stack.
+//
+// Every cost in the model is a named constant here, so the ablation benches
+// can sweep them and EXPERIMENTS.md can record exactly which knob produces
+// which paper effect. Defaults are chosen to land the *relative* results of
+// the paper (see DESIGN.md §5); they are not claims about absolute KNL
+// timings.
+#pragma once
+
+#include <cstdint>
+
+#include "src/common/time.hpp"
+
+namespace pd::os {
+
+/// Which operating-system configuration a node boots (paper's three bars).
+enum class OsMode {
+  linux,         // plain Linux, HPC-tuned (nohz_full)
+  mckernel,      // IHK/McKernel, all device syscalls offloaded
+  mckernel_hfi,  // IHK/McKernel + HFI PicoDriver fast paths
+};
+
+constexpr const char* to_string(OsMode m) {
+  switch (m) {
+    case OsMode::linux: return "Linux";
+    case OsMode::mckernel: return "McKernel";
+    case OsMode::mckernel_hfi: return "McKernel+HFI1";
+  }
+  return "?";
+}
+
+struct Config {
+  // --- node topology (OFP compute node, paper §4.1) ---------------------
+  int cores_per_node = 68;
+  int app_cores = 64;            // cores handed to the application
+  int linux_service_cpus = 4;    // cores kept for Linux daemons/OS work
+  std::uint64_t mcdram_bytes = 16ull << 30;
+  std::uint64_t ddr_bytes = 96ull << 30;
+  int numa_per_kind = 4;         // SNC-4
+
+  // --- syscall & offload costs ------------------------------------------
+  Dur syscall_entry = from_ns(300);        // Linux native trap in/out
+  Dur lwk_syscall_entry = from_ns(120);    // LWK local syscall in/out
+  Dur offload_oneway = from_us(0.8);       // IKC message latency
+  Dur offload_dispatch = from_ns(600);     // proxy-side demultiplex
+  Dur proxy_min_service = from_ns(800);    // floor for any offloaded service
+  Dur proxy_wakeup_hot = from_us(1.2);     // schedule-in, idle cache-hot proxy
+  Dur proxy_wakeup_cold = from_us(8.0);    // schedule-in under full contention
+  // Driver work run by the proxy is slower than the same code run natively:
+  // cross-CPU cache traffic, cold TLBs, and a loaded service core. The
+  // paper's UMT/HACC collapse requires this factor; see the
+  // bench_ablation_offload_* sweeps.
+  double offload_service_multiplier = 4.0;
+  // Under contention every additional runnable proxy degrades service:
+  // runqueue management, cache/TLB thrash, IPI storms. Charged per waiting
+  // proxy at dispatch time; this is what turns "busy" into "collapsed"
+  // (UMT2013, Fig. 6a).
+  Dur sched_thrash_per_waiter = from_us(1.5);
+  int sched_thrash_cap_waiters = 20;  // degradation saturates beyond this
+
+  // --- driver fast-path work --------------------------------------------
+  Dur gup_per_page = from_ns(60);         // get_user_pages, per 4 KiB page
+  Dur ptw_per_page = from_ns(18);          // LWK page-table walk, per page
+  Dur sdma_submit_per_desc = from_ns(90); // build + ring-write one descriptor
+  Dur sdma_submit_base = from_ns(350);     // engine reserve + request setup
+  Dur tid_program_per_entry = from_ns(120);// RcvArray programming, per entry
+  Dur tid_program_base = from_ns(400);
+  Dur irq_handler = from_us(1.1);          // SDMA completion IRQ + callbacks
+  Dur driver_open_cost = from_us(25);      // context setup in open()
+  Dur driver_mmap_cost = from_us(6);       // CSR/device mapping setup
+  Dur driver_poll_cost = from_ns(700);
+
+  // --- PicoDriver-side costs --------------------------------------------
+  Dur pico_bind_cost = from_us(150);       // per-rank kernel-mapping setup
+  Dur pico_lock_acquire = from_ns(60);     // shared spin-lock hand-off
+
+  // --- memory management ------------------------------------------------
+  Dur mmap_base_cost = from_us(1.2);
+  Dur linux_mmap_per_page = from_ns(90);
+  Dur lwk_mmap_per_page = from_ns(60);     // large pages amortize
+  Dur linux_munmap_per_page = from_ns(70);
+  Dur lwk_munmap_per_page = from_ns(210);  // the §4.3 shortcoming (Fig. 9)
+  double memcpy_bytes_per_sec = 5.0e9;     // single KNL core copy bandwidth
+
+  // --- OS noise (nohz_full Linux vs noise-free LWK) ----------------------
+  double linux_noise_duty = 0.002;         // steady background steal (nohz_full)
+  Dur linux_daemon_period = from_ms(50);   // mean gap between daemon spikes
+  Dur linux_daemon_cost = from_us(10);     // mean spike length (tuned kernel)
+  double lwk_noise_duty = 0.0;
+
+  // --- PSM / protocol knobs ----------------------------------------------
+  std::uint64_t pio_threshold = 8192;        // <= : PIO from user space
+  std::uint64_t sdma_threshold = 65536;      // <= : eager SDMA; > : expected
+  std::uint64_t expected_window = 131072;    // bytes per TID window / request
+  int expected_concurrency = 2;              // windows in flight per message
+  Dur psm_progress_poll = from_ns(150);      // one progress-loop iteration
+  Dur psm_matching_cost = from_ns(250);      // MQ tag match per message
+  Dur pio_send_overhead = from_ns(450);      // PIO doorbell + header build
+  Dur psm_wait_sleep = from_ns(400);         // kernel visit inside MPI_Wait
+
+  // --- hardware ----------------------------------------------------------
+  std::uint64_t linux_sdma_desc_bytes = 4096;   // PAGE_SIZE cap (paper §3.4)
+  std::uint64_t pico_sdma_desc_bytes = 10240;   // hardware max exploited
+};
+
+}  // namespace pd::os

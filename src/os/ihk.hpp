@@ -1,0 +1,48 @@
+// IHK: resource partitioning and the inter-kernel communication (IKC)
+// system-call delegation path (paper §2.1).
+//
+// An offloaded syscall travels: LWK core → IKC message → proxy-process
+// wakeup on a Linux service CPU → Linux-side service (the real driver code)
+// → IKC reply → LWK core resumes. The service CPUs are a shared FIFO pool,
+// so with 32–64 ranks per node and only 4 service CPUs the queueing delay —
+// not the raw IKC latency — dominates, which is exactly the effect the
+// paper measures on UMT2013/HACC/QBOX.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "src/common/status.hpp"
+#include "src/os/kernel.hpp"
+
+namespace pd::os {
+
+class Ihk {
+ public:
+  Ihk(sim::Engine& engine, const Config& cfg, LinuxKernel& linux_kernel)
+      : engine_(engine), cfg_(cfg), linux_(linux_kernel) {}
+
+  /// Delegate one syscall to Linux. `service` runs on a Linux service CPU
+  /// (the proxy process context) and typically invokes a CharDevice op.
+  sim::Task<Result<long>> offload(std::function<sim::Task<Result<long>>()> service);
+
+  LinuxKernel& linux_kernel() { return linux_; }
+
+  std::uint64_t offload_count() const { return offload_count_; }
+  /// Mean time an offload spent queued for a service CPU (µs).
+  double mean_queueing_us() const {
+    return offload_count_ == 0
+               ? 0.0
+               : to_us(queueing_total_) / static_cast<double>(offload_count_);
+  }
+
+ private:
+  sim::Engine& engine_;
+  const Config& cfg_;
+  LinuxKernel& linux_;
+  std::uint64_t offload_count_ = 0;
+  Dur queueing_total_ = 0;
+};
+
+}  // namespace pd::os

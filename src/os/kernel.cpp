@@ -1,0 +1,99 @@
+#include "src/os/kernel.hpp"
+
+#include <cassert>
+
+#include "src/common/log.hpp"
+
+namespace pd::os {
+
+Kernel::Kernel(sim::Engine& engine, const Config& cfg, std::string name,
+               mem::KernelLayout layout, double noise_duty, Dur daemon_period, Dur daemon_cost)
+    : engine_(engine),
+      cfg_(cfg),
+      name_(std::move(name)),
+      layout_(std::move(layout)),
+      noise_duty_(noise_duty),
+      daemon_period_(daemon_period),
+      daemon_cost_(daemon_cost) {}
+
+Dur Kernel::noisy_duration(Dur work, Rng& rng) const {
+  double total = static_cast<double>(work) * (1.0 + noise_duty_);
+  if (daemon_period_ > 0 && daemon_cost_ > 0 && work > 0) {
+    // Poisson-ish daemon arrivals across the compute span: expected count
+    // work/period, each spike exponentially distributed around its mean.
+    const double expected = static_cast<double>(work) / static_cast<double>(daemon_period_);
+    int spikes = static_cast<int>(expected);
+    if (rng.next_double() < expected - static_cast<double>(spikes)) ++spikes;
+    for (int i = 0; i < spikes; ++i)
+      total += rng.exponential(static_cast<double>(daemon_cost_));
+  }
+  return static_cast<Dur>(total);
+}
+
+sim::Task<> Kernel::compute(Dur work, Rng& rng) {
+  co_await engine_.delay(noisy_duration(work, rng));
+}
+
+LinuxKernel::LinuxKernel(sim::Engine& engine, const Config& cfg)
+    : Kernel(engine, cfg, "linux", mem::linux_layout(), cfg.linux_noise_duty,
+             cfg.linux_daemon_period, cfg.linux_daemon_cost) {
+  service_cpus_ = std::make_unique<sim::Resource>(
+      engine, static_cast<std::size_t>(cfg.linux_service_cpus));
+  // Linux owns the service CPUs (ids 0 .. linux_service_cpus-1).
+  std::vector<int> cpus;
+  for (int i = 0; i < cfg.linux_service_cpus; ++i) cpus.push_back(i);
+  kheap_ = std::make_unique<mem::KernelHeap>(std::move(cpus),
+                                             mem::ForeignFreePolicy::remote_queue,
+                                             /*heap_base=*/0x0000'00F8'0000'0000ull);
+}
+
+void LinuxKernel::register_device(CharDevice& dev) { devices_[dev.dev_name()] = &dev; }
+
+CharDevice* LinuxKernel::device(const std::string& name) {
+  auto it = devices_.find(name);
+  return it == devices_.end() ? nullptr : it->second;
+}
+
+Status LinuxKernel::reserve_vmap_area(const mem::VaRange& range) {
+  // vmap_area reservations must fall inside the module space and must not
+  // collide with existing reservations.
+  if (!layout().module_space.contains_range(range)) return Errno::einval;
+  for (const auto& r : vmap_reservations_)
+    if (r.overlaps(range)) return Errno::eexist;
+  vmap_reservations_.push_back(range);
+  return Status::success();
+}
+
+bool LinuxKernel::text_visible(mem::VirtAddr text) const {
+  if (layout().image.contains(text)) return true;
+  for (const auto& r : vmap_reservations_)
+    if (r.contains(text)) return true;
+  return false;
+}
+
+Status LinuxKernel::invoke(const KernelCallback& cb) {
+  if (!text_visible(cb.text)) {
+    ++callback_faults_;
+    PD_LOG(error) << "linux: callback text 0x" << std::hex << cb.text
+                  << " not mapped — would fault";
+    return Errno::efault;
+  }
+  if (cb.fn) cb.fn();
+  return Status::success();
+}
+
+void LinuxKernel::raise_irq(std::vector<KernelCallback> callbacks) {
+  sim::spawn(engine_, irq_task(std::move(callbacks)));
+}
+
+sim::Task<> LinuxKernel::irq_task(std::vector<KernelCallback> callbacks) {
+  // Device interrupts are serviced by the Linux service CPUs (McKernel
+  // never fields them, paper §3.3).
+  co_await service_cpus_->acquire();
+  co_await engine_.delay(config().irq_handler);
+  ++irqs_handled_;
+  for (const auto& cb : callbacks) (void)invoke(cb);
+  service_cpus_->release();
+}
+
+}  // namespace pd::os

@@ -1,0 +1,37 @@
+#include "src/os/mckernel.hpp"
+
+namespace pd::os {
+
+McKernel::McKernel(sim::Engine& engine, const Config& cfg, Ihk& ihk, bool unified_layout)
+    : Kernel(engine, cfg, "mckernel",
+             unified_layout ? mem::mckernel_unified_layout() : mem::mckernel_original_layout(),
+             cfg.lwk_noise_duty, /*daemon_period=*/0, /*daemon_cost=*/0),
+      ihk_(ihk),
+      unified_(unified_layout) {
+  // IHK hands the LWK the app cores: [service_cpus, cores_per_node).
+  for (int c = cfg.linux_service_cpus; c < cfg.cores_per_node; ++c) cpus_.push_back(c);
+  kheap_ = std::make_unique<mem::KernelHeap>(
+      cpus_,
+      // The remote-free queue only exists with the PicoDriver extension
+      // (which requires the unified layout); the original allocator fails
+      // on foreign CPUs.
+      unified_ ? mem::ForeignFreePolicy::remote_queue : mem::ForeignFreePolicy::fail,
+      /*heap_base=*/0x0000'00F0'0000'0000ull);
+}
+
+void McKernel::register_fastpath(CharDevice& dev, FastPathOps ops) {
+  fastpaths_[&dev] = std::move(ops);
+}
+
+const FastPathOps* McKernel::fastpath(const CharDevice& dev) const {
+  auto it = fastpaths_.find(&dev);
+  return it == fastpaths_.end() ? nullptr : &it->second;
+}
+
+std::size_t McKernel::drain_remote_frees() {
+  std::size_t total = 0;
+  for (int cpu : cpus_) total += kheap_->drain_remote_frees(cpu);
+  return total;
+}
+
+}  // namespace pd::os

@@ -1,0 +1,115 @@
+#include "src/os/partition.hpp"
+
+#include <algorithm>
+
+namespace pd::os {
+
+HostInventory::HostInventory(int total_cpus, std::uint64_t total_memory)
+    : total_cpus_(total_cpus), total_memory_(total_memory) {}
+
+int HostInventory::online_cpus() const {
+  return total_cpus_ - static_cast<int>(reserved_cpus_.size());
+}
+
+bool HostInventory::cpu_online(int cpu) const {
+  return cpu >= 0 && cpu < total_cpus_ && reserved_cpus_.count(cpu) == 0;
+}
+
+Result<std::vector<int>> HostInventory::reserve_cpus(int count) {
+  if (count <= 0) return Errno::einval;
+  if (count > online_cpus()) return Errno::ebusy;
+  std::vector<int> taken;
+  taken.reserve(static_cast<std::size_t>(count));
+  for (int cpu = total_cpus_ - 1; cpu >= 0 && static_cast<int>(taken.size()) < count; --cpu) {
+    if (reserved_cpus_.count(cpu) == 0) taken.push_back(cpu);
+  }
+  for (int cpu : taken) reserved_cpus_.insert(cpu);
+  std::sort(taken.begin(), taken.end());
+  return taken;
+}
+
+Status HostInventory::reserve_cpus_exact(const std::vector<int>& cpus) {
+  for (int cpu : cpus) {
+    if (cpu < 0 || cpu >= total_cpus_) return Errno::einval;
+    if (reserved_cpus_.count(cpu) != 0) return Errno::ebusy;
+  }
+  for (int cpu : cpus) reserved_cpus_.insert(cpu);
+  return Status::success();
+}
+
+void HostInventory::release_cpus(const std::vector<int>& cpus) {
+  for (int cpu : cpus) reserved_cpus_.erase(cpu);
+}
+
+Result<std::uint64_t> HostInventory::reserve_memory(std::uint64_t bytes) {
+  if (bytes == 0) return Errno::einval;
+  if (bytes > free_memory()) return Errno::enomem;
+  reserved_memory_ += bytes;
+  return bytes;
+}
+
+void HostInventory::release_memory(std::uint64_t bytes) {
+  reserved_memory_ -= std::min(bytes, reserved_memory_);
+}
+
+IhkPartition::IhkPartition(HostInventory& host, std::vector<int> cpus, std::uint64_t memory)
+    : host_(&host), cpus_(std::move(cpus)), memory_(memory) {}
+
+IhkPartition::IhkPartition(IhkPartition&& other) noexcept
+    : host_(other.host_),
+      cpus_(std::move(other.cpus_)),
+      memory_(other.memory_),
+      booted_(other.booted_) {
+  other.host_ = nullptr;
+  other.memory_ = 0;
+  other.booted_ = false;
+}
+
+Result<IhkPartition> IhkPartition::create(HostInventory& host, int cpus, std::uint64_t memory) {
+  auto cpu_set = host.reserve_cpus(cpus);
+  if (!cpu_set.ok()) return cpu_set.error();
+  auto mem = host.reserve_memory(memory);
+  if (!mem.ok()) {
+    host.release_cpus(*cpu_set);
+    return mem.error();
+  }
+  return IhkPartition(host, std::move(*cpu_set), memory);
+}
+
+IhkPartition::~IhkPartition() {
+  if (host_ == nullptr) return;
+  host_->release_cpus(cpus_);
+  host_->release_memory(memory_);
+}
+
+Status IhkPartition::boot() {
+  if (booted_) return Errno::ebusy;
+  if (cpus_.empty()) return Errno::einval;
+  booted_ = true;
+  return Status::success();
+}
+
+Status IhkPartition::shutdown() {
+  if (!booted_) return Errno::einval;
+  booted_ = false;
+  return Status::success();
+}
+
+Status IhkPartition::grow_cpus(int extra) {
+  auto more = host_->reserve_cpus(extra);
+  if (!more.ok()) return more.error();
+  cpus_.insert(cpus_.end(), more->begin(), more->end());
+  std::sort(cpus_.begin(), cpus_.end());
+  return Status::success();
+}
+
+Status IhkPartition::shrink_cpus(int count) {
+  if (booted_) return Errno::ebusy;
+  if (count <= 0 || count >= static_cast<int>(cpus_.size())) return Errno::einval;
+  std::vector<int> give_back(cpus_.end() - count, cpus_.end());
+  cpus_.resize(cpus_.size() - static_cast<std::size_t>(count));
+  host_->release_cpus(give_back);
+  return Status::success();
+}
+
+}  // namespace pd::os

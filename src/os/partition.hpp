@@ -1,0 +1,89 @@
+// IHK resource partitioning (paper §2.1).
+//
+// "IHK is capable of allocating and releasing host resources dynamically
+// and no reboot of the host machine is required when altering
+// configuration." This module models that contract per node: a
+// HostInventory tracks which CPUs are online under Linux and which memory
+// is owned by whom; an IhkPartition is one LWK instance's reservation,
+// created and torn down at runtime. Reserved CPUs are offlined from Linux
+// (they become invisible there, §3.1), reserved memory leaves the Linux
+// allocator.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/common/status.hpp"
+
+namespace pd::os {
+
+/// Per-node inventory of CPUs and physical memory available to IHK.
+class HostInventory {
+ public:
+  HostInventory(int total_cpus, std::uint64_t total_memory);
+
+  int total_cpus() const { return total_cpus_; }
+  std::uint64_t total_memory() const { return total_memory_; }
+  int online_cpus() const;  // CPUs currently visible to Linux
+  std::uint64_t free_memory() const { return total_memory_ - reserved_memory_; }
+  bool cpu_online(int cpu) const;
+
+  /// Reserve `count` CPUs (highest-numbered first, like IHK's default
+  /// policy of leaving low CPUs — where IRQs and daemons live — to Linux).
+  Result<std::vector<int>> reserve_cpus(int count);
+  /// Reserve a specific CPU set; EBUSY if any is already reserved.
+  Status reserve_cpus_exact(const std::vector<int>& cpus);
+  void release_cpus(const std::vector<int>& cpus);
+
+  Result<std::uint64_t> reserve_memory(std::uint64_t bytes);
+  void release_memory(std::uint64_t bytes);
+
+ private:
+  int total_cpus_;
+  std::uint64_t total_memory_;
+  std::uint64_t reserved_memory_ = 0;
+  std::set<int> reserved_cpus_;
+};
+
+/// One LWK instance's reservation: RAII over the inventory. Models the
+/// `ihk_reserve/ihk_create/ihk_destroy` lifecycle: resources return to
+/// Linux at destruction — no reboot anywhere.
+class IhkPartition {
+ public:
+  /// Reserve `cpus` CPUs and `memory` bytes. Fails without touching the
+  /// inventory when either reservation cannot be satisfied.
+  static Result<IhkPartition> create(HostInventory& host, int cpus, std::uint64_t memory);
+
+  IhkPartition(IhkPartition&& other) noexcept;
+  IhkPartition& operator=(IhkPartition&&) = delete;
+  IhkPartition(const IhkPartition&) = delete;
+  IhkPartition& operator=(const IhkPartition&) = delete;
+  ~IhkPartition();
+
+  const std::vector<int>& cpus() const { return cpus_; }
+  std::uint64_t memory() const { return memory_; }
+  bool booted() const { return booted_; }
+
+  /// Boot/shutdown bookkeeping for the LWK image in this partition.
+  Status boot();
+  Status shutdown();
+
+  /// Grow the partition by `extra` CPUs at runtime (the dynamic
+  /// reconfiguration IHK advertises).
+  Status grow_cpus(int extra);
+  /// Shrink: return `count` CPUs to Linux. EBUSY while booted (the LWK
+  /// scheduler owns them), EINVAL when fewer are held.
+  Status shrink_cpus(int count);
+
+ private:
+  IhkPartition(HostInventory& host, std::vector<int> cpus, std::uint64_t memory);
+
+  HostInventory* host_;
+  std::vector<int> cpus_;
+  std::uint64_t memory_ = 0;
+  bool booted_ = false;
+};
+
+}  // namespace pd::os

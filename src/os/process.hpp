@@ -1,0 +1,80 @@
+// A simulated OS process (one MPI rank): syscall surface + address space.
+//
+// The same Process type runs on either kernel; the syscall wrappers encode
+// the paper's three execution paths per call:
+//   * Linux process  — native trap, driver runs on the caller's core;
+//   * McKernel       — device calls offloaded through IHK to a proxy on a
+//                      Linux service CPU;
+//   * McKernel + HFI — writev and TID ioctls take the registered PicoDriver
+//                      fast path locally; everything else still offloads.
+// Every call records its in-kernel time into the owning kernel's profiler
+// (Figures 8/9 come straight from those counters).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.hpp"
+#include "src/common/status.hpp"
+#include "src/mem/address_space.hpp"
+#include "src/os/mckernel.hpp"
+
+namespace pd::os {
+
+class Process {
+ public:
+  /// Linux-native process.
+  Process(LinuxKernel& kernel, mem::PhysMap& phys, int node, int ctxt, std::uint64_t seed);
+  /// McKernel process (its proxy lives in `kernel.ihk().linux_kernel()`).
+  Process(McKernel& kernel, mem::PhysMap& phys, int node, int ctxt, std::uint64_t seed);
+
+  Process(const Process&) = delete;
+  Process& operator=(const Process&) = delete;
+
+  bool on_lwk() const { return mck_ != nullptr; }
+  Kernel& kernel() { return on_lwk() ? static_cast<Kernel&>(*mck_) : *linux_; }
+  LinuxKernel& linux_kernel() { return on_lwk() ? mck_->ihk().linux_kernel() : *linux_; }
+  McKernel* mckernel() { return mck_; }
+
+  mem::AddressSpace& as() { return *as_; }
+  int node() const { return node_; }
+  int ctxt() const { return ctxt_; }
+  Rng& rng() { return rng_; }
+
+  /// --- syscalls -----------------------------------------------------------
+  sim::Task<Result<int>> open(const std::string& dev_name);
+  sim::Task<Result<long>> writev(int fd, std::vector<IoVec> iov);
+  sim::Task<Result<long>> ioctl(int fd, unsigned long cmd, void* arg);
+  sim::Task<Result<long>> poll_fd(int fd);
+  sim::Task<Result<long>> read_fd(int fd, std::uint64_t len);
+  sim::Task<Result<long>> lseek(int fd, long offset, int whence);
+  sim::Task<Result<mem::VirtAddr>> mmap_dev(int fd, std::uint64_t len, std::uint64_t offset);
+  sim::Task<Result<mem::VirtAddr>> mmap_anon(std::uint64_t len);
+  sim::Task<Result<long>> munmap(mem::VirtAddr addr, std::uint64_t len);
+  sim::Task<Result<long>> close_fd(int fd);
+  sim::Task<> nanosleep(Dur d);
+
+  /// Application compute (subject to the kernel's OS-noise model).
+  sim::Task<> compute(Dur work);
+
+  OpenFile* file(int fd);
+
+ private:
+  sim::Engine& engine() { return kernel().engine(); }
+  const Config& cfg() const { return linux_ != nullptr ? linux_->config() : mck_->config(); }
+  void account(const char* name, Time start);
+
+  LinuxKernel* linux_ = nullptr;
+  McKernel* mck_ = nullptr;
+  std::unique_ptr<mem::AddressSpace> as_;
+  int node_;
+  int ctxt_;
+  Rng rng_;
+  std::map<int, OpenFile> files_;
+  int next_fd_ = 3;
+};
+
+}  // namespace pd::os

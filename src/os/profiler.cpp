@@ -1,0 +1,45 @@
+#include "src/os/profiler.hpp"
+
+#include <algorithm>
+
+namespace pd::os {
+
+std::vector<SyscallProfiler::Row> SyscallProfiler::rows(std::size_t top) const {
+  std::vector<Row> out;
+  const double total_us = to_us(total_);
+  for (const auto& [name, stats] : calls_) {
+    Row row;
+    row.name = name;
+    row.total_us = stats.sum();
+    row.count = stats.count();
+    row.share = total_us > 0 ? stats.sum() / total_us : 0.0;
+    out.push_back(std::move(row));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Row& a, const Row& b) { return a.total_us > b.total_us; });
+  if (top != 0 && out.size() > top) out.resize(top);
+  return out;
+}
+
+double SyscallProfiler::share_of(const std::string& name) const {
+  auto it = calls_.find(name);
+  if (it == calls_.end() || total_ == 0) return 0.0;
+  return it->second.sum() / to_us(total_);
+}
+
+double SyscallProfiler::total_us_of(const std::string& name) const {
+  auto it = calls_.find(name);
+  return it == calls_.end() ? 0.0 : it->second.sum();
+}
+
+std::uint64_t SyscallProfiler::count_of(const std::string& name) const {
+  auto it = calls_.find(name);
+  return it == calls_.end() ? 0 : it->second.count();
+}
+
+void SyscallProfiler::merge(const SyscallProfiler& other) {
+  for (const auto& [name, stats] : other.calls_) calls_[name].merge(stats);
+  total_ += other.total_;
+}
+
+}  // namespace pd::os

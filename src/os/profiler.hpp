@@ -1,0 +1,51 @@
+// In-kernel syscall profiler (the paper's "in-house kernel profiler",
+// §4.3) and generic named-cost accounting used for Figures 8 and 9.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/common/stats.hpp"
+#include "src/common/time.hpp"
+
+namespace pd::os {
+
+class SyscallProfiler {
+ public:
+  void record(const std::string& name, Dur kernel_time) {
+    auto& entry = calls_[name];
+    entry.add(to_us(kernel_time));
+    total_ += kernel_time;
+  }
+
+  Dur total_kernel_time() const { return total_; }
+  std::size_t distinct_calls() const { return calls_.size(); }
+
+  struct Row {
+    std::string name;
+    double total_us = 0;
+    std::size_t count = 0;
+    double share = 0;  // of total kernel time
+  };
+
+  /// Rows sorted by descending total time; `top` = 0 returns all.
+  std::vector<Row> rows(std::size_t top = 0) const;
+
+  double share_of(const std::string& name) const;
+  double total_us_of(const std::string& name) const;
+  std::uint64_t count_of(const std::string& name) const;
+
+  void merge(const SyscallProfiler& other);
+  void clear() {
+    calls_.clear();
+    total_ = 0;
+  }
+
+ private:
+  std::map<std::string, RunningStats> calls_;
+  Dur total_ = 0;
+};
+
+}  // namespace pd::os

@@ -1,0 +1,59 @@
+// Character-device / VFS vocabulary.
+//
+// The Linux kernel model exposes device files through `CharDevice`, whose
+// operations mirror the file_operations the real HFI1 driver registers
+// (open, writev, ioctl, poll, mmap, read, close — paper §2.2.2). Operations
+// are coroutines: they consume simulated CPU time via engine delays and may
+// block on hardware state (ring backpressure).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "src/common/status.hpp"
+#include "src/mem/types.hpp"
+#include "src/sim/task.hpp"
+
+namespace pd::os {
+
+class Process;
+class CharDevice;
+
+/// One user I/O vector (as passed to writev).
+struct IoVec {
+  mem::VirtAddr base = 0;
+  std::uint64_t len = 0;
+};
+
+/// Per-open state (the struct file of the model).
+struct OpenFile {
+  int fd = -1;
+  Process* proc = nullptr;
+  CharDevice* dev = nullptr;
+  void* driver_ctx = nullptr;  // driver-private (freed by driver close())
+  int ctxt = -1;               // hardware receive context bound at open()
+};
+
+/// Device-file operations. All methods execute "in kernel mode" on the
+/// calling CPU's timeline; callers account syscall entry/exit around them.
+class CharDevice {
+ public:
+  virtual ~CharDevice() = default;
+
+  virtual std::string dev_name() const = 0;
+
+  virtual sim::Task<Result<long>> open(OpenFile& f) = 0;
+  virtual sim::Task<Result<long>> writev(OpenFile& f, std::span<const IoVec> iov) = 0;
+  virtual sim::Task<Result<long>> ioctl(OpenFile& f, unsigned long cmd, void* arg) = 0;
+  virtual sim::Task<Result<long>> poll(OpenFile& f) = 0;
+  /// Returns the device-physical address to map (the caller installs it in
+  /// the process address space).
+  virtual sim::Task<Result<mem::PhysAddr>> mmap(OpenFile& f, std::uint64_t len,
+                                                std::uint64_t offset) = 0;
+  virtual sim::Task<Result<long>> read(OpenFile& f, std::uint64_t len) = 0;
+  virtual sim::Task<Result<long>> lseek(OpenFile& f, long offset, int whence) = 0;
+  virtual sim::Task<Result<long>> close(OpenFile& f) = 0;
+};
+
+}  // namespace pd::os

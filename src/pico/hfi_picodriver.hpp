@@ -1,0 +1,80 @@
+// The HFI PicoDriver: LWK fast paths for SDMA send (writev) and expected-
+// receive registration (the three TID ioctls) — the < 3 K SLOC the paper
+// ports, everything else stays on the offload path.
+//
+// The fast paths differ from the Linux driver's in exactly the §3.4 ways:
+//   * no get_user_pages: LWK anonymous memory is pinned at mmap time, so
+//     the driver walks page tables directly (cheaper per page);
+//   * descriptors up to the hardware's 10 KiB, built from physically
+//     contiguous extents (large pages make those common on the LWK);
+//   * completion metadata lives in the *McKernel* heap; the completion
+//     callback is a duplicated copy in LWK TEXT whose deallocation routine
+//     is McKernel's (§3.3) — it runs on a Linux CPU and routes the free
+//     through the remote-free queue.
+//
+// All driver state it touches (sdma_engine/sdma_state images, filedata,
+// ctxtdata) is read and written through DWARF-extracted offsets only.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "src/hfi/driver.hpp"
+#include "src/pico/framework.hpp"
+
+namespace pd::pico {
+
+class HfiPicoDriver {
+ public:
+  /// Bind against the driver's shipped module and install the fast paths
+  /// into the LWK. Fails (forwarding PicoBinding::bind errors) when the
+  /// LWK booted with the original VA layout, on lock-ABI mismatch, or when
+  /// the module's debug info lacks a required structure.
+  static Result<std::unique_ptr<HfiPicoDriver>> create(os::McKernel& mck,
+                                                       hfi::HfiDriver& driver);
+
+  const PicoBinding& binding() const { return binding_; }
+  hfi::HfiDriver& driver() { return driver_; }
+
+  /// Per-rank initialization cost (kernel-level mapping setup); PSM calls
+  /// this from its init path — the extra MPI_Init time in Table 1.
+  sim::Task<> rank_init();
+
+  /// --- fast paths (installed via McKernel::register_fastpath) ------------
+  sim::Task<Result<long>> fast_writev(os::OpenFile& f, std::span<const os::IoVec> iov);
+  sim::Task<Result<long>> fast_ioctl(os::OpenFile& f, unsigned long cmd, void* arg);
+
+  /// --- instrumentation ----------------------------------------------------
+  std::uint64_t fast_writevs() const { return fast_writevs_; }
+  std::uint64_t fast_tid_updates() const { return fast_tid_updates_; }
+  std::uint64_t fast_tid_frees() const { return fast_tid_frees_; }
+  std::uint64_t fallbacks() const { return fallbacks_; }
+  std::uint64_t remote_frees_drained() const { return drained_total_; }
+
+ private:
+  HfiPicoDriver(PicoBinding binding, os::McKernel& mck, hfi::HfiDriver& driver);
+
+  /// Read the engine's current sdma_state through extracted offsets.
+  hfi::SdmaStates engine_state(int engine_id) const;
+  int lwk_cpu_for(const os::Process& proc) const;
+
+  PicoBinding binding_;
+  os::McKernel& mck_;
+  hfi::HfiDriver& driver_;
+
+  dwarf::FieldAccessor<std::uint32_t> eng_this_idx_;
+  dwarf::FieldAccessor<std::uint64_t> eng_descq_submitted_;
+  std::uint64_t state_offset_in_engine_ = 0;   // sdma_engine.state
+  dwarf::FieldAccessor<std::uint32_t> state_current_;
+  dwarf::FieldAccessor<std::uint32_t> fd_engine_idx_;
+  dwarf::FieldAccessor<std::uint64_t> fd_tid_used_;
+  dwarf::FieldAccessor<std::uint32_t> cd_expected_count_;
+
+  std::uint64_t fast_writevs_ = 0;
+  std::uint64_t fast_tid_updates_ = 0;
+  std::uint64_t fast_tid_frees_ = 0;
+  std::uint64_t fallbacks_ = 0;
+  std::uint64_t drained_total_ = 0;
+};
+
+}  // namespace pd::pico

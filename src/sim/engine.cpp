@@ -1,0 +1,46 @@
+#include "src/sim/engine.hpp"
+
+#include <cassert>
+
+namespace pd::sim {
+
+void Engine::schedule_at(Time t, std::function<void()> fn) {
+  assert(t >= now_ && "cannot schedule into the simulated past");
+  queue_.push(Event{t, next_seq_++, std::move(fn)});
+}
+
+void Engine::schedule_resume(Dur d, std::coroutine_handle<> h) {
+  assert(d >= 0);
+  schedule_at(now_ + d, [h] { h.resume(); });
+}
+
+bool Engine::step() {
+  if (queue_.empty()) return false;
+  // priority_queue::top is const; the function object must be moved out
+  // before pop, hence the const_cast-free copy of the two scalars plus a
+  // move of the callable via a local.
+  Event ev = std::move(const_cast<Event&>(queue_.top()));
+  queue_.pop();
+  now_ = ev.t;
+  ++events_processed_;
+  ev.fn();
+  return true;
+}
+
+std::uint64_t Engine::run() {
+  std::uint64_t n = 0;
+  while (step()) ++n;
+  return n;
+}
+
+std::uint64_t Engine::run_until(Time deadline) {
+  std::uint64_t n = 0;
+  while (!queue_.empty() && queue_.top().t <= deadline) {
+    step();
+    ++n;
+  }
+  if (now_ < deadline && queue_.empty()) now_ = deadline;
+  return n;
+}
+
+}  // namespace pd::sim

@@ -1,0 +1,89 @@
+// Discrete-event simulation engine.
+//
+// The whole cluster model runs single-threaded on one `Engine`: an event is
+// a (time, sequence, callback) triple in a binary heap; ties break in
+// insertion order so the simulation is deterministic. Simulated entities are
+// written as C++20 coroutines (`Task<T>`, see task.hpp) that `co_await`
+// delays and synchronization primitives; the engine resumes them from the
+// event loop.
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "src/common/time.hpp"
+
+namespace pd::sim {
+
+class Engine {
+ public:
+  Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Current simulated time.
+  Time now() const { return now_; }
+
+  /// Run `fn` at absolute simulated time `t` (>= now, asserted).
+  void schedule_at(Time t, std::function<void()> fn);
+
+  /// Run `fn` after `d` picoseconds of simulated time.
+  void schedule_after(Dur d, std::function<void()> fn) { schedule_at(now_ + d, std::move(fn)); }
+
+  /// Resume a suspended coroutine after `d` (used by awaitables).
+  void schedule_resume(Dur d, std::coroutine_handle<> h);
+
+  /// Awaitable: `co_await engine.delay(10_us);`
+  struct DelayAwaiter {
+    Engine& engine;
+    Dur d;
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> h) { engine.schedule_resume(d, h); }
+    void await_resume() const noexcept {}
+  };
+  DelayAwaiter delay(Dur d) { return DelayAwaiter{*this, d}; }
+
+  /// Awaitable that reschedules the coroutine at the current time, behind
+  /// everything already queued for `now()` — a cooperative yield.
+  DelayAwaiter yield() { return DelayAwaiter{*this, 0}; }
+
+  /// Process events until the queue drains. Returns the number processed.
+  std::uint64_t run();
+
+  /// Process events until the queue drains or `deadline` is passed.
+  std::uint64_t run_until(Time deadline);
+
+  /// Pop and execute a single event. False when the queue is empty.
+  bool step();
+
+  bool idle() const { return queue_.empty(); }
+  std::uint64_t events_processed() const { return events_processed_; }
+
+  /// Detached-task bookkeeping (see Task::detach / spawn in task.hpp).
+  void note_task_spawned() { ++live_tasks_; }
+  void note_task_done() { --live_tasks_; }
+  std::int64_t live_tasks() const { return live_tasks_; }
+
+ private:
+  struct Event {
+    Time t;
+    std::uint64_t seq;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      return a.t != b.t ? a.t > b.t : a.seq > b.seq;
+    }
+  };
+
+  Time now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t events_processed_ = 0;
+  std::int64_t live_tasks_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace pd::sim

@@ -1,0 +1,188 @@
+// Synchronization primitives for simulated processes.
+//
+//   Latch    — one-shot broadcast event (completion notification).
+//   Channel  — unbounded FIFO with awaitable receive (IKC message queues).
+//   Resource — counted FIFO semaphore (models exclusive/limited hardware
+//              or CPU service capacity; the Linux-CPU offload contention in
+//              the paper is a Resource with `linux_cpus` units).
+//
+// All primitives schedule resumptions through the engine queue instead of
+// resuming inline, so a trigger/release never reenters the caller and
+// event ordering stays strictly time/sequence based.
+#pragma once
+
+#include <cassert>
+#include <coroutine>
+#include <cstddef>
+#include <deque>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "src/sim/engine.hpp"
+
+namespace pd::sim {
+
+/// One-shot broadcast: waiters before trigger() suspend, waiters after
+/// proceed immediately. Reusable objects should use Channel instead.
+class Latch {
+ public:
+  explicit Latch(Engine& engine) : engine_(&engine) {}
+  Latch(const Latch&) = delete;
+  Latch& operator=(const Latch&) = delete;
+
+  bool triggered() const { return triggered_; }
+
+  void trigger() {
+    if (triggered_) return;
+    triggered_ = true;
+    for (auto h : waiters_) engine_->schedule_resume(0, h);
+    waiters_.clear();
+  }
+
+  struct Awaiter {
+    Latch& latch;
+    bool await_ready() const noexcept { return latch.triggered_; }
+    void await_suspend(std::coroutine_handle<> h) { latch.waiters_.push_back(h); }
+    void await_resume() const noexcept {}
+  };
+  Awaiter wait() { return Awaiter{*this}; }
+
+ private:
+  Engine* engine_;
+  bool triggered_ = false;
+  std::vector<std::coroutine_handle<>> waiters_;
+};
+
+/// Unbounded FIFO channel. send() never blocks; recv() suspends until an
+/// item arrives. Items are handed to waiters in FIFO order.
+template <typename T>
+class Channel {
+ public:
+  explicit Channel(Engine& engine) : engine_(&engine) {}
+  Channel(const Channel&) = delete;
+  Channel& operator=(const Channel&) = delete;
+
+  void send(T item) {
+    if (!waiters_.empty()) {
+      Waiter w = waiters_.front();
+      waiters_.pop_front();
+      *w.slot = std::move(item);
+      engine_->schedule_resume(0, w.h);
+      return;
+    }
+    items_.push_back(std::move(item));
+  }
+
+  std::size_t pending() const { return items_.size(); }
+  std::size_t waiting_receivers() const { return waiters_.size(); }
+
+  struct Awaiter {
+    Channel& ch;
+    std::optional<T> slot;
+
+    bool await_ready() {
+      if (ch.items_.empty()) return false;
+      slot = std::move(ch.items_.front());
+      ch.items_.pop_front();
+      return true;
+    }
+    void await_suspend(std::coroutine_handle<> h) {
+      ch.waiters_.push_back(Waiter{h, &slot});
+    }
+    T await_resume() {
+      assert(slot.has_value());
+      return std::move(*slot);
+    }
+  };
+  Awaiter recv() { return Awaiter{*this, std::nullopt}; }
+
+ private:
+  struct Waiter {
+    std::coroutine_handle<> h;
+    std::optional<T>* slot;
+  };
+
+  Engine* engine_;
+  std::deque<T> items_;
+  std::deque<Waiter> waiters_;
+};
+
+/// Counted FIFO semaphore. acquire(n) suspends until n units are free and
+/// grants strictly in arrival order (no barging), which makes queueing
+/// delay under contention reproducible.
+class Resource {
+ public:
+  Resource(Engine& engine, std::size_t capacity) : engine_(&engine), free_(capacity), capacity_(capacity) {}
+  Resource(const Resource&) = delete;
+  Resource& operator=(const Resource&) = delete;
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t available() const { return free_; }
+  std::size_t queue_length() const { return waiters_.size(); }
+
+  struct Awaiter {
+    Resource& res;
+    std::size_t n;
+    bool await_ready() {
+      // FIFO: even if units are free, queued waiters go first.
+      if (res.waiters_.empty() && res.free_ >= n) {
+        res.free_ -= n;
+        return true;
+      }
+      return false;
+    }
+    void await_suspend(std::coroutine_handle<> h) {
+      res.waiters_.push_back(Waiter{h, n});
+    }
+    void await_resume() const noexcept {}
+  };
+  Awaiter acquire(std::size_t n = 1) {
+    assert(n <= capacity_);
+    return Awaiter{*this, n};
+  }
+
+  void release(std::size_t n = 1) {
+    free_ += n;
+    assert(free_ <= capacity_);
+    grant();
+  }
+
+  /// RAII unit holder for the common acquire-1/release-1 pattern.
+  class Hold {
+   public:
+    explicit Hold(Resource& res) : res_(&res) {}
+    Hold(Hold&& o) noexcept : res_(std::exchange(o.res_, nullptr)) {}
+    Hold(const Hold&) = delete;
+    Hold& operator=(const Hold&) = delete;
+    Hold& operator=(Hold&&) = delete;
+    ~Hold() {
+      if (res_ != nullptr) res_->release(1);
+    }
+
+   private:
+    Resource* res_;
+  };
+
+ private:
+  struct Waiter {
+    std::coroutine_handle<> h;
+    std::size_t n;
+  };
+
+  void grant() {
+    while (!waiters_.empty() && waiters_.front().n <= free_) {
+      Waiter w = waiters_.front();
+      waiters_.pop_front();
+      free_ -= w.n;
+      engine_->schedule_resume(0, w.h);
+    }
+  }
+
+  Engine* engine_;
+  std::size_t free_;
+  std::size_t capacity_;
+  std::deque<Waiter> waiters_;
+};
+
+}  // namespace pd::sim

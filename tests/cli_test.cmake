@@ -1,0 +1,37 @@
+# CLI smoke test for dwarf-extract-struct: ship a demo module, extract a
+# header, dump the DIE tree, and check the expected content is present.
+set(mod "${CMAKE_CURRENT_BINARY_DIR}/cli_test_hfi1.ko")
+
+execute_process(COMMAND "${TOOL}" --ship-demo 10.9-5 "${mod}" RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "--ship-demo failed: ${rc}")
+endif()
+
+execute_process(COMMAND "${TOOL}" "${mod}" sdma_state current_state go_s99_running
+                OUTPUT_VARIABLE header RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "extraction failed: ${rc}")
+endif()
+foreach(needle "whole_struct[72]" "enum sdma_states current_state" "padding0[48]")
+  string(FIND "${header}" "${needle}" pos)
+  if(pos EQUAL -1)
+    message(FATAL_ERROR "generated header missing '${needle}':\n${header}")
+  endif()
+endforeach()
+
+execute_process(COMMAND "${TOOL}" --dump "${mod}" OUTPUT_VARIABLE dump RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "--dump failed: ${rc}")
+endif()
+string(FIND "${dump}" "DW_TAG_structure_type" pos)
+if(pos EQUAL -1)
+  message(FATAL_ERROR "dump missing structure tag")
+endif()
+
+# Unknown struct must fail with a nonzero exit code.
+execute_process(COMMAND "${TOOL}" "${mod}" no_such_struct field ERROR_QUIET
+                OUTPUT_QUIET RESULT_VARIABLE rc)
+if(rc EQUAL 0)
+  message(FATAL_ERROR "extraction of a missing struct must fail")
+endif()
+file(REMOVE "${mod}")

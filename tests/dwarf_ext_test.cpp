@@ -1,0 +1,206 @@
+// Tests for the DWARF extensions: .debug_str / DW_FORM_strp, const and
+// volatile qualifiers, multi-dimensional arrays, and the DIE-tree dump.
+#include <gtest/gtest.h>
+
+#include "src/dwarf/constants.hpp"
+#include "src/dwarf/extract.hpp"
+#include "src/dwarf/reader.hpp"
+#include "src/dwarf/writer.hpp"
+
+namespace pd::dwarf {
+namespace {
+
+InfoBuilder rich_builder() {
+  InfoBuilder b;
+  const TypeRef u8 = b.add_base_type("unsigned char", 1, DW_ATE_unsigned_char);
+  const TypeRef u32 = b.add_base_type("unsigned int", 4, DW_ATE_unsigned);
+  const TypeRef cu32 = b.add_const(u32);
+  const TypeRef vu32 = b.add_volatile(u32);
+  const TypeRef cvp = b.add_pointer(b.add_const(u8));
+  const TypeRef grid = b.add_array_md(u8, {4, 8});
+  b.add_struct("csr_block", 96,
+               {{"magic", cu32, 0},
+                {"doorbell", vu32, 4},
+                {"fw_name", cvp, 8},
+                {"grid", grid, 16},
+                {"plain", u32, 48}});
+  return b;
+}
+
+TEST(Strp, RoundtripThroughStringTable) {
+  const DebugInfo dbg = rich_builder().build("producer-x", "mod.ko", StringForm::strp);
+  EXPECT_FALSE(dbg.str.empty()) << "strp must emit a .debug_str section";
+  auto view = DebugInfoView::parse(dbg.abbrev, dbg.info, dbg.str);
+  ASSERT_TRUE(view.ok());
+  EXPECT_EQ(view->compile_unit().name(), "mod.ko");
+  const Die* s = view->find_named(DW_TAG_structure_type, "csr_block");
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->children.size(), 5u);
+}
+
+TEST(Strp, DeduplicatesStrings) {
+  InfoBuilder b;
+  const TypeRef u32 = b.add_base_type("unsigned int", 4, DW_ATE_unsigned);
+  // The same member name in two structs should be stored once.
+  b.add_struct("a", 8, {{"same_name", u32, 0}});
+  b.add_struct("b", 8, {{"same_name", u32, 0}});
+  const DebugInfo dbg = b.build("p", "m", StringForm::strp);
+  const std::string blob(dbg.str.begin(), dbg.str.end());
+  std::size_t count = 0;
+  for (std::size_t pos = blob.find("same_name"); pos != std::string::npos;
+       pos = blob.find("same_name", pos + 1))
+    ++count;
+  EXPECT_EQ(count, 1u);
+}
+
+TEST(Strp, MissingStringTableRejected) {
+  const DebugInfo dbg = rich_builder().build("p", "m", StringForm::strp);
+  EXPECT_FALSE(DebugInfoView::parse(dbg.abbrev, dbg.info).ok())
+      << "strp form without .debug_str must fail, not fabricate names";
+}
+
+TEST(Strp, ExtractionIdenticalToInlineStrings) {
+  const DebugInfo inl = rich_builder().build("p", "m", StringForm::inline_string);
+  const DebugInfo strp = rich_builder().build("p", "m", StringForm::strp);
+  auto v1 = DebugInfoView::parse(inl.abbrev, inl.info);
+  auto v2 = DebugInfoView::parse(strp.abbrev, strp.info, strp.str);
+  ASSERT_TRUE(v1.ok() && v2.ok());
+  auto l1 = extract_struct(*v1, "csr_block", {"magic", "doorbell", "grid"});
+  auto l2 = extract_struct(*v2, "csr_block", {"magic", "doorbell", "grid"});
+  ASSERT_TRUE(l1.ok() && l2.ok());
+  ASSERT_EQ(l1->fields.size(), l2->fields.size());
+  for (std::size_t i = 0; i < l1->fields.size(); ++i) {
+    EXPECT_EQ(l1->fields[i].offset, l2->fields[i].offset);
+    EXPECT_EQ(l1->fields[i].size, l2->fields[i].size);
+    EXPECT_EQ(l1->fields[i].type_decl, l2->fields[i].type_decl);
+  }
+  // strp form should be smaller for string-heavy info (shared names).
+  EXPECT_LE(strp.info.size(), inl.info.size());
+}
+
+TEST(Qualifiers, SizesSeeThroughConstVolatile) {
+  const DebugInfo dbg = rich_builder().build("p", "m");
+  auto view = DebugInfoView::parse(dbg.abbrev, dbg.info);
+  ASSERT_TRUE(view.ok());
+  auto layout = extract_struct(*view, "csr_block", {"magic", "doorbell"});
+  ASSERT_TRUE(layout.ok());
+  EXPECT_EQ(layout->field("magic")->size, 4u);
+  EXPECT_EQ(layout->field("doorbell")->size, 4u);
+}
+
+TEST(Qualifiers, DeclarationsCarryQualifiers) {
+  const DebugInfo dbg = rich_builder().build("p", "m");
+  auto view = DebugInfoView::parse(dbg.abbrev, dbg.info);
+  ASSERT_TRUE(view.ok());
+  auto layout =
+      extract_struct(*view, "csr_block", {"magic", "doorbell", "fw_name"});
+  ASSERT_TRUE(layout.ok());
+  EXPECT_EQ(layout->field("magic")->type_decl, "const unsigned int magic");
+  EXPECT_EQ(layout->field("doorbell")->type_decl, "volatile unsigned int doorbell");
+  EXPECT_EQ(layout->field("fw_name")->type_decl, "const unsigned char *fw_name");
+}
+
+TEST(MultiDimArray, SizeAndDeclaration) {
+  const DebugInfo dbg = rich_builder().build("p", "m");
+  auto view = DebugInfoView::parse(dbg.abbrev, dbg.info);
+  ASSERT_TRUE(view.ok());
+  auto layout = extract_struct(*view, "csr_block", {"grid"});
+  ASSERT_TRUE(layout.ok());
+  EXPECT_EQ(layout->field("grid")->size, 32u);  // 4 * 8 * 1 byte
+  EXPECT_EQ(layout->field("grid")->type_decl, "unsigned char grid[4][8]");
+}
+
+TEST(Dump, RendersTreeWithTagsAndNames) {
+  const DebugInfo dbg = rich_builder().build("dump-producer", "dump.ko");
+  auto view = DebugInfoView::parse(dbg.abbrev, dbg.info);
+  ASSERT_TRUE(view.ok());
+  const std::string text = view->dump();
+  EXPECT_NE(text.find("DW_TAG_compile_unit"), std::string::npos);
+  EXPECT_NE(text.find("DW_TAG_structure_type"), std::string::npos);
+  EXPECT_NE(text.find("DW_TAG_const_type"), std::string::npos);
+  EXPECT_NE(text.find("DW_TAG_volatile_type"), std::string::npos);
+  EXPECT_NE(text.find("\"csr_block\""), std::string::npos);
+  EXPECT_NE(text.find("DW_AT_data_member_location=16"), std::string::npos);
+  // Children are indented under the CU.
+  EXPECT_NE(text.find("\n  <0x"), std::string::npos);
+}
+
+InfoBuilder bitfield_builder() {
+  InfoBuilder b;
+  const TypeRef u32 = b.add_base_type("unsigned int", 4, DW_ATE_unsigned);
+  std::vector<InfoBuilder::Member> members;
+  members.push_back({"seq", u32, 0, 0, 0});
+  members.push_back({"link_state", u32, 8, 5, 3});   // bits [3,8) of unit @8
+  members.push_back({"armed", u32, 8, 1, 8});        // bit 8 of the same unit
+  b.add_struct("ctrl_word", 16, std::move(members));
+  return b;
+}
+
+TEST(Bitfields, ExtractedWidthAndOffset) {
+  const DebugInfo dbg = bitfield_builder().build("p", "m");
+  auto view = DebugInfoView::parse(dbg.abbrev, dbg.info);
+  ASSERT_TRUE(view.ok());
+  auto layout = extract_struct(*view, "ctrl_word", {"seq", "link_state", "armed"});
+  ASSERT_TRUE(layout.ok());
+  EXPECT_FALSE(layout->field("seq")->is_bitfield());
+  const FieldLayout* ls = layout->field("link_state");
+  ASSERT_TRUE(ls->is_bitfield());
+  EXPECT_EQ(ls->bit_size, 5u);
+  EXPECT_EQ(ls->bit_offset, 3u);
+  EXPECT_EQ(ls->offset, 8u);
+}
+
+TEST(Bitfields, GeneratedHeaderUsesAnonymousPadBits) {
+  const DebugInfo dbg = bitfield_builder().build("p", "m");
+  auto view = DebugInfoView::parse(dbg.abbrev, dbg.info);
+  ASSERT_TRUE(view.ok());
+  auto header = extract_struct_header(*view, "ctrl_word", {"link_state"});
+  ASSERT_TRUE(header.ok());
+  EXPECT_NE(header->find("unsigned int : 3;"), std::string::npos) << *header;
+  EXPECT_NE(header->find("unsigned int link_state : 5;"), std::string::npos) << *header;
+}
+
+TEST(Bitfields, AccessorReadsAndWritesInPlace) {
+  const DebugInfo dbg = bitfield_builder().build("p", "m");
+  auto view = DebugInfoView::parse(dbg.abbrev, dbg.info);
+  ASSERT_TRUE(view.ok());
+  auto layout = extract_struct(*view, "ctrl_word", {"link_state", "armed"});
+  ASSERT_TRUE(layout.ok());
+
+  alignas(4) std::uint8_t image[16] = {};
+  BitfieldAccessor<std::uint32_t> ls(*layout->field("link_state"));
+  BitfieldAccessor<std::uint32_t> armed(*layout->field("armed"));
+  ls.write(image, 0b10110);
+  armed.write(image, 1);
+  EXPECT_EQ(ls.read(image), 0b10110u);
+  EXPECT_EQ(armed.read(image), 1u);
+  // Cross-check against manual bit layout: unit at byte 8.
+  std::uint32_t unit;
+  __builtin_memcpy(&unit, image + 8, 4);
+  EXPECT_EQ(unit, (0b10110u << 3) | (1u << 8));
+  // Overwrite one field without disturbing the other.
+  ls.write(image, 0);
+  EXPECT_EQ(armed.read(image), 1u);
+  EXPECT_EQ(ls.read(image), 0u);
+}
+
+TEST(Bitfields, OverflowingBitRangeRejected) {
+  InfoBuilder b;
+  const TypeRef u32 = b.add_base_type("unsigned int", 4, DW_ATE_unsigned);
+  std::vector<InfoBuilder::Member> members;
+  members.push_back({"bad", u32, 0, 8, 30});  // bits [30,38) overflow the unit
+  b.add_struct("broken", 8, std::move(members));
+  const DebugInfo dbg = b.build("p", "m");
+  auto view = DebugInfoView::parse(dbg.abbrev, dbg.info);
+  ASSERT_TRUE(view.ok());
+  EXPECT_EQ(extract_struct(*view, "broken", {"bad"}).error(), Errno::einval);
+}
+
+TEST(Dump, TagNamesCoverKnownTags) {
+  EXPECT_STREQ(tag_name(DW_TAG_member), "DW_TAG_member");
+  EXPECT_STREQ(tag_name(DW_TAG_volatile_type), "DW_TAG_volatile_type");
+  EXPECT_STREQ(tag_name(0xDEAD), "DW_TAG_<unknown>");
+}
+
+}  // namespace
+}  // namespace pd::dwarf

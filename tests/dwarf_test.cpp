@@ -1,0 +1,305 @@
+// Tests for the DWARF subsystem: LEB128 coding, writer→reader roundtrip,
+// structure extraction, Listing-1 header generation, module container.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "src/dwarf/constants.hpp"
+#include "src/dwarf/extract.hpp"
+#include "src/dwarf/leb128.hpp"
+#include "src/dwarf/module_binary.hpp"
+#include "src/dwarf/reader.hpp"
+#include "src/dwarf/writer.hpp"
+
+namespace pd::dwarf {
+namespace {
+
+TEST(Leb128, UnsignedRoundtrip) {
+  for (std::uint64_t v : {0ull, 1ull, 127ull, 128ull, 300ull, 16384ull,
+                          0xFFFFFFFFull, 0xFFFFFFFFFFFFFFFFull}) {
+    std::vector<std::uint8_t> buf;
+    write_uleb128(buf, v);
+    ByteCursor cur(buf.data(), buf.size());
+    auto r = cur.read_uleb128();
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(*r, v);
+    EXPECT_EQ(cur.offset(), buf.size());
+  }
+}
+
+TEST(Leb128, SignedRoundtrip) {
+  for (std::int64_t v : std::initializer_list<std::int64_t>{
+           0, 1, -1, 63, 64, -64, -65, 8191, -1234567, INT64_MAX, INT64_MIN}) {
+    std::vector<std::uint8_t> buf;
+    write_sleb128(buf, v);
+    ByteCursor cur(buf.data(), buf.size());
+    auto r = cur.read_sleb128();
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(*r, v);
+  }
+}
+
+TEST(Leb128, KnownEncodings) {
+  // Classic DWARF spec examples.
+  std::vector<std::uint8_t> buf;
+  write_uleb128(buf, 624485);
+  EXPECT_EQ(buf, (std::vector<std::uint8_t>{0xE5, 0x8E, 0x26}));
+  buf.clear();
+  write_sleb128(buf, -123456);
+  EXPECT_EQ(buf, (std::vector<std::uint8_t>{0xC0, 0xBB, 0x78}));
+}
+
+TEST(ByteCursor, RejectsOutOfBounds) {
+  std::uint8_t data[2] = {0x80, 0x80};  // unterminated LEB128
+  ByteCursor cur(data, 2);
+  EXPECT_FALSE(cur.read_uleb128().ok());
+  ByteCursor cur2(data, 1);
+  EXPECT_FALSE(cur2.read_u32().ok());
+  ByteCursor cur3(data, 2);
+  EXPECT_FALSE(cur3.read_cstring().ok());  // no NUL
+}
+
+// Build a small type graph resembling driver structures.
+InfoBuilder small_builder() {
+  InfoBuilder b;
+  const TypeRef u32 = b.add_base_type("unsigned int", 4, DW_ATE_unsigned);
+  const TypeRef u64 = b.add_base_type("long unsigned int", 8, DW_ATE_unsigned);
+  const TypeRef states = b.add_enum("sdma_states", 4,
+                                    {{"sdma_state_s00_hw_down", 0},
+                                     {"sdma_state_s10_hw_start_up_halt_wait", 1},
+                                     {"sdma_state_s99_running", 9}});
+  b.add_struct("sdma_state", 64,
+               {{"goto_count", u64, 0},
+                {"current_state", states, 40},
+                {"go_s99_running", u32, 48},
+                {"previous_state", states, 52}});
+  return b;
+}
+
+TEST(WriterReader, RoundtripFindsStruct) {
+  const DebugInfo dbg = small_builder().build("pd-test", "hfi1.ko");
+  auto view = DebugInfoView::parse(dbg.abbrev, dbg.info);
+  ASSERT_TRUE(view.ok());
+  const Die* s = view->find_named(DW_TAG_structure_type, "sdma_state");
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->unsigned_attr(DW_AT_byte_size), 64u);
+  EXPECT_EQ(s->children.size(), 4u);
+}
+
+TEST(WriterReader, CompileUnitAttributes) {
+  const DebugInfo dbg = small_builder().build("pd-producer", "module.ko");
+  auto view = DebugInfoView::parse(dbg.abbrev, dbg.info);
+  ASSERT_TRUE(view.ok());
+  const Die& cu = view->compile_unit();
+  EXPECT_EQ(cu.tag, DW_TAG_compile_unit);
+  const AttrValue* prod = cu.find_attr(DW_AT_producer);
+  ASSERT_NE(prod, nullptr);
+  EXPECT_EQ(std::get<std::string>(*prod), "pd-producer");
+  EXPECT_EQ(cu.name(), "module.ko");
+}
+
+TEST(WriterReader, MemberOffsetsSurvive) {
+  const DebugInfo dbg = small_builder().build("p", "m");
+  auto view = DebugInfoView::parse(dbg.abbrev, dbg.info);
+  ASSERT_TRUE(view.ok());
+  const Die* s = view->find_named(DW_TAG_structure_type, "sdma_state");
+  ASSERT_NE(s, nullptr);
+  std::map<std::string, std::uint64_t> offsets;
+  for (const auto& child : s->children) {
+    if (child->tag == DW_TAG_member)
+      offsets[*child->name()] = *child->unsigned_attr(DW_AT_data_member_location);
+  }
+  EXPECT_EQ(offsets["goto_count"], 0u);
+  EXPECT_EQ(offsets["current_state"], 40u);
+  EXPECT_EQ(offsets["go_s99_running"], 48u);
+  EXPECT_EQ(offsets["previous_state"], 52u);
+}
+
+TEST(WriterReader, TypeReferencesResolve) {
+  const DebugInfo dbg = small_builder().build("p", "m");
+  auto view = DebugInfoView::parse(dbg.abbrev, dbg.info);
+  ASSERT_TRUE(view.ok());
+  const Die* s = view->find_named(DW_TAG_structure_type, "sdma_state");
+  const Die* member = s->children[1].get();  // current_state
+  const Die* type = view->type_of(*member);
+  ASSERT_NE(type, nullptr);
+  EXPECT_EQ(type->tag, DW_TAG_enumeration_type);
+  EXPECT_EQ(type->name(), "sdma_states");
+  EXPECT_EQ(type->children.size(), 3u);
+}
+
+TEST(WriterReader, SelfReferentialStructViaForwardRef) {
+  InfoBuilder b;
+  const TypeRef node_fwd = b.forward_struct("list_node");
+  const TypeRef node_ptr = b.add_pointer(node_fwd);
+  b.define_struct(node_fwd, 16, {{"next", node_ptr, 0}, {"prev", node_ptr, 8}});
+  const DebugInfo dbg = b.build("p", "m");
+  auto view = DebugInfoView::parse(dbg.abbrev, dbg.info);
+  ASSERT_TRUE(view.ok());
+  const Die* s = view->find_named(DW_TAG_structure_type, "list_node");
+  ASSERT_NE(s, nullptr);
+  const Die* next_type = view->type_of(*s->children[0]);
+  ASSERT_NE(next_type, nullptr);
+  EXPECT_EQ(next_type->tag, DW_TAG_pointer_type);
+  const Die* pointee = view->type_of(*next_type);
+  ASSERT_NE(pointee, nullptr);
+  EXPECT_EQ(pointee->name(), "list_node");
+}
+
+TEST(WriterReader, ArraysCarryCounts) {
+  InfoBuilder b;
+  const TypeRef u16 = b.add_base_type("short unsigned int", 2, DW_ATE_unsigned);
+  const TypeRef arr = b.add_array(u16, 16);
+  b.add_struct("with_array", 32, {{"tids", arr, 0}});
+  const DebugInfo dbg = b.build("p", "m");
+  auto view = DebugInfoView::parse(dbg.abbrev, dbg.info);
+  ASSERT_TRUE(view.ok());
+  auto layout = extract_struct(*view, "with_array", {"tids"});
+  ASSERT_TRUE(layout.ok());
+  EXPECT_EQ(layout->fields[0].size, 32u);
+  EXPECT_EQ(layout->fields[0].type_decl, "short unsigned int tids[16]");
+}
+
+TEST(WriterReader, MalformedInputRejected) {
+  const DebugInfo dbg = small_builder().build("p", "m");
+  // Truncated info.
+  std::vector<std::uint8_t> cut(dbg.info.begin(), dbg.info.begin() + dbg.info.size() / 2);
+  EXPECT_FALSE(DebugInfoView::parse(dbg.abbrev, cut).ok());
+  // Garbage abbrev.
+  std::vector<std::uint8_t> junk = {0xFF, 0xFF, 0xFF, 0xFF};
+  EXPECT_FALSE(DebugInfoView::parse(junk, dbg.info).ok());
+}
+
+TEST(Extract, LayoutOffsetsAndSizes) {
+  const DebugInfo dbg = small_builder().build("p", "m");
+  auto view = DebugInfoView::parse(dbg.abbrev, dbg.info);
+  ASSERT_TRUE(view.ok());
+  auto layout = extract_struct(*view, "sdma_state",
+                               {"current_state", "go_s99_running", "previous_state"});
+  ASSERT_TRUE(layout.ok());
+  EXPECT_EQ(layout->byte_size, 64u);
+  ASSERT_EQ(layout->fields.size(), 3u);
+  EXPECT_EQ(layout->fields[0].offset, 40u);
+  EXPECT_EQ(layout->fields[0].size, 4u);
+  EXPECT_EQ(layout->fields[1].offset, 48u);
+  EXPECT_EQ(layout->fields[2].offset, 52u);
+  EXPECT_EQ(layout->field("go_s99_running")->type_decl, "unsigned int go_s99_running");
+}
+
+TEST(Extract, MissingStructOrFieldFails) {
+  const DebugInfo dbg = small_builder().build("p", "m");
+  auto view = DebugInfoView::parse(dbg.abbrev, dbg.info);
+  ASSERT_TRUE(view.ok());
+  EXPECT_EQ(extract_struct(*view, "nonexistent", {"x"}).error(), Errno::enoent);
+  EXPECT_EQ(extract_struct(*view, "sdma_state", {"no_such_field"}).error(), Errno::enoent);
+}
+
+// The paper's Listing 1, byte for byte in structure (modulo the paper's
+// truncated 3-field selection and its whole_struct convention).
+TEST(Extract, Listing1GoldenHeader) {
+  const DebugInfo dbg = small_builder().build("p", "m");
+  auto view = DebugInfoView::parse(dbg.abbrev, dbg.info);
+  ASSERT_TRUE(view.ok());
+  auto layout = extract_struct(*view, "sdma_state",
+                               {"current_state", "go_s99_running", "previous_state"});
+  ASSERT_TRUE(layout.ok());
+  const std::string header = generate_header(*view, *layout);
+
+  const char* expected_struct =
+      "struct sdma_state {\n"
+      "\tunion {\n"
+      "\t\tchar whole_struct[64];\n"
+      "\t\tstruct {\n"
+      "\t\t\tchar padding0[40];\n"
+      "\t\t\tenum sdma_states current_state;\n"
+      "\t\t};\n"
+      "\t\tstruct {\n"
+      "\t\t\tchar padding1[48];\n"
+      "\t\t\tunsigned int go_s99_running;\n"
+      "\t\t};\n"
+      "\t\tstruct {\n"
+      "\t\t\tchar padding2[52];\n"
+      "\t\t\tenum sdma_states previous_state;\n"
+      "\t\t};\n"
+      "\t};\n"
+      "};\n";
+  EXPECT_NE(header.find(expected_struct), std::string::npos) << header;
+  // The enum definition must precede so the header is standalone.
+  EXPECT_NE(header.find("enum sdma_states {"), std::string::npos);
+  EXPECT_LT(header.find("enum sdma_states {"), header.find("struct sdma_state {"));
+}
+
+TEST(Extract, FieldAtOffsetZeroHasNoPadding) {
+  const DebugInfo dbg = small_builder().build("p", "m");
+  auto view = DebugInfoView::parse(dbg.abbrev, dbg.info);
+  ASSERT_TRUE(view.ok());
+  auto header = extract_struct_header(*view, "sdma_state", {"goto_count"});
+  ASSERT_TRUE(header.ok());
+  EXPECT_EQ(header->find("padding"), std::string::npos);
+  EXPECT_NE(header->find("long unsigned int goto_count;"), std::string::npos);
+}
+
+TEST(Extract, PointerFieldsRenderForwardDecls) {
+  InfoBuilder b;
+  const TypeRef page = b.forward_struct("page");
+  const TypeRef page_ptr = b.add_pointer(page);
+  const TypeRef page_ptr_ptr = b.add_pointer(page_ptr);
+  b.add_struct("user_sdma_iovec", 48, {{"pages", page_ptr_ptr, 16}});
+  const DebugInfo dbg = b.build("p", "m");
+  auto view = DebugInfoView::parse(dbg.abbrev, dbg.info);
+  ASSERT_TRUE(view.ok());
+  auto header = extract_struct_header(*view, "user_sdma_iovec", {"pages"});
+  ASSERT_TRUE(header.ok());
+  EXPECT_NE(header->find("struct page;"), std::string::npos);
+  EXPECT_NE(header->find("struct page **pages;"), std::string::npos);
+}
+
+TEST(Extract, FieldAccessorReadsAtExtractedOffset) {
+  const DebugInfo dbg = small_builder().build("p", "m");
+  auto view = DebugInfoView::parse(dbg.abbrev, dbg.info);
+  ASSERT_TRUE(view.ok());
+  auto layout = extract_struct(*view, "sdma_state", {"go_s99_running"});
+  ASSERT_TRUE(layout.ok());
+
+  // Simulate the Linux-side structure as a raw image.
+  alignas(8) std::uint8_t image[64] = {};
+  image[48] = 0x2A;
+  FieldAccessor<std::uint32_t> acc(*layout->field("go_s99_running"));
+  EXPECT_EQ(acc.read(image), 42u);
+  acc.write(image, 7);
+  EXPECT_EQ(image[48], 7);
+  EXPECT_EQ(acc.read(image), 7u);
+}
+
+TEST(ModuleBinary, SectionRoundtrip) {
+  ModuleBinary mod;
+  mod.set_section(".debug_info", {1, 2, 3});
+  mod.set_section(".text", {});
+  mod.set_version("hfi1 10.8.0.0");
+  const auto bytes = mod.serialize();
+  auto back = ModuleBinary::deserialize(bytes);
+  ASSERT_TRUE(back.ok());
+  ASSERT_NE(back->section(".debug_info"), nullptr);
+  EXPECT_EQ(*back->section(".debug_info"), (std::vector<std::uint8_t>{1, 2, 3}));
+  EXPECT_EQ(back->version(), "hfi1 10.8.0.0");
+  EXPECT_EQ(back->section(".bss"), nullptr);
+}
+
+TEST(ModuleBinary, RejectsBadMagic) {
+  std::vector<std::uint8_t> junk = {'X', 'X', 'X', 'X', 'X', 'X', 'X', 'X', 0};
+  EXPECT_FALSE(ModuleBinary::deserialize(junk).ok());
+}
+
+TEST(ModuleBinary, FileRoundtrip) {
+  ModuleBinary mod;
+  mod.set_section(".debug_abbrev", {9, 8, 7});
+  const std::string path = testing::TempDir() + "/pd_mod_test.ko";
+  ASSERT_TRUE(mod.save(path).ok());
+  auto back = ModuleBinary::load(path);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back->section(".debug_abbrev"), (std::vector<std::uint8_t>{9, 8, 7}));
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace pd::dwarf

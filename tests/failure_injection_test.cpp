@@ -1,0 +1,195 @@
+// Failure-injection tests: engine resets under live traffic, debug-info
+// corruption and missing-field binds, callback faults, foreign-free policy
+// failures — the unhappy paths the architecture must survive.
+#include <gtest/gtest.h>
+
+#include "src/common/units.hpp"
+#include "src/dwarf/constants.hpp"
+#include "src/dwarf/writer.hpp"
+#include "src/hfi/driver.hpp"
+#include "src/mpirt/world.hpp"
+#include "src/pico/hfi_picodriver.hpp"
+
+#define CO_ASSERT_TRUE(cond)  \
+  do {                        \
+    EXPECT_TRUE(cond);        \
+    if (!(cond)) co_return;   \
+  } while (0)
+
+namespace pd {
+namespace {
+
+using namespace pd::time_literals;
+
+/// Flip one SDMA engine's state (a "reset in progress") through the
+/// driver's own layout view.
+void set_engine_state(hfi::HfiDriver& driver, os::LinuxKernel& linux_kernel, int engine_id,
+                      hfi::SdmaStates state) {
+  const auto* eng_def = driver.layouts().structure("sdma_engine");
+  const auto* state_def = driver.layouts().structure("sdma_state");
+  auto bytes = linux_kernel.kheap().data(driver.sdma_engine_image(engine_id));
+  hfi::StructImage img(bytes.subspan(eng_def->field("state")->offset, state_def->byte_size),
+                       state_def);
+  img.write<std::uint32_t>("current_state", static_cast<std::uint32_t>(state));
+}
+
+TEST(FailureInjection, EngineResetMidRunFallsBackAndRecovers) {
+  mpirt::ClusterOptions copts;
+  copts.nodes = 2;
+  copts.mode = os::OsMode::mckernel_hfi;
+  copts.mcdram_bytes = 256ull << 20;
+  copts.ddr_bytes = 1ull << 30;
+  mpirt::Cluster cluster(copts);
+  mpirt::WorldOptions wopts;
+  wopts.ranks_per_node = 2;
+  mpirt::MpiWorld world(cluster, wopts);
+
+  // Halt every engine on node 0 shortly after start; bring them back
+  // later. Fast-path writevs in the window must take the Linux fallback;
+  // traffic must nonetheless complete.
+  auto& node0 = cluster.node(0);
+  cluster.engine().schedule_after(from_us(400), [&] {
+    for (int e = 0; e < node0.device->num_engines(); ++e)
+      set_engine_state(*node0.driver, *node0.linux_kernel, e,
+                       hfi::SdmaStates::s50_hw_halt_wait);
+  });
+  cluster.engine().schedule_after(from_ms(3.0), [&] {
+    for (int e = 0; e < node0.device->num_engines(); ++e)
+      set_engine_state(*node0.driver, *node0.linux_kernel, e,
+                       hfi::SdmaStates::s99_running);
+  });
+
+  int done = 0;
+  world.run([&](mpirt::Rank& rank) -> sim::Task<> {
+    co_await rank.init();
+    const int peer = (rank.id() + 2) % 4;
+    for (int i = 0; i < 6; ++i) {
+      auto r = rank.irecv(peer, 100 + i, 256ull << 10);
+      auto s = rank.isend(peer, 100 + i, 256ull << 10);
+      co_await rank.wait(std::move(s));
+      co_await rank.wait(std::move(r));
+      co_await rank.compute(from_ms(0.6));
+    }
+    co_await rank.finalize();
+    ++done;
+  });
+  EXPECT_EQ(done, 4);
+  EXPECT_GT(node0.pico->fallbacks(), 0u) << "halted engines must trigger the Linux path";
+  EXPECT_GT(node0.pico->fast_writevs(), node0.pico->fallbacks())
+      << "after recovery the fast path must be back in use";
+  EXPECT_EQ(node0.driver->writev_calls(), node0.pico->fallbacks())
+      << "the unmodified Linux path served exactly the fallback calls";
+}
+
+TEST(FailureInjection, BindRejectsModuleMissingAField) {
+  // Ship a module whose debug info lacks a structure the PicoDriver
+  // needs: bind must fail with ENOENT and install nothing.
+  sim::Engine engine;
+  os::Config cfg;
+  os::LinuxKernel linux_kernel(engine, cfg);
+  os::Ihk ihk(engine, cfg, linux_kernel);
+  os::McKernel mck(engine, cfg, ihk, true);
+
+  dwarf::InfoBuilder b;
+  auto u32 = b.add_base_type("unsigned int", 4, dwarf::DW_ATE_unsigned);
+  b.add_struct("unrelated", 8, {{"x", u32, 0}});
+  auto dbg = b.build("p", "m");
+  dwarf::ModuleBinary module;
+  module.set_section(".debug_abbrev", dbg.abbrev);
+  module.set_section(".debug_info", dbg.info);
+
+  auto binding = pico::PicoBinding::bind(mck, linux_kernel, module,
+                                         {{"sdma_state", {"current_state"}}});
+  EXPECT_EQ(binding.error(), Errno::enoent);
+}
+
+TEST(FailureInjection, BindRejectsCorruptDebugInfo) {
+  sim::Engine engine;
+  os::Config cfg;
+  os::LinuxKernel linux_kernel(engine, cfg);
+  os::Ihk ihk(engine, cfg, linux_kernel);
+  os::McKernel mck(engine, cfg, ihk, true);
+
+  dwarf::ModuleBinary module;
+  module.set_section(".debug_abbrev", {0xFF, 0xFF, 0xFF});
+  module.set_section(".debug_info", {0x01, 0x02});
+  auto binding = pico::PicoBinding::bind(mck, linux_kernel, module,
+                                         {{"sdma_state", {"current_state"}}});
+  EXPECT_FALSE(binding.ok());
+}
+
+TEST(FailureInjection, BindRejectsMissingDebugSections) {
+  sim::Engine engine;
+  os::Config cfg;
+  os::LinuxKernel linux_kernel(engine, cfg);
+  os::Ihk ihk(engine, cfg, linux_kernel);
+  os::McKernel mck(engine, cfg, ihk, true);
+  dwarf::ModuleBinary stripped;  // a stripped module: no debug info at all
+  auto binding =
+      pico::PicoBinding::bind(mck, linux_kernel, stripped, {{"sdma_state", {"x"}}});
+  EXPECT_EQ(binding.error(), Errno::enoent);
+}
+
+TEST(FailureInjection, OriginalAllocatorRejectsIrqSideFree) {
+  // Boot the LWK with the unified layout but the *original* allocator
+  // policy: the IRQ-side kfree must fail and the block must leak rather
+  // than corrupt (the exact §3.3 hazard).
+  mem::KernelHeap heap({60, 61}, mem::ForeignFreePolicy::fail);
+  auto block = heap.kmalloc(192, 60);
+  ASSERT_TRUE(block.ok());
+  EXPECT_EQ(heap.kfree(*block, /*linux cpu=*/1).error(), Errno::eperm);
+  EXPECT_EQ(heap.live_blocks(), 1u);
+  EXPECT_EQ(heap.stats().rejected_frees, 1u);
+  // The owning core can still clean up.
+  EXPECT_TRUE(heap.kfree(*block, 60).ok());
+}
+
+TEST(FailureInjection, WritevOnUnmappedBufferFaults) {
+  mpirt::ClusterOptions copts;
+  copts.nodes = 1;
+  copts.mode = os::OsMode::linux;
+  copts.mcdram_bytes = 256ull << 20;
+  copts.ddr_bytes = 1ull << 30;
+  mpirt::Cluster cluster(copts);
+  auto proc = cluster.make_process(0, 0);
+  sim::spawn(cluster.engine(), [](os::Process& p) -> sim::Task<> {
+    auto fd = co_await p.open(hfi::kDeviceName);
+    CO_ASSERT_TRUE(fd.ok());
+    hfi::SdmaReqHeader hdr;
+    hdr.wire.src_node = 0;
+    hdr.wire.dst_node = 0;
+    hdr.wire.dst_ctxt = 0;
+    std::vector<os::IoVec> iov{
+        os::IoVec{reinterpret_cast<mem::VirtAddr>(&hdr), sizeof hdr},
+        os::IoVec{0xDEAD'0000, 64ull << 10}};  // never mapped
+    auto r = co_await p.writev(*fd, std::move(iov));
+    EXPECT_EQ(r.error(), Errno::efault);
+    // Failed pin must not leak partial pins.
+    EXPECT_EQ(p.as().pinned_frame_count(), 0u);
+  }(*proc));
+  cluster.engine().run();
+}
+
+TEST(FailureInjection, TidUpdateOnUnmappedBufferFaults) {
+  mpirt::ClusterOptions copts;
+  copts.nodes = 1;
+  copts.mode = os::OsMode::mckernel_hfi;
+  copts.mcdram_bytes = 256ull << 20;
+  copts.ddr_bytes = 1ull << 30;
+  mpirt::Cluster cluster(copts);
+  auto proc = cluster.make_process(0, 0);
+  sim::spawn(cluster.engine(), [](os::Process& p, hw::HfiDevice& dev) -> sim::Task<> {
+    auto fd = co_await p.open(hfi::kDeviceName);
+    CO_ASSERT_TRUE(fd.ok());
+    hfi::TidUpdateArgs args;
+    args.vaddr = 0xBAD0'0000;
+    args.length = 64ull << 10;
+    auto r = co_await p.ioctl(*fd, hfi::kTidUpdate, &args);
+    EXPECT_EQ(r.error(), Errno::efault);
+    EXPECT_EQ(dev.rcv_array().in_use(), 0u);
+  }(*proc, *cluster.node(0).device));
+  cluster.engine().run();
+}
+
+}  // namespace
+}  // namespace pd

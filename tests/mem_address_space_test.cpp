@@ -1,0 +1,185 @@
+// Tests for AddressSpace: the Linux-vs-LWK backing policies, pinning,
+// get_user_pages, and physical-extent discovery (the §3.4 mechanism).
+#include <gtest/gtest.h>
+
+#include "src/common/units.hpp"
+#include "src/mem/address_space.hpp"
+
+namespace pd::mem {
+namespace {
+
+PhysMap small_map() { return PhysMap::knl(64_MiB, 256_MiB, 1); }
+
+constexpr VirtAddr kMmapBase = 0x0000'2000'0000ull;
+
+TEST(AddressSpaceLinux, MmapBacksEveryPage) {
+  PhysMap phys = small_map();
+  AddressSpace as(phys, BackingPolicy::linux_4k, MemKind::ddr, kMmapBase);
+  auto va = as.mmap_anonymous(64_KiB, kProtRead | kProtWrite);
+  ASSERT_TRUE(va.ok());
+  for (std::uint64_t off = 0; off < 64_KiB; off += kPage4K)
+    EXPECT_TRUE(as.translate(*va + off).has_value());
+}
+
+TEST(AddressSpaceLinux, PagesAreScattered) {
+  PhysMap phys = small_map();
+  AddressSpace as(phys, BackingPolicy::linux_4k, MemKind::ddr, kMmapBase);
+  auto va = as.mmap_anonymous(1_MiB, kProtRead | kProtWrite);
+  ASSERT_TRUE(va.ok());
+  // Count adjacent virtual pages that are also physically adjacent; the
+  // shuffled backing should make this rare (Linux host after uptime).
+  int contiguous = 0, total = 0;
+  for (std::uint64_t off = kPage4K; off < 1_MiB; off += kPage4K) {
+    const auto prev = as.translate(*va + off - kPage4K);
+    const auto cur = as.translate(*va + off);
+    ASSERT_TRUE(prev && cur);
+    ++total;
+    if (prev->pa + kPage4K == cur->pa) ++contiguous;
+  }
+  EXPECT_LT(contiguous, total / 4) << "Linux policy should scatter frames";
+}
+
+TEST(AddressSpaceLinux, NotPinnedUntilGetUserPages) {
+  PhysMap phys = small_map();
+  AddressSpace as(phys, BackingPolicy::linux_4k, MemKind::ddr, kMmapBase);
+  auto va = as.mmap_anonymous(16_KiB, kProtRead);
+  ASSERT_TRUE(va.ok());
+  EXPECT_EQ(as.pinned_frame_count(), 0u);
+  auto pages = as.get_user_pages(*va, 16_KiB);
+  ASSERT_TRUE(pages.ok());
+  EXPECT_EQ(pages->frames.size(), 4u);
+  EXPECT_EQ(as.pinned_frame_count(), 4u);
+  as.put_user_pages(*pages);
+  EXPECT_EQ(as.pinned_frame_count(), 0u);
+}
+
+TEST(AddressSpaceLinux, GetUserPagesUnmappedFaults) {
+  PhysMap phys = small_map();
+  AddressSpace as(phys, BackingPolicy::linux_4k, MemKind::ddr, kMmapBase);
+  auto va = as.mmap_anonymous(8_KiB, kProtRead);
+  ASSERT_TRUE(va.ok());
+  // Walk past the end of the VMA.
+  auto pages = as.get_user_pages(*va, 16_KiB);
+  EXPECT_EQ(pages.error(), Errno::efault);
+  EXPECT_EQ(as.pinned_frame_count(), 0u) << "partial pins must be released";
+}
+
+TEST(AddressSpaceLwk, LargePagesUsedForBigMappings) {
+  PhysMap phys = small_map();
+  AddressSpace as(phys, BackingPolicy::lwk_contig, MemKind::mcdram, kMmapBase);
+  auto va = as.mmap_anonymous(8_MiB, kProtRead | kProtWrite);
+  ASSERT_TRUE(va.ok());
+  auto t = as.translate(*va);
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(t->page, kPage2M);
+  EXPECT_GT(as.large_page_fraction(), 0.9);
+}
+
+TEST(AddressSpaceLwk, MappingsArePinnedAtCreation) {
+  PhysMap phys = small_map();
+  AddressSpace as(phys, BackingPolicy::lwk_contig, MemKind::mcdram, kMmapBase);
+  auto va = as.mmap_anonymous(2_MiB, kProtRead | kProtWrite);
+  ASSERT_TRUE(va.ok());
+  EXPECT_EQ(as.pinned_frame_count(), 2_MiB / kPage4K);
+  auto t = as.translate(*va);
+  EXPECT_TRUE(as.is_pinned(t->pa));
+  // munmap is the user-requested operation that releases the pin.
+  ASSERT_TRUE(as.munmap(*va, 2_MiB).ok());
+  EXPECT_EQ(as.pinned_frame_count(), 0u);
+}
+
+TEST(AddressSpaceLwk, PhysicallyContiguousBacking) {
+  PhysMap phys = small_map();
+  AddressSpace as(phys, BackingPolicy::lwk_contig, MemKind::mcdram, kMmapBase);
+  auto va = as.mmap_anonymous(4_MiB, kProtRead | kProtWrite);
+  ASSERT_TRUE(va.ok());
+  auto extents = as.physical_extents(*va, 4_MiB, 0);
+  ASSERT_TRUE(extents.ok());
+  // A fresh buddy pool should back 4 MiB with very few contiguous runs.
+  EXPECT_LE(extents->size(), 2u);
+}
+
+TEST(PhysicalExtents, RespectsMaxExtent) {
+  PhysMap phys = small_map();
+  AddressSpace as(phys, BackingPolicy::lwk_contig, MemKind::mcdram, kMmapBase);
+  auto va = as.mmap_anonymous(64_KiB, kProtRead);
+  ASSERT_TRUE(va.ok());
+  const std::uint64_t kMax = 10240;  // the HFI 10 KiB SDMA descriptor cap
+  auto extents = as.physical_extents(*va, 64_KiB, kMax);
+  ASSERT_TRUE(extents.ok());
+  std::uint64_t total = 0;
+  for (const auto& e : *extents) {
+    EXPECT_LE(e.len, kMax);
+    total += e.len;
+  }
+  EXPECT_EQ(total, 64_KiB);
+  // Contiguous backing → ceil(65536/10240) = 7 descriptors, vs 16 at 4 KiB.
+  EXPECT_EQ(extents->size(), 7u);
+}
+
+TEST(PhysicalExtents, LinuxScatterYieldsPageGrainExtents) {
+  PhysMap phys = small_map();
+  AddressSpace as(phys, BackingPolicy::linux_4k, MemKind::ddr, kMmapBase);
+  auto va = as.mmap_anonymous(64_KiB, kProtRead);
+  ASSERT_TRUE(va.ok());
+  auto extents = as.physical_extents(*va, 64_KiB, 10240);
+  ASSERT_TRUE(extents.ok());
+  // Mostly single-page extents.
+  EXPECT_GE(extents->size(), 12u);
+}
+
+TEST(PhysicalExtents, UnmappedRangeFaults) {
+  PhysMap phys = small_map();
+  AddressSpace as(phys, BackingPolicy::lwk_contig, MemKind::mcdram, kMmapBase);
+  EXPECT_EQ(as.physical_extents(0xDEAD000, 4096, 0).error(), Errno::efault);
+}
+
+TEST(AddressSpace, MunmapExactVmaOnly) {
+  PhysMap phys = small_map();
+  AddressSpace as(phys, BackingPolicy::linux_4k, MemKind::ddr, kMmapBase);
+  auto va = as.mmap_anonymous(16_KiB, kProtRead);
+  ASSERT_TRUE(va.ok());
+  EXPECT_EQ(as.munmap(*va + kPage4K, 4_KiB).error(), Errno::einval);
+  EXPECT_TRUE(as.munmap(*va, 16_KiB).ok());
+  EXPECT_FALSE(as.translate(*va).has_value());
+  EXPECT_EQ(as.vma_count(), 0u);
+}
+
+TEST(AddressSpace, MunmapReturnsMemoryToPhysMap) {
+  PhysMap phys = small_map();
+  const std::uint64_t before = phys.free_bytes(MemKind::ddr) + phys.free_bytes(MemKind::mcdram);
+  {
+    AddressSpace as(phys, BackingPolicy::lwk_contig, MemKind::mcdram, kMmapBase);
+    auto va = as.mmap_anonymous(8_MiB, kProtRead);
+    ASSERT_TRUE(va.ok());
+    ASSERT_TRUE(as.munmap(*va, 8_MiB).ok());
+  }
+  const std::uint64_t after = phys.free_bytes(MemKind::ddr) + phys.free_bytes(MemKind::mcdram);
+  EXPECT_EQ(before, after);
+}
+
+TEST(AddressSpace, DeviceMappingDoesNotConsumePhys) {
+  PhysMap phys = small_map();
+  const std::uint64_t before = phys.free_bytes(MemKind::mcdram) + phys.free_bytes(MemKind::ddr);
+  AddressSpace as(phys, BackingPolicy::linux_4k, MemKind::ddr, kMmapBase);
+  auto va = as.mmap_device(0xF000'0000ull, 64_KiB, kProtRead | kProtWrite);
+  ASSERT_TRUE(va.ok());
+  EXPECT_EQ(phys.free_bytes(MemKind::mcdram) + phys.free_bytes(MemKind::ddr), before);
+  auto t = as.translate(*va + 0x10);
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(t->pa, 0xF000'0010ull);
+}
+
+TEST(AddressSpace, FindVma) {
+  PhysMap phys = small_map();
+  AddressSpace as(phys, BackingPolicy::linux_4k, MemKind::ddr, kMmapBase);
+  auto va = as.mmap_anonymous(16_KiB, kProtRead);
+  ASSERT_TRUE(va.ok());
+  const Vma* vma = as.find_vma(*va + 100);
+  ASSERT_NE(vma, nullptr);
+  EXPECT_EQ(vma->start, *va);
+  EXPECT_EQ(as.find_vma(*va + 64_KiB), nullptr);
+}
+
+}  // namespace
+}  // namespace pd::mem

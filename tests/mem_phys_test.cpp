@@ -1,0 +1,118 @@
+// Tests for the physical memory map and buddy allocator.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/common/units.hpp"
+#include "src/mem/phys.hpp"
+
+namespace pd::mem {
+namespace {
+
+TEST(Buddy, OrderForBytes) {
+  EXPECT_EQ(BuddyAllocator::order_for(1), 12);
+  EXPECT_EQ(BuddyAllocator::order_for(4096), 12);
+  EXPECT_EQ(BuddyAllocator::order_for(4097), 13);
+  EXPECT_EQ(BuddyAllocator::order_for(2_MiB), 21);
+}
+
+TEST(Buddy, AllocFreeRoundtrip) {
+  BuddyAllocator buddy(0x1000000, 16_MiB);
+  EXPECT_EQ(buddy.free_bytes_total(), 16_MiB);
+  auto a = buddy.alloc(4096);
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(buddy.free_bytes_total(), 16_MiB - 4096);
+  buddy.free_bytes(*a, 4096);
+  EXPECT_EQ(buddy.free_bytes_total(), 16_MiB);
+}
+
+TEST(Buddy, BlocksAreNaturallyAligned) {
+  BuddyAllocator buddy(0x1000000, 64_MiB);
+  for (int order = 12; order <= 22; ++order) {
+    auto a = buddy.alloc_order(order);
+    ASSERT_TRUE(a.ok());
+    EXPECT_EQ(*a & ((1ull << order) - 1), 0u) << "order " << order;
+  }
+}
+
+TEST(Buddy, NoOverlapAcrossAllocations) {
+  BuddyAllocator buddy(0, 1_MiB);
+  std::set<PhysAddr> seen;
+  for (int i = 0; i < 256; ++i) {
+    auto a = buddy.alloc(4096);
+    ASSERT_TRUE(a.ok());
+    EXPECT_TRUE(seen.insert(*a).second) << "duplicate block";
+  }
+  EXPECT_FALSE(buddy.alloc(4096).ok()) << "pool should be exhausted";
+}
+
+TEST(Buddy, CoalescingRestoresLargeBlocks) {
+  BuddyAllocator buddy(0, 2_MiB);
+  // Fragment completely, then free everything; a 2 MiB block must be
+  // allocatable again (proves buddies merged back up).
+  std::vector<PhysAddr> pages;
+  while (true) {
+    auto a = buddy.alloc(4096);
+    if (!a.ok()) break;
+    pages.push_back(*a);
+  }
+  EXPECT_EQ(pages.size(), 512u);
+  for (PhysAddr p : pages) buddy.free_bytes(p, 4096);
+  auto big = buddy.alloc(2_MiB);
+  EXPECT_TRUE(big.ok());
+}
+
+TEST(Buddy, NonPowerOfTwoCapacityUsable) {
+  BuddyAllocator buddy(0, 12_KiB);  // 3 pages
+  EXPECT_EQ(buddy.free_bytes_total(), 12_KiB);
+  auto a = buddy.alloc(4096);
+  auto b = buddy.alloc(4096);
+  auto c = buddy.alloc(4096);
+  EXPECT_TRUE(a.ok());
+  EXPECT_TRUE(b.ok());
+  EXPECT_TRUE(c.ok());
+  EXPECT_FALSE(buddy.alloc(4096).ok());
+}
+
+TEST(Buddy, RejectsBadOrders) {
+  BuddyAllocator buddy(0, 1_MiB);
+  EXPECT_FALSE(buddy.alloc_order(5).ok());
+  EXPECT_FALSE(buddy.alloc_order(40).ok());
+}
+
+TEST(PhysMap, KnlShape) {
+  PhysMap map = PhysMap::knl(16_GiB, 96_GiB, 4);
+  EXPECT_EQ(map.domain_count(), 8u);
+  EXPECT_EQ(map.free_bytes(MemKind::mcdram), 16_GiB);
+  EXPECT_EQ(map.free_bytes(MemKind::ddr), 96_GiB);
+}
+
+TEST(PhysMap, PrefersRequestedKind) {
+  PhysMap map = PhysMap::knl(16_MiB, 64_MiB, 2);
+  auto a = map.alloc(1_MiB, MemKind::mcdram);
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(map.free_bytes(MemKind::mcdram), 15_MiB);
+  EXPECT_EQ(map.free_bytes(MemKind::ddr), 64_MiB);
+}
+
+TEST(PhysMap, FallsBackToOtherKindWhenExhausted) {
+  PhysMap map = PhysMap::knl(4_MiB, 64_MiB, 1);
+  auto a = map.alloc(4_MiB, MemKind::mcdram);
+  ASSERT_TRUE(a.ok());
+  // MCDRAM is now empty; the next MCDRAM-preferring request must succeed
+  // from DDR (the paper's UMT2013 configuration).
+  auto b = map.alloc(1_MiB, MemKind::mcdram);
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(map.free_bytes(MemKind::ddr), 63_MiB);
+}
+
+TEST(PhysMap, FreeReturnsToOwningDomain) {
+  PhysMap map = PhysMap::knl(8_MiB, 8_MiB, 1);
+  auto a = map.alloc(2_MiB, MemKind::ddr);
+  ASSERT_TRUE(a.ok());
+  map.free(*a, 2_MiB);
+  EXPECT_EQ(map.free_bytes(MemKind::ddr), 8_MiB);
+}
+
+}  // namespace
+}  // namespace pd::mem

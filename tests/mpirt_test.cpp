@@ -1,0 +1,175 @@
+// Tests for the MPI runtime specifics: hierarchical collectives (only node
+// leaders touch the fabric), persistent requests, odd world sizes, solve
+// brackets, and stats bookkeeping.
+#include <gtest/gtest.h>
+
+#include "src/common/units.hpp"
+#include "src/mpirt/world.hpp"
+
+namespace pd::mpirt {
+namespace {
+
+using namespace pd::time_literals;
+
+ClusterOptions opts(int nodes, os::OsMode mode = os::OsMode::linux) {
+  ClusterOptions o;
+  o.nodes = nodes;
+  o.mode = mode;
+  o.mcdram_bytes = 256ull << 20;
+  o.ddr_bytes = 1ull << 30;
+  return o;
+}
+
+TEST(Hierarchical, BcastOnlyLeadersUseTheFabric) {
+  Cluster cluster(opts(4));
+  WorldOptions wopts;
+  wopts.ranks_per_node = 8;
+  MpiWorld world(cluster, wopts);
+  world.run([](Rank& rank) -> sim::Task<> {
+    co_await rank.init();
+    co_await rank.bcast(0, 256_KiB);
+    co_await rank.finalize();
+  });
+  // Expected-path traffic (the 256 KiB payload) may only originate from
+  // node leaders: at most nodes-1 = 3 transfers worth of writev calls.
+  std::uint64_t writevs = 0;
+  for (int n = 0; n < 4; ++n) writevs += cluster.node(n).driver->writev_calls();
+  // 256 KiB = 2 windows per hop, binomial tree over 4 nodes = 3 hops.
+  EXPECT_EQ(writevs, 3u * 2u);
+}
+
+TEST(Hierarchical, AllreduceCompletesOddWorld) {
+  Cluster cluster(opts(3));
+  WorldOptions wopts;
+  wopts.ranks_per_node = 3;  // 9 ranks — nothing is a power of two
+  MpiWorld world(cluster, wopts);
+  int done = 0;
+  world.run([&](Rank& rank) -> sim::Task<> {
+    co_await rank.init();
+    for (int i = 0; i < 3; ++i) co_await rank.allreduce(4096);
+    co_await rank.barrier();
+    co_await rank.finalize();
+    ++done;
+  });
+  EXPECT_EQ(done, 9);
+}
+
+TEST(Hierarchical, BarrierActuallySynchronizes) {
+  Cluster cluster(opts(2));
+  WorldOptions wopts;
+  wopts.ranks_per_node = 4;
+  MpiWorld world(cluster, wopts);
+  Time slow_done = 0;
+  std::vector<Time> after;
+  world.run([&](Rank& rank) -> sim::Task<> {
+    co_await rank.init();
+    if (rank.id() == 0) {
+      co_await rank.compute(from_ms(5.0));  // everyone must wait for rank 0
+      slow_done = rank.world().cluster().engine().now();
+    }
+    co_await rank.barrier();
+    after.push_back(rank.world().cluster().engine().now());
+    co_await rank.finalize();
+  });
+  ASSERT_EQ(after.size(), 8u);
+  for (Time t : after) EXPECT_GE(t, slow_done);
+}
+
+TEST(Persistent, StartWaitRoundtrips) {
+  Cluster cluster(opts(2));
+  WorldOptions wopts;
+  wopts.ranks_per_node = 1;
+  MpiWorld world(cluster, wopts);
+  world.run([](Rank& rank) -> sim::Task<> {
+    co_await rank.init();
+    const int peer = 1 - rank.id();
+    auto p = rank.id() == 0 ? rank.send_init(peer, 3, 64_KiB)
+                            : rank.recv_init(peer, 3, 64_KiB);
+    for (int round = 0; round < 5; ++round) {
+      rank.start(p);
+      co_await rank.wait(p);
+    }
+    co_await rank.finalize();
+  });
+  auto table = world.stats_table();
+  const auto* start_row = table.row("Start");
+  ASSERT_NE(start_row, nullptr);
+  EXPECT_EQ(start_row->count, 2u * 5u);
+  EXPECT_EQ(table.row("Wait")->count, 2u * 5u);
+}
+
+TEST(Persistent, StartallWaitallBatches) {
+  Cluster cluster(opts(2));
+  WorldOptions wopts;
+  wopts.ranks_per_node = 2;
+  MpiWorld world(cluster, wopts);
+  world.run([](Rank& rank) -> sim::Task<> {
+    co_await rank.init();
+    const int peer = (rank.id() + 2) % 4;  // cross-node pair (involution)
+    std::vector<Rank::MpiPersist> channels;
+    for (int c = 0; c < 3; ++c) {
+      channels.push_back(rank.id() < peer ? rank.send_init(peer, 10 + c, 32_KiB)
+                                          : rank.recv_init(peer, 10 + c, 32_KiB));
+    }
+    for (int round = 0; round < 4; ++round) {
+      rank.startall(channels);
+      co_await rank.waitall_persist(channels);
+    }
+    co_await rank.finalize();
+  });
+  EXPECT_EQ(world.stats_table().row("Start")->count, 4u * 4u * 3u);
+}
+
+TEST(SolveBracket, ExcludesInitAndFinalize) {
+  Cluster cluster(opts(1));
+  WorldOptions wopts;
+  wopts.ranks_per_node = 2;
+  MpiWorld world(cluster, wopts);
+  world.run([](Rank& rank) -> sim::Task<> {
+    co_await rank.init();
+    rank.solve_begin();
+    co_await rank.compute(from_ms(3.0));
+    rank.solve_end();
+    co_await rank.finalize();
+  });
+  const double solve = to_ms(world.max_solve());
+  const double total = to_ms(world.max_runtime());
+  EXPECT_NEAR(solve, 3.0, 0.2);
+  EXPECT_GT(total, solve) << "Init/Finalize excluded from the solve bracket";
+}
+
+TEST(SolveBracket, FallsBackToRuntimeWhenUnset) {
+  Cluster cluster(opts(1));
+  WorldOptions wopts;
+  wopts.ranks_per_node = 1;
+  MpiWorld world(cluster, wopts);
+  world.run([](Rank& rank) -> sim::Task<> {
+    co_await rank.init();
+    co_await rank.compute(from_ms(1.0));
+    co_await rank.finalize();
+  });
+  EXPECT_EQ(world.max_solve(), world.max_runtime());
+}
+
+TEST(Stats, SendRecvCountsSymmetric) {
+  Cluster cluster(opts(2));
+  WorldOptions wopts;
+  wopts.ranks_per_node = 1;
+  MpiWorld world(cluster, wopts);
+  world.run([](Rank& rank) -> sim::Task<> {
+    co_await rank.init();
+    for (int i = 0; i < 7; ++i) {
+      if (rank.id() == 0)
+        co_await rank.send(1, i, 4096);
+      else
+        co_await rank.recv(0, i, 4096);
+    }
+    co_await rank.finalize();
+  });
+  auto table = world.stats_table();
+  EXPECT_EQ(table.row("Send")->count, 7u);
+  EXPECT_EQ(table.row("Recv")->count, 7u);
+}
+
+}  // namespace
+}  // namespace pd::mpirt

@@ -1,0 +1,120 @@
+// Tests for IHK resource partitioning: dynamic reserve/boot/release with
+// no "reboot", CPU offlining semantics, exclusivity, reconfiguration.
+#include <gtest/gtest.h>
+
+#include "src/os/partition.hpp"
+
+namespace pd::os {
+namespace {
+
+constexpr std::uint64_t kGiB = 1ull << 30;
+
+TEST(HostInventory, ReservesHighestCpusFirst) {
+  HostInventory host(68, 112 * kGiB);
+  auto cpus = host.reserve_cpus(64);
+  ASSERT_TRUE(cpus.ok());
+  EXPECT_EQ(cpus->size(), 64u);
+  EXPECT_EQ(cpus->front(), 4) << "low CPUs stay with Linux";
+  EXPECT_EQ(cpus->back(), 67);
+  EXPECT_EQ(host.online_cpus(), 4);
+  for (int c = 0; c < 4; ++c) EXPECT_TRUE(host.cpu_online(c));
+  for (int c = 4; c < 68; ++c) EXPECT_FALSE(host.cpu_online(c));
+}
+
+TEST(HostInventory, OverReservationFails) {
+  HostInventory host(8, kGiB);
+  EXPECT_TRUE(host.reserve_cpus(6).ok());
+  EXPECT_EQ(host.reserve_cpus(3).error(), Errno::ebusy);
+  EXPECT_EQ(host.reserve_cpus(0).error(), Errno::einval);
+  EXPECT_EQ(host.reserve_memory(2 * kGiB).error(), Errno::enomem);
+}
+
+TEST(HostInventory, ExactReservationConflicts) {
+  HostInventory host(8, kGiB);
+  EXPECT_TRUE(host.reserve_cpus_exact({5, 6}).ok());
+  EXPECT_EQ(host.reserve_cpus_exact({6, 7}).error(), Errno::ebusy);
+  EXPECT_EQ(host.reserve_cpus_exact({9}).error(), Errno::einval);
+  host.release_cpus({5, 6});
+  EXPECT_TRUE(host.reserve_cpus_exact({6, 7}).ok());
+}
+
+TEST(HostInventory, MemoryAccounting) {
+  HostInventory host(4, 10 * kGiB);
+  ASSERT_TRUE(host.reserve_memory(6 * kGiB).ok());
+  EXPECT_EQ(host.free_memory(), 4 * kGiB);
+  host.release_memory(2 * kGiB);
+  EXPECT_EQ(host.free_memory(), 6 * kGiB);
+}
+
+TEST(IhkPartitionTest, CreateBootShutdownReleaseCycle) {
+  HostInventory host(68, 112 * kGiB);
+  {
+    auto part = IhkPartition::create(host, 64, 96 * kGiB);
+    ASSERT_TRUE(part.ok());
+    EXPECT_EQ(host.online_cpus(), 4);
+    EXPECT_EQ(host.free_memory(), 16 * kGiB);
+    EXPECT_TRUE(part->boot().ok());
+    EXPECT_TRUE(part->booted());
+    EXPECT_EQ(part->boot().error(), Errno::ebusy) << "double boot";
+    EXPECT_TRUE(part->shutdown().ok());
+    EXPECT_EQ(part->shutdown().error(), Errno::einval) << "double shutdown";
+  }
+  // Destruction returns everything — the "no reboot required" property.
+  EXPECT_EQ(host.online_cpus(), 68);
+  EXPECT_EQ(host.free_memory(), 112 * kGiB);
+}
+
+TEST(IhkPartitionTest, FailedCreateLeavesInventoryUntouched) {
+  HostInventory host(8, kGiB);
+  // CPU reservation would succeed, memory cannot: must roll back the CPUs.
+  auto part = IhkPartition::create(host, 4, 2 * kGiB);
+  EXPECT_FALSE(part.ok());
+  EXPECT_EQ(host.online_cpus(), 8);
+  EXPECT_EQ(host.free_memory(), kGiB);
+}
+
+TEST(IhkPartitionTest, TwoPartitionsAreDisjoint) {
+  // The paper's synchronization section notes a single NIC can be shared
+  // by multiple LWKs; partitions must never share CPUs.
+  HostInventory host(16, 8 * kGiB);
+  auto a = IhkPartition::create(host, 6, 2 * kGiB);
+  auto b = IhkPartition::create(host, 6, 2 * kGiB);
+  ASSERT_TRUE(a.ok() && b.ok());
+  for (int cpu : a->cpus())
+    EXPECT_EQ(std::count(b->cpus().begin(), b->cpus().end(), cpu), 0);
+  EXPECT_EQ(host.online_cpus(), 4);
+}
+
+TEST(IhkPartitionTest, GrowAndShrink) {
+  HostInventory host(16, 8 * kGiB);
+  auto part = IhkPartition::create(host, 4, kGiB);
+  ASSERT_TRUE(part.ok());
+  EXPECT_TRUE(part->grow_cpus(4).ok());
+  EXPECT_EQ(part->cpus().size(), 8u);
+  EXPECT_EQ(host.online_cpus(), 8);
+
+  ASSERT_TRUE(part->boot().ok());
+  EXPECT_EQ(part->shrink_cpus(2).error(), Errno::ebusy) << "booted LWK owns its CPUs";
+  ASSERT_TRUE(part->shutdown().ok());
+  EXPECT_TRUE(part->shrink_cpus(2).ok());
+  EXPECT_EQ(part->cpus().size(), 6u);
+  EXPECT_EQ(host.online_cpus(), 10);
+  EXPECT_EQ(part->shrink_cpus(6).error(), Errno::einval) << "cannot shrink to zero";
+}
+
+TEST(IhkPartitionTest, MoveTransfersOwnership) {
+  HostInventory host(8, kGiB);
+  auto part = IhkPartition::create(host, 4, kGiB / 2);
+  ASSERT_TRUE(part.ok());
+  {
+    IhkPartition moved = std::move(*part);
+    EXPECT_EQ(moved.cpus().size(), 4u);
+    EXPECT_EQ(host.online_cpus(), 4);
+  }
+  // Released exactly once, by the moved-to object.
+  EXPECT_EQ(host.online_cpus(), 8);
+  EXPECT_EQ(host.free_memory(), kGiB);
+}
+
+}  // namespace
+}  // namespace pd::os

@@ -1,0 +1,140 @@
+// Property tests over the memory subsystem composites: random
+// mmap/munmap/gup sequences must conserve physical memory, keep pin
+// counts balanced, and keep translations consistent, under both backing
+// policies; the kernel heap must match a reference model.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "src/common/rng.hpp"
+#include "src/common/units.hpp"
+#include "src/mem/address_space.hpp"
+#include "src/mem/kheap.hpp"
+
+namespace pd::mem {
+namespace {
+
+struct AsCase {
+  BackingPolicy policy;
+  std::uint64_t seed;
+};
+
+class AddressSpaceProperty : public testing::TestWithParam<AsCase> {};
+
+TEST_P(AddressSpaceProperty, RandomMmapChurnConservesEverything) {
+  const AsCase c = GetParam();
+  PhysMap phys = PhysMap::knl(128_MiB, 256_MiB, 2);
+  const std::uint64_t initial =
+      phys.free_bytes(MemKind::mcdram) + phys.free_bytes(MemKind::ddr);
+  Rng rng(c.seed);
+
+  {
+    AddressSpace as(phys, c.policy, MemKind::mcdram, 0x30'0000'0000ull, c.seed ^ 0xF00D);
+    struct Region {
+      VirtAddr va;
+      std::uint64_t len;
+    };
+    std::vector<Region> live;
+    std::vector<std::pair<Region, PinnedPages>> pinned;
+
+    for (int step = 0; step < 600; ++step) {
+      const int op = static_cast<int>(rng.next_below(10));
+      if (op < 4) {  // mmap
+        const std::uint64_t len = (1 + rng.next_below(512)) * kPage4K;
+        auto va = as.mmap_anonymous(len, kProtRead | kProtWrite);
+        if (va.ok()) live.push_back({*va, len});
+      } else if (op < 7 && !live.empty()) {  // munmap a random region
+        const std::size_t pick = rng.next_below(live.size());
+        // Skip regions with outstanding explicit pins (driver semantics:
+        // unmap while DMA-pinned is the app's bug; the model test avoids it).
+        bool has_pin = false;
+        for (const auto& [region, pages] : pinned)
+          if (region.va == live[pick].va) has_pin = true;
+        if (!has_pin) {
+          ASSERT_TRUE(as.munmap(live[pick].va, live[pick].len).ok());
+          live[pick] = live.back();
+          live.pop_back();
+        }
+      } else if (op < 9 && !live.empty()) {  // gup a sub-range
+        const std::size_t pick = rng.next_below(live.size());
+        const Region r = live[pick];
+        const std::uint64_t off = rng.next_below(r.len / kPage4K) * kPage4K;
+        const std::uint64_t len = std::min<std::uint64_t>(r.len - off, 8 * kPage4K);
+        auto pages = as.get_user_pages(r.va + off, len);
+        ASSERT_TRUE(pages.ok());
+        pinned.emplace_back(r, std::move(*pages));
+      } else if (!pinned.empty()) {  // release a pin set
+        const std::size_t pick = rng.next_below(pinned.size());
+        as.put_user_pages(pinned[pick].second);
+        pinned[pick] = std::move(pinned.back());
+        pinned.pop_back();
+      }
+
+      // Invariants after every step.
+      for (const auto& r : live) {
+        auto t = as.translate(r.va + rng.next_below(r.len));
+        ASSERT_TRUE(t.has_value()) << "live region must stay mapped";
+      }
+    }
+    for (auto& [region, pages] : pinned) as.put_user_pages(pages);
+    // Destructor releases everything still mapped.
+  }
+  EXPECT_EQ(phys.free_bytes(MemKind::mcdram) + phys.free_bytes(MemKind::ddr), initial)
+      << "physical memory leaked or double-freed";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Policies, AddressSpaceProperty,
+    testing::Values(AsCase{BackingPolicy::linux_4k, 11}, AsCase{BackingPolicy::linux_4k, 22},
+                    AsCase{BackingPolicy::lwk_contig, 33},
+                    AsCase{BackingPolicy::lwk_contig, 44}));
+
+class KheapProperty : public testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(KheapProperty, MatchesReferenceUnderRandomTraffic) {
+  Rng rng(GetParam() * 7);
+  KernelHeap heap({8, 9, 10, 11}, ForeignFreePolicy::remote_queue);
+  std::map<PhysAddr, std::uint64_t> reference;  // addr → size
+  std::uint64_t parked = 0;                     // on remote queues
+
+  for (int step = 0; step < 3000; ++step) {
+    const int op = static_cast<int>(rng.next_below(10));
+    if (op < 5) {  // alloc on a random owned cpu
+      const std::uint64_t size = 16 + rng.next_below(512);
+      auto a = heap.kmalloc(size, 8 + static_cast<int>(rng.next_below(4)));
+      ASSERT_TRUE(a.ok());
+      ASSERT_EQ(reference.count(*a), 0u);
+      reference[*a] = size;
+      // Memory must be zeroed and writable.
+      auto bytes = heap.data(*a);
+      ASSERT_EQ(bytes.size(), size);
+      ASSERT_EQ(bytes[0], 0);
+      bytes[0] = 0xAB;
+    } else if (op < 8 && !reference.empty()) {  // local free
+      auto it = reference.begin();
+      std::advance(it, static_cast<long>(rng.next_below(reference.size())));
+      ASSERT_TRUE(heap.kfree(it->first, 9).ok());
+      reference.erase(it);
+    } else if (!reference.empty()) {  // foreign (IRQ-side) free
+      auto it = reference.begin();
+      std::advance(it, static_cast<long>(rng.next_below(reference.size())));
+      ASSERT_TRUE(heap.kfree(it->first, /*linux cpu=*/0).ok());
+      reference.erase(it);
+      ++parked;
+      if (rng.next_double() < 0.3) {  // occasional scheduler-tick drain
+        for (int cpu : {8, 9, 10, 11}) heap.drain_remote_frees(cpu);
+        parked = 0;
+      }
+    }
+    ASSERT_EQ(heap.live_blocks(), reference.size() + parked);
+  }
+  for (int cpu : {8, 9, 10, 11}) heap.drain_remote_frees(cpu);
+  EXPECT_EQ(heap.live_blocks(), reference.size());
+  EXPECT_EQ(heap.stats().rejected_frees, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KheapProperty, testing::Values(3, 7, 31));
+
+}  // namespace
+}  // namespace pd::mem

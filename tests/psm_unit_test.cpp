@@ -1,0 +1,207 @@
+// Endpoint-level PSM tests (below the MPI runtime): protocol thresholds,
+// concurrent same-tag traffic, quota-pressure retry, window accounting,
+// shutdown with in-flight lazy TID frees.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/common/units.hpp"
+#include "src/psm/endpoint.hpp"
+
+#define CO_ASSERT_TRUE(cond)  \
+  do {                        \
+    EXPECT_TRUE(cond);        \
+    if (!(cond)) co_return;   \
+  } while (0)
+
+namespace pd::psm {
+namespace {
+
+using namespace pd::time_literals;
+
+/// Two nodes, one process + endpoint each, direct PSM (no MPI layer).
+struct PsmPair {
+  sim::Engine engine;
+  os::Config cfg;
+  std::unique_ptr<hw::Fabric> fabric;
+  struct Side {
+    std::unique_ptr<mem::PhysMap> phys;
+    std::unique_ptr<hw::HfiDevice> device;
+    std::unique_ptr<os::LinuxKernel> linux_kernel;
+    std::unique_ptr<hfi::HfiDriver> driver;
+    std::unique_ptr<os::Process> proc;
+    std::unique_ptr<Endpoint> ep;
+    mem::VirtAddr buf = 0;
+  };
+  Side side[2];
+
+  explicit PsmPair(std::function<void(os::Config&)> tweak = {}) {
+    if (tweak) tweak(cfg);
+    fabric = std::make_unique<hw::Fabric>(engine, 2);
+    for (int i = 0; i < 2; ++i) {
+      Side& s = side[i];
+      s.phys = std::make_unique<mem::PhysMap>(mem::PhysMap::knl(256ull << 20, 1ull << 30, 2));
+      s.device = std::make_unique<hw::HfiDevice>(engine, *fabric, i);
+      s.linux_kernel = std::make_unique<os::LinuxKernel>(engine, cfg);
+      s.driver = std::make_unique<hfi::HfiDriver>(*s.linux_kernel, *s.device, "10.8-0");
+      s.proc = std::make_unique<os::Process>(*s.linux_kernel, *s.phys, i, 0,
+                                             17u + static_cast<unsigned>(i));
+      s.ep = std::make_unique<Endpoint>(*s.proc, *s.device, nullptr);
+    }
+  }
+
+  /// init both endpoints and allocate a buffer per side.
+  void start(std::uint64_t buf_bytes = 8ull << 20) {
+    for (int i = 0; i < 2; ++i) {
+      sim::spawn(engine, [](Side& s, std::uint64_t bytes) -> sim::Task<> {
+        Status st = co_await s.ep->init();
+        CO_ASSERT_TRUE(st.ok());
+        auto va = co_await s.proc->mmap_anon(bytes);
+        CO_ASSERT_TRUE(va.ok());
+        s.buf = *va;
+      }(side[i], buf_bytes));
+    }
+    engine.run();
+    ASSERT_NE(side[0].buf, 0u);
+    ASSERT_NE(side[1].buf, 0u);
+  }
+
+  void finish() {
+    for (int i = 0; i < 2; ++i)
+      sim::spawn(engine, [](Side& s) -> sim::Task<> {
+        (void)co_await s.ep->finalize();
+      }(side[i]));
+    engine.run();
+  }
+};
+
+TEST(PsmUnit, ThresholdsFollowConfig) {
+  // Shrink the PIO and eager thresholds: a 4 KiB message must become an
+  // expected-protocol rendezvous.
+  PsmPair pair([](os::Config& cfg) {
+    cfg.pio_threshold = 256;
+    cfg.sdma_threshold = 1024;
+    cfg.expected_window = 2048;
+  });
+  pair.start();
+  auto& src = pair.side[0];
+  auto& dst = pair.side[1];
+  sim::spawn(pair.engine, [](PsmPair::Side& s, PsmPair::Side& d) -> sim::Task<> {
+    auto r = d.ep->irecv(EndpointId{0, 0}, 7, 4096, d.buf);
+    auto snd = s.ep->isend(EndpointId{1, 0}, 7, 4096, s.buf);
+    co_await s.ep->wait(snd);
+    co_await d.ep->wait(r);
+  }(src, dst));
+  pair.engine.run();
+  EXPECT_EQ(src.ep->expected_sends(), 1u);
+  EXPECT_EQ(src.ep->eager_sends(), 0u);
+  EXPECT_EQ(src.ep->pio_sends(), 0u);
+  // 4096 bytes / 2048-byte windows = 2 windows → 2 writevs.
+  EXPECT_EQ(src.driver->writev_calls(), 2u);
+  pair.finish();
+}
+
+TEST(PsmUnit, ManyConcurrentSameTagMessages) {
+  PsmPair pair;
+  pair.start();
+  auto& src = pair.side[0];
+  auto& dst = pair.side[1];
+  constexpr int kMsgs = 16;
+  int done = 0;
+  sim::spawn(pair.engine, [](PsmPair::Side& s, PsmPair::Side& d, int& n) -> sim::Task<> {
+    std::vector<PsmHandle> reqs;
+    for (int i = 0; i < kMsgs; ++i)
+      reqs.push_back(d.ep->irecv(EndpointId{0, 0}, 5, 200ull << 10,
+                                 d.buf + static_cast<std::uint64_t>(i) * (256ull << 10)));
+    for (int i = 0; i < kMsgs; ++i)
+      reqs.push_back(s.ep->isend(EndpointId{1, 0}, 5, 200ull << 10,
+                                 s.buf + static_cast<std::uint64_t>(i) * (256ull << 10)));
+    for (auto& r : reqs) {
+      // NOTE: not `co_await (cond ? a.wait() : b.wait())` — GCC 12
+      // mismanages temporary lifetimes for co_await on conditional
+      // expressions (frame use-after-free).
+      if (r->kind == PsmRequest::Kind::send)
+        co_await s.ep->wait(r);
+      else
+        co_await d.ep->wait(r);
+      ++n;
+    }
+  }(src, dst, done));
+  pair.engine.run();
+  EXPECT_EQ(done, 2 * kMsgs);
+  EXPECT_EQ(src.ep->expected_sends(), static_cast<std::uint64_t>(kMsgs));
+  // All TIDs freed once the dust settles (lazy frees drained).
+  EXPECT_EQ(dst.device->rcv_array().in_use(), 0u);
+  pair.finish();
+}
+
+TEST(PsmUnit, TidQuotaPressureRetriesAndSucceeds) {
+  // Tiny RcvArray: per-context quota far below one message's worth of
+  // windows; grants must retry as lazy frees release entries.
+  PsmPair pair;
+  // Rebuild side-1 device with a small RcvArray before the driver binds.
+  // (Simpler: run against the default and force pressure via many
+  // concurrent messages instead — 32 concurrent 512 KiB messages need
+  // 32*4*32 = 4096 entries > the per-ctxt quota of 512.)
+  pair.start(64ull << 20);
+  auto& src = pair.side[0];
+  auto& dst = pair.side[1];
+  constexpr int kMsgs = 32;
+  sim::spawn(pair.engine, [](PsmPair::Side& s, PsmPair::Side& d) -> sim::Task<> {
+    std::vector<PsmHandle> reqs;
+    for (int i = 0; i < kMsgs; ++i)
+      reqs.push_back(d.ep->irecv(EndpointId{0, 0}, 6, 512ull << 10,
+                                 d.buf + static_cast<std::uint64_t>(i) * (1ull << 20)));
+    for (int i = 0; i < kMsgs; ++i)
+      reqs.push_back(s.ep->isend(EndpointId{1, 0}, 6, 512ull << 10,
+                                 s.buf + static_cast<std::uint64_t>(i) * (1ull << 20)));
+    for (auto& r : reqs) {
+      if (r->kind == PsmRequest::Kind::send)
+        co_await s.ep->wait(r);
+      else
+        co_await d.ep->wait(r);
+    }
+  }(src, dst));
+  pair.engine.run();
+  // Everything completed despite transient ENOSPC, and no entries leaked.
+  EXPECT_EQ(dst.device->rcv_array().in_use(), 0u);
+  EXPECT_EQ(src.ep->expected_sends(), static_cast<std::uint64_t>(kMsgs));
+  pair.finish();
+}
+
+TEST(PsmUnit, FinalizeStopsProgressLoop) {
+  PsmPair pair;
+  // The per-device SDMA engine loops are perpetual by design; everything
+  // else (progress loops, per-message tasks) must be gone after finalize.
+  const std::int64_t hardware_tasks = pair.engine.live_tasks();
+  EXPECT_EQ(hardware_tasks, 2 * 16);  // 16 engines per HFI
+  pair.start();
+  EXPECT_GT(pair.engine.live_tasks(), hardware_tasks);
+  pair.finish();
+  EXPECT_EQ(pair.engine.live_tasks(), hardware_tasks)
+      << "progress loops must exit at finalize (no leaked coroutines)";
+}
+
+TEST(PsmUnit, BidirectionalExpectedTrafficNoDeadlock) {
+  PsmPair pair;
+  pair.start();
+  int done = 0;
+  for (int i = 0; i < 2; ++i) {
+    auto& me = pair.side[i];
+    auto& peer = pair.side[1 - i];
+    (void)peer;
+    sim::spawn(pair.engine, [](PsmPair::Side& s, int other, int& n) -> sim::Task<> {
+      auto r = s.ep->irecv(EndpointId{other, 0}, 9, 1ull << 20, s.buf);
+      auto snd = s.ep->isend(EndpointId{other, 0}, 9, 1ull << 20, s.buf + (2ull << 20));
+      co_await s.ep->wait(snd);
+      co_await s.ep->wait(r);
+      ++n;
+    }(me, 1 - i, done));
+  }
+  pair.engine.run();
+  EXPECT_EQ(done, 2);
+  pair.finish();
+}
+
+}  // namespace
+}  // namespace pd::psm

@@ -1,0 +1,101 @@
+// Unit tests for the discrete-event engine: ordering, tie-breaking,
+// time advancement, run_until semantics.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/common/time.hpp"
+#include "src/sim/engine.hpp"
+
+namespace pd::sim {
+namespace {
+
+using namespace pd::time_literals;
+
+TEST(Engine, StartsAtTimeZero) {
+  Engine e;
+  EXPECT_EQ(e.now(), 0);
+  EXPECT_TRUE(e.idle());
+}
+
+TEST(Engine, EventsRunInTimeOrder) {
+  Engine e;
+  std::vector<int> order;
+  e.schedule_after(30_ns, [&] { order.push_back(3); });
+  e.schedule_after(10_ns, [&] { order.push_back(1); });
+  e.schedule_after(20_ns, [&] { order.push_back(2); });
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(e.now(), 30_ns);
+}
+
+TEST(Engine, TiesBreakInInsertionOrder) {
+  Engine e;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) e.schedule_at(5_ns, [&order, i] { order.push_back(i); });
+  e.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Engine, NestedSchedulingFromHandler) {
+  Engine e;
+  std::vector<Time> times;
+  e.schedule_after(10_ns, [&] {
+    times.push_back(e.now());
+    e.schedule_after(5_ns, [&] { times.push_back(e.now()); });
+  });
+  e.run();
+  ASSERT_EQ(times.size(), 2u);
+  EXPECT_EQ(times[0], 10_ns);
+  EXPECT_EQ(times[1], 15_ns);
+}
+
+TEST(Engine, ZeroDelayRunsAtSameTimeAfterQueued) {
+  Engine e;
+  std::vector<int> order;
+  e.schedule_after(1_ns, [&] {
+    e.schedule_after(0, [&] { order.push_back(2); });
+    order.push_back(1);
+  });
+  e.schedule_after(1_ns, [&] { order.push_back(3); });
+  e.run();
+  // The zero-delay event lands behind the already-queued same-time event.
+  EXPECT_EQ(order, (std::vector<int>{1, 3, 2}));
+}
+
+TEST(Engine, RunUntilStopsAtDeadline) {
+  Engine e;
+  int fired = 0;
+  e.schedule_after(10_ns, [&] { ++fired; });
+  e.schedule_after(20_ns, [&] { ++fired; });
+  e.run_until(15_ns);
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(e.idle());
+  e.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Engine, RunUntilAdvancesClockWhenQueueDrains) {
+  Engine e;
+  e.schedule_after(3_ns, [] {});
+  e.run_until(100_ns);
+  EXPECT_EQ(e.now(), 100_ns);
+}
+
+TEST(Engine, CountsEvents) {
+  Engine e;
+  for (int i = 0; i < 17; ++i) e.schedule_after(i, [] {});
+  e.run();
+  EXPECT_EQ(e.events_processed(), 17u);
+}
+
+TEST(Engine, StepReturnsFalseWhenIdle) {
+  Engine e;
+  EXPECT_FALSE(e.step());
+  e.schedule_after(1_ns, [] {});
+  EXPECT_TRUE(e.step());
+  EXPECT_FALSE(e.step());
+}
+
+}  // namespace
+}  // namespace pd::sim

@@ -1,0 +1,136 @@
+// dwarf-extract-struct — the paper's §3.2 tool.
+//
+// Walks the DWARF debug info of a kernel-module binary, finds the
+// requested structure and fields, and emits a standalone padded-union
+// header (Listing 1 style) on stdout or to a file.
+//
+// Usage:
+//   dwarf-extract-struct <module.ko> <struct> <field> [<field>...] [-o out.h]
+//   dwarf-extract-struct --ship-demo <version> <out.ko>
+//
+// The second form writes the simulated HFI1 module binary for one of the
+// modeled driver releases (10.8-0, 10.9-5, 11.0-2) so the first form has
+// something real to chew on:
+//
+//   dwarf-extract-struct --ship-demo 10.9-5 hfi1.ko
+//   dwarf-extract-struct hfi1.ko sdma_state current_state go_s99_running
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "src/dwarf/extract.hpp"
+#include "src/dwarf/module_binary.hpp"
+#include "src/hfi/layouts.hpp"
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: dwarf-extract-struct <module.ko> <struct> <field> [<field>...] "
+               "[-o out.h]\n"
+               "       dwarf-extract-struct --ship-demo <version> <out.ko>\n"
+               "       dwarf-extract-struct --dump <module.ko>\n");
+  return 2;
+}
+
+int dump_module(const std::string& path) {
+  auto module = pd::dwarf::ModuleBinary::load(path);
+  if (!module.ok()) {
+    std::fprintf(stderr, "cannot load module binary %s\n", path.c_str());
+    return 1;
+  }
+  const auto* abbrev = module->section(".debug_abbrev");
+  const auto* info = module->section(".debug_info");
+  const auto* str = module->section(".debug_str");
+  if (abbrev == nullptr || info == nullptr) {
+    std::fprintf(stderr, "%s has no debug info sections\n", path.c_str());
+    return 1;
+  }
+  static const std::vector<std::uint8_t> kEmpty;
+  auto view = pd::dwarf::DebugInfoView::parse(*abbrev, *info, str != nullptr ? *str : kEmpty);
+  if (!view.ok()) {
+    std::fprintf(stderr, "malformed debug info in %s\n", path.c_str());
+    return 1;
+  }
+  std::fputs(view->dump().c_str(), stdout);
+  return 0;
+}
+
+int ship_demo(const std::string& version, const std::string& path) {
+  auto layouts = pd::hfi::DriverLayouts::for_version(version);
+  if (!layouts.ok()) {
+    std::fprintf(stderr, "unknown driver version '%s' (try 10.8-0, 10.9-5, 11.0-2)\n",
+                 version.c_str());
+    return 1;
+  }
+  const pd::dwarf::ModuleBinary module = layouts->ship_module();
+  if (!module.save(path).ok()) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return 1;
+  }
+  std::printf("wrote %s (%s)\n", path.c_str(), module.version()->c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  if (args.size() >= 3 && args[0] == "--ship-demo") return ship_demo(args[1], args[2]);
+  if (args.size() == 2 && args[0] == "--dump") return dump_module(args[1]);
+  if (args.size() < 3) return usage();
+
+  std::string out_path;
+  for (std::size_t i = 0; i + 1 < args.size(); ++i) {
+    if (args[i] == "-o") {
+      out_path = args[i + 1];
+      args.erase(args.begin() + static_cast<long>(i), args.begin() + static_cast<long>(i) + 2);
+      break;
+    }
+  }
+  if (args.size() < 3) return usage();
+
+  const std::string& module_path = args[0];
+  const std::string& struct_name = args[1];
+  const std::vector<std::string> fields(args.begin() + 2, args.end());
+
+  auto module = pd::dwarf::ModuleBinary::load(module_path);
+  if (!module.ok()) {
+    std::fprintf(stderr, "cannot load module binary %s\n", module_path.c_str());
+    return 1;
+  }
+  const auto* abbrev = module->section(".debug_abbrev");
+  const auto* info = module->section(".debug_info");
+  if (abbrev == nullptr || info == nullptr) {
+    std::fprintf(stderr, "%s has no debug info sections\n", module_path.c_str());
+    return 1;
+  }
+  static const std::vector<std::uint8_t> kNoStr;
+  const auto* str = module->section(".debug_str");
+  auto view = pd::dwarf::DebugInfoView::parse(*abbrev, *info, str != nullptr ? *str : kNoStr);
+  if (!view.ok()) {
+    std::fprintf(stderr, "malformed debug info in %s\n", module_path.c_str());
+    return 1;
+  }
+  auto header = pd::dwarf::extract_struct_header(*view, struct_name, fields);
+  if (!header.ok()) {
+    std::fprintf(stderr, "extraction failed: struct '%s' or a requested field not found\n",
+                 struct_name.c_str());
+    return 1;
+  }
+
+  if (out_path.empty()) {
+    std::fputs(header->c_str(), stdout);
+  } else {
+    std::ofstream out(out_path, std::ios::trunc);
+    out << *header;
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", out_path.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,122 @@
+// pdcluster — scenario runner: run one mini-app proxy on a simulated
+// cluster and print the figure-of-merit plus MPI / kernel profiles.
+//
+// Usage:
+//   pdcluster --app umt --nodes 8 --mode mckernel_hfi [--rpn 32]
+//
+// Apps: lammps nekbone umt hacc qbox   Modes: linux mckernel mckernel_hfi
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "src/apps/proxies.hpp"
+
+namespace {
+
+using namespace pd;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: pdcluster --app <lammps|nekbone|umt|hacc|qbox> "
+               "[--nodes N] [--rpn N] [--mode linux|mckernel|mckernel_hfi]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string app = "umt";
+  int nodes = 8;
+  int rpn = -1;
+  os::OsMode mode = os::OsMode::mckernel_hfi;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* { return i + 1 < argc ? argv[++i] : nullptr; };
+    if (arg == "--app") {
+      const char* v = next();
+      if (v == nullptr) return usage();
+      app = v;
+    } else if (arg == "--nodes") {
+      const char* v = next();
+      if (v == nullptr) return usage();
+      nodes = std::atoi(v);
+    } else if (arg == "--rpn") {
+      const char* v = next();
+      if (v == nullptr) return usage();
+      rpn = std::atoi(v);
+    } else if (arg == "--mode") {
+      const char* v = next();
+      if (v == nullptr) return usage();
+      if (std::strcmp(v, "linux") == 0)
+        mode = os::OsMode::linux;
+      else if (std::strcmp(v, "mckernel") == 0)
+        mode = os::OsMode::mckernel;
+      else if (std::strcmp(v, "mckernel_hfi") == 0)
+        mode = os::OsMode::mckernel_hfi;
+      else
+        return usage();
+    } else {
+      return usage();
+    }
+  }
+
+  mpirt::ClusterOptions copts;
+  copts.nodes = nodes;
+  copts.mode = mode;
+  copts.mcdram_bytes = 1ull << 30;
+  copts.ddr_bytes = 2ull << 30;
+  mpirt::WorldOptions wopts;
+  wopts.buf_bytes = 4ull << 20;
+
+  std::function<sim::Task<>(mpirt::Rank&)> body;
+  if (app == "lammps") {
+    wopts.ranks_per_node = rpn > 0 ? rpn : apps::kLammpsRpn;
+    apps::LammpsParams p;
+    body = [p](mpirt::Rank& r) { return apps::lammps_rank(r, p); };
+  } else if (app == "nekbone") {
+    wopts.ranks_per_node = rpn > 0 ? rpn : apps::kNekboneRpn;
+    apps::NekboneParams p;
+    body = [p](mpirt::Rank& r) { return apps::nekbone_rank(r, p); };
+  } else if (app == "umt") {
+    wopts.ranks_per_node = rpn > 0 ? rpn : apps::kUmtRpn;
+    apps::UmtParams p;
+    body = [p](mpirt::Rank& r) { return apps::umt_rank(r, p); };
+  } else if (app == "hacc") {
+    wopts.ranks_per_node = rpn > 0 ? rpn : apps::kHaccRpn;
+    apps::HaccParams p;
+    body = [p](mpirt::Rank& r) { return apps::hacc_rank(r, p); };
+  } else if (app == "qbox") {
+    wopts.ranks_per_node = rpn > 0 ? rpn : apps::kQboxRpn;
+    apps::QboxParams p;
+    body = [p](mpirt::Rank& r) { return apps::qbox_rank(r, p); };
+  } else {
+    return usage();
+  }
+
+  const auto out = apps::run_app(copts, wopts, body);
+
+  std::printf("app=%s nodes=%d ranks=%d mode=%s\n", app.c_str(), nodes,
+              nodes * wopts.ranks_per_node, to_string(mode));
+  std::printf("solve time      : %.6f s (simulated)\n", out.runtime_sec);
+  std::printf("total time      : %.6f s (incl. Init/Finalize)\n", out.total_sec);
+  std::printf("SDMA descriptors: %llu (mean %.0f bytes)\n",
+              static_cast<unsigned long long>(out.sdma_descriptors),
+              out.sdma_descriptors
+                  ? static_cast<double>(out.sdma_bytes) / out.sdma_descriptors
+                  : 0.0);
+  if (out.offloads > 0)
+    std::printf("offloads        : %llu (mean queue %.1f us)\n",
+                static_cast<unsigned long long>(out.offloads), out.mean_offload_queue_us);
+
+  std::printf("\nTop MPI calls (cumulative over ranks):\n");
+  for (const auto& row : out.mpi.rows(5))
+    std::printf("  MPI_%-12s %10.2f ms  %5.1f%% MPI  %5.1f%% Rt\n", row.call.c_str(),
+                row.time_ms, row.pct_mpi, row.pct_runtime);
+
+  std::printf("\nKernel time by syscall (solve region):\n");
+  for (const auto& row : out.kernel.rows(7))
+    std::printf("  %-10s %10.2f ms  %5.1f%%\n", row.name.c_str(), row.total_us / 1000.0,
+                100.0 * row.share);
+  return 0;
+}
