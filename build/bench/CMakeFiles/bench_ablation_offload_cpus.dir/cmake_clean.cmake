@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_offload_cpus.dir/bench_ablation_offload_cpus.cpp.o"
+  "CMakeFiles/bench_ablation_offload_cpus.dir/bench_ablation_offload_cpus.cpp.o.d"
+  "bench_ablation_offload_cpus"
+  "bench_ablation_offload_cpus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_offload_cpus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_lammps_nekbone.dir/bench_fig5_lammps_nekbone.cpp.o"
+  "CMakeFiles/bench_fig5_lammps_nekbone.dir/bench_fig5_lammps_nekbone.cpp.o.d"
+  "bench_fig5_lammps_nekbone"
+  "bench_fig5_lammps_nekbone.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_lammps_nekbone.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_umt_hacc.dir/bench_fig6_umt_hacc.cpp.o"
+  "CMakeFiles/bench_fig6_umt_hacc.dir/bench_fig6_umt_hacc.cpp.o.d"
+  "bench_fig6_umt_hacc"
+  "bench_fig6_umt_hacc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_umt_hacc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

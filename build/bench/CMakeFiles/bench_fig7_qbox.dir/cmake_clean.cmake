@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_qbox.dir/bench_fig7_qbox.cpp.o"
+  "CMakeFiles/bench_fig7_qbox.dir/bench_fig7_qbox.cpp.o.d"
+  "bench_fig7_qbox"
+  "bench_fig7_qbox.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_qbox.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

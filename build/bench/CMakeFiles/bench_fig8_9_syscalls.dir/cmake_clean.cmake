@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_9_syscalls.dir/bench_fig8_9_syscalls.cpp.o"
+  "CMakeFiles/bench_fig8_9_syscalls.dir/bench_fig8_9_syscalls.cpp.o.d"
+  "bench_fig8_9_syscalls"
+  "bench_fig8_9_syscalls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_9_syscalls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_listing1_dwarf.dir/bench_listing1_dwarf.cpp.o"
+  "CMakeFiles/bench_listing1_dwarf.dir/bench_listing1_dwarf.cpp.o.d"
+  "bench_listing1_dwarf"
+  "bench_listing1_dwarf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_listing1_dwarf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ib_regmr_extension.dir/ib_regmr_extension.cpp.o"
+  "CMakeFiles/ib_regmr_extension.dir/ib_regmr_extension.cpp.o.d"
+  "ib_regmr_extension"
+  "ib_regmr_extension.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ib_regmr_extension.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

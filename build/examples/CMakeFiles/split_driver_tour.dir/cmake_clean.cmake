@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/split_driver_tour.dir/split_driver_tour.cpp.o"
+  "CMakeFiles/split_driver_tour.dir/split_driver_tour.cpp.o.d"
+  "split_driver_tour"
+  "split_driver_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/split_driver_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

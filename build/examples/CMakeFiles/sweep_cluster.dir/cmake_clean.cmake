@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sweep_cluster.dir/sweep_cluster.cpp.o"
+  "CMakeFiles/sweep_cluster.dir/sweep_cluster.cpp.o.d"
+  "sweep_cluster"
+  "sweep_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sweep_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

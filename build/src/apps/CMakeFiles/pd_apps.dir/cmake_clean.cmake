@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pd_apps.dir/proxies.cpp.o"
+  "CMakeFiles/pd_apps.dir/proxies.cpp.o.d"
+  "CMakeFiles/pd_apps.dir/runner.cpp.o"
+  "CMakeFiles/pd_apps.dir/runner.cpp.o.d"
+  "CMakeFiles/pd_apps.dir/topology.cpp.o"
+  "CMakeFiles/pd_apps.dir/topology.cpp.o.d"
+  "libpd_apps.a"
+  "libpd_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pd_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

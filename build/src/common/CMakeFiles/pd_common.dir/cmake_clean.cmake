@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pd_common.dir/log.cpp.o"
+  "CMakeFiles/pd_common.dir/log.cpp.o.d"
+  "CMakeFiles/pd_common.dir/stats.cpp.o"
+  "CMakeFiles/pd_common.dir/stats.cpp.o.d"
+  "CMakeFiles/pd_common.dir/units.cpp.o"
+  "CMakeFiles/pd_common.dir/units.cpp.o.d"
+  "libpd_common.a"
+  "libpd_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pd_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dwarf/extract.cpp" "src/dwarf/CMakeFiles/pd_dwarf.dir/extract.cpp.o" "gcc" "src/dwarf/CMakeFiles/pd_dwarf.dir/extract.cpp.o.d"
+  "/root/repo/src/dwarf/module_binary.cpp" "src/dwarf/CMakeFiles/pd_dwarf.dir/module_binary.cpp.o" "gcc" "src/dwarf/CMakeFiles/pd_dwarf.dir/module_binary.cpp.o.d"
+  "/root/repo/src/dwarf/reader.cpp" "src/dwarf/CMakeFiles/pd_dwarf.dir/reader.cpp.o" "gcc" "src/dwarf/CMakeFiles/pd_dwarf.dir/reader.cpp.o.d"
+  "/root/repo/src/dwarf/writer.cpp" "src/dwarf/CMakeFiles/pd_dwarf.dir/writer.cpp.o" "gcc" "src/dwarf/CMakeFiles/pd_dwarf.dir/writer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pd_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

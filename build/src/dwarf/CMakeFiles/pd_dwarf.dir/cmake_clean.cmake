@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pd_dwarf.dir/extract.cpp.o"
+  "CMakeFiles/pd_dwarf.dir/extract.cpp.o.d"
+  "CMakeFiles/pd_dwarf.dir/module_binary.cpp.o"
+  "CMakeFiles/pd_dwarf.dir/module_binary.cpp.o.d"
+  "CMakeFiles/pd_dwarf.dir/reader.cpp.o"
+  "CMakeFiles/pd_dwarf.dir/reader.cpp.o.d"
+  "CMakeFiles/pd_dwarf.dir/writer.cpp.o"
+  "CMakeFiles/pd_dwarf.dir/writer.cpp.o.d"
+  "libpd_dwarf.a"
+  "libpd_dwarf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pd_dwarf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pd_hfi.dir/driver.cpp.o"
+  "CMakeFiles/pd_hfi.dir/driver.cpp.o.d"
+  "CMakeFiles/pd_hfi.dir/layouts.cpp.o"
+  "CMakeFiles/pd_hfi.dir/layouts.cpp.o.d"
+  "libpd_hfi.a"
+  "libpd_hfi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pd_hfi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

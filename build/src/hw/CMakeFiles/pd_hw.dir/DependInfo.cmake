@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hw/fabric.cpp" "src/hw/CMakeFiles/pd_hw.dir/fabric.cpp.o" "gcc" "src/hw/CMakeFiles/pd_hw.dir/fabric.cpp.o.d"
+  "/root/repo/src/hw/hfi_device.cpp" "src/hw/CMakeFiles/pd_hw.dir/hfi_device.cpp.o" "gcc" "src/hw/CMakeFiles/pd_hw.dir/hfi_device.cpp.o.d"
+  "/root/repo/src/hw/rcv_array.cpp" "src/hw/CMakeFiles/pd_hw.dir/rcv_array.cpp.o" "gcc" "src/hw/CMakeFiles/pd_hw.dir/rcv_array.cpp.o.d"
+  "/root/repo/src/hw/sdma.cpp" "src/hw/CMakeFiles/pd_hw.dir/sdma.cpp.o" "gcc" "src/hw/CMakeFiles/pd_hw.dir/sdma.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pd_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pd_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/pd_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

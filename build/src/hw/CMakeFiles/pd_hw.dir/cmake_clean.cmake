@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pd_hw.dir/fabric.cpp.o"
+  "CMakeFiles/pd_hw.dir/fabric.cpp.o.d"
+  "CMakeFiles/pd_hw.dir/hfi_device.cpp.o"
+  "CMakeFiles/pd_hw.dir/hfi_device.cpp.o.d"
+  "CMakeFiles/pd_hw.dir/rcv_array.cpp.o"
+  "CMakeFiles/pd_hw.dir/rcv_array.cpp.o.d"
+  "CMakeFiles/pd_hw.dir/sdma.cpp.o"
+  "CMakeFiles/pd_hw.dir/sdma.cpp.o.d"
+  "libpd_hw.a"
+  "libpd_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pd_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

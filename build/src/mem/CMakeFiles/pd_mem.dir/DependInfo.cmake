@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mem/address_space.cpp" "src/mem/CMakeFiles/pd_mem.dir/address_space.cpp.o" "gcc" "src/mem/CMakeFiles/pd_mem.dir/address_space.cpp.o.d"
+  "/root/repo/src/mem/kernel_space.cpp" "src/mem/CMakeFiles/pd_mem.dir/kernel_space.cpp.o" "gcc" "src/mem/CMakeFiles/pd_mem.dir/kernel_space.cpp.o.d"
+  "/root/repo/src/mem/kheap.cpp" "src/mem/CMakeFiles/pd_mem.dir/kheap.cpp.o" "gcc" "src/mem/CMakeFiles/pd_mem.dir/kheap.cpp.o.d"
+  "/root/repo/src/mem/page_table.cpp" "src/mem/CMakeFiles/pd_mem.dir/page_table.cpp.o" "gcc" "src/mem/CMakeFiles/pd_mem.dir/page_table.cpp.o.d"
+  "/root/repo/src/mem/phys.cpp" "src/mem/CMakeFiles/pd_mem.dir/phys.cpp.o" "gcc" "src/mem/CMakeFiles/pd_mem.dir/phys.cpp.o.d"
+  "/root/repo/src/mem/va_layout.cpp" "src/mem/CMakeFiles/pd_mem.dir/va_layout.cpp.o" "gcc" "src/mem/CMakeFiles/pd_mem.dir/va_layout.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pd_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

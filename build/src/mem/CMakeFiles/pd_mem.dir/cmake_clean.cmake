@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pd_mem.dir/address_space.cpp.o"
+  "CMakeFiles/pd_mem.dir/address_space.cpp.o.d"
+  "CMakeFiles/pd_mem.dir/kernel_space.cpp.o"
+  "CMakeFiles/pd_mem.dir/kernel_space.cpp.o.d"
+  "CMakeFiles/pd_mem.dir/kheap.cpp.o"
+  "CMakeFiles/pd_mem.dir/kheap.cpp.o.d"
+  "CMakeFiles/pd_mem.dir/page_table.cpp.o"
+  "CMakeFiles/pd_mem.dir/page_table.cpp.o.d"
+  "CMakeFiles/pd_mem.dir/phys.cpp.o"
+  "CMakeFiles/pd_mem.dir/phys.cpp.o.d"
+  "CMakeFiles/pd_mem.dir/va_layout.cpp.o"
+  "CMakeFiles/pd_mem.dir/va_layout.cpp.o.d"
+  "libpd_mem.a"
+  "libpd_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pd_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pd_mpirt.dir/cluster.cpp.o"
+  "CMakeFiles/pd_mpirt.dir/cluster.cpp.o.d"
+  "CMakeFiles/pd_mpirt.dir/stats.cpp.o"
+  "CMakeFiles/pd_mpirt.dir/stats.cpp.o.d"
+  "CMakeFiles/pd_mpirt.dir/world.cpp.o"
+  "CMakeFiles/pd_mpirt.dir/world.cpp.o.d"
+  "libpd_mpirt.a"
+  "libpd_mpirt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pd_mpirt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

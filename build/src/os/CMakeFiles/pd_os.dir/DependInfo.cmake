@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/os/ihk.cpp" "src/os/CMakeFiles/pd_os.dir/ihk.cpp.o" "gcc" "src/os/CMakeFiles/pd_os.dir/ihk.cpp.o.d"
+  "/root/repo/src/os/kernel.cpp" "src/os/CMakeFiles/pd_os.dir/kernel.cpp.o" "gcc" "src/os/CMakeFiles/pd_os.dir/kernel.cpp.o.d"
+  "/root/repo/src/os/mckernel.cpp" "src/os/CMakeFiles/pd_os.dir/mckernel.cpp.o" "gcc" "src/os/CMakeFiles/pd_os.dir/mckernel.cpp.o.d"
+  "/root/repo/src/os/partition.cpp" "src/os/CMakeFiles/pd_os.dir/partition.cpp.o" "gcc" "src/os/CMakeFiles/pd_os.dir/partition.cpp.o.d"
+  "/root/repo/src/os/process.cpp" "src/os/CMakeFiles/pd_os.dir/process.cpp.o" "gcc" "src/os/CMakeFiles/pd_os.dir/process.cpp.o.d"
+  "/root/repo/src/os/profiler.cpp" "src/os/CMakeFiles/pd_os.dir/profiler.cpp.o" "gcc" "src/os/CMakeFiles/pd_os.dir/profiler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pd_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pd_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/pd_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

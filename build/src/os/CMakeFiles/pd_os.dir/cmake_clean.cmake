@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pd_os.dir/ihk.cpp.o"
+  "CMakeFiles/pd_os.dir/ihk.cpp.o.d"
+  "CMakeFiles/pd_os.dir/kernel.cpp.o"
+  "CMakeFiles/pd_os.dir/kernel.cpp.o.d"
+  "CMakeFiles/pd_os.dir/mckernel.cpp.o"
+  "CMakeFiles/pd_os.dir/mckernel.cpp.o.d"
+  "CMakeFiles/pd_os.dir/partition.cpp.o"
+  "CMakeFiles/pd_os.dir/partition.cpp.o.d"
+  "CMakeFiles/pd_os.dir/process.cpp.o"
+  "CMakeFiles/pd_os.dir/process.cpp.o.d"
+  "CMakeFiles/pd_os.dir/profiler.cpp.o"
+  "CMakeFiles/pd_os.dir/profiler.cpp.o.d"
+  "libpd_os.a"
+  "libpd_os.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pd_os.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pd_pico.dir/framework.cpp.o"
+  "CMakeFiles/pd_pico.dir/framework.cpp.o.d"
+  "CMakeFiles/pd_pico.dir/hfi_picodriver.cpp.o"
+  "CMakeFiles/pd_pico.dir/hfi_picodriver.cpp.o.d"
+  "libpd_pico.a"
+  "libpd_pico.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pd_pico.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

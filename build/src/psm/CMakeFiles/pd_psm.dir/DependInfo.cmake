@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/psm/endpoint.cpp" "src/psm/CMakeFiles/pd_psm.dir/endpoint.cpp.o" "gcc" "src/psm/CMakeFiles/pd_psm.dir/endpoint.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pd_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pd_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/pd_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/pd_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/pd_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/hfi/CMakeFiles/pd_hfi.dir/DependInfo.cmake"
+  "/root/repo/build/src/pico/CMakeFiles/pd_pico.dir/DependInfo.cmake"
+  "/root/repo/build/src/dwarf/CMakeFiles/pd_dwarf.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pd_psm.dir/endpoint.cpp.o"
+  "CMakeFiles/pd_psm.dir/endpoint.cpp.o.d"
+  "libpd_psm.a"
+  "libpd_psm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pd_psm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

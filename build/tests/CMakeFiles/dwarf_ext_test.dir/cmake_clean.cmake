@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dwarf_ext_test.dir/dwarf_ext_test.cpp.o"
+  "CMakeFiles/dwarf_ext_test.dir/dwarf_ext_test.cpp.o.d"
+  "dwarf_ext_test"
+  "dwarf_ext_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dwarf_ext_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hfi_driver_test.dir/hfi_driver_test.cpp.o"
+  "CMakeFiles/hfi_driver_test.dir/hfi_driver_test.cpp.o.d"
+  "hfi_driver_test"
+  "hfi_driver_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hfi_driver_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

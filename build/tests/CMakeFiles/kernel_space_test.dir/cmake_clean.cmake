@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kernel_space_test.dir/kernel_space_test.cpp.o"
+  "CMakeFiles/kernel_space_test.dir/kernel_space_test.cpp.o.d"
+  "kernel_space_test"
+  "kernel_space_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kernel_space_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mem_layout_kheap_test.dir/mem_layout_kheap_test.cpp.o"
+  "CMakeFiles/mem_layout_kheap_test.dir/mem_layout_kheap_test.cpp.o.d"
+  "mem_layout_kheap_test"
+  "mem_layout_kheap_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mem_layout_kheap_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

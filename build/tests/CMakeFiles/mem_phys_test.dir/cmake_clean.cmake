@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mem_phys_test.dir/mem_phys_test.cpp.o"
+  "CMakeFiles/mem_phys_test.dir/mem_phys_test.cpp.o.d"
+  "mem_phys_test"
+  "mem_phys_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mem_phys_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpirt_test.dir/mpirt_test.cpp.o"
+  "CMakeFiles/mpirt_test.dir/mpirt_test.cpp.o.d"
+  "mpirt_test"
+  "mpirt_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpirt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psm_mpi_test.dir/psm_mpi_test.cpp.o"
+  "CMakeFiles/psm_mpi_test.dir/psm_mpi_test.cpp.o.d"
+  "psm_mpi_test"
+  "psm_mpi_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psm_mpi_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psm_unit_test.dir/psm_unit_test.cpp.o"
+  "CMakeFiles/psm_unit_test.dir/psm_unit_test.cpp.o.d"
+  "psm_unit_test"
+  "psm_unit_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psm_unit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spinlock_test.dir/spinlock_test.cpp.o"
+  "CMakeFiles/spinlock_test.dir/spinlock_test.cpp.o.d"
+  "spinlock_test"
+  "spinlock_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spinlock_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dwarf-extract-struct.dir/dwarf_extract_struct.cpp.o"
+  "CMakeFiles/dwarf-extract-struct.dir/dwarf_extract_struct.cpp.o.d"
+  "dwarf-extract-struct"
+  "dwarf-extract-struct.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dwarf-extract-struct.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for dwarf-extract-struct.
+# This may be replaced when dependencies are built.

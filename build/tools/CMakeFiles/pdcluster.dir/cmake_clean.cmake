@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdcluster.dir/pdcluster.cpp.o"
+  "CMakeFiles/pdcluster.dir/pdcluster.cpp.o.d"
+  "pdcluster"
+  "pdcluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdcluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
