@@ -81,6 +81,7 @@ sim::Task<Result<long>> HfiDriver::open(os::OpenFile& f) {
   ctx->ctxtdata = *ctxtdata;
   ctx->hw_ctxt = f.ctxt;
   f.driver_ctx = ctx;
+  f.driver_ctx_dtor = [](void* p) { delete static_cast<FileCtx*>(p); };
 
   StructImage fd_img = image(*filedata, "hfi1_filedata");
   fd_img.write<std::uint32_t>("ctxt", static_cast<std::uint32_t>(f.ctxt));

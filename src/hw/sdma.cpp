@@ -57,6 +57,7 @@ sim::Task<> SdmaEngine::run() {
       descriptors_issued_ += n;
       descriptor_bytes_total_ += total_bytes;
       ring_slots_free_ += n;
+      if (req.recycle_descriptors) req.recycle_descriptors(std::move(req.descriptors));
 
       WireChunk chunk;
       chunk.msg = req.header;

@@ -38,6 +38,10 @@ struct SdmaRequest {
   std::vector<SdmaDescriptor> descriptors;
   WireMessage header;          // routing/matching info for the payload
   SdmaCompletion on_complete;  // raised after the last descriptor egresses
+  // Optional arena hook: once the engine has consumed the descriptors it
+  // hands the vector (capacity intact) back to the submitter for reuse, so
+  // steady-state submissions never reallocate descriptor storage.
+  std::function<void(std::vector<SdmaDescriptor>&&)> recycle_descriptors;
 };
 
 struct SdmaConfig {

@@ -139,6 +139,7 @@ Status AddressSpace::munmap(VirtAddr addr, std::uint64_t len) {
   pt_.unmap_range(vma.start, vma.end - vma.start);
   if (!vma.device) release_backing(vma);
   vmas_.erase(it);
+  ++map_generation_;  // invalidates every cached translation/extent run
   return Status::success();
 }
 
@@ -171,8 +172,16 @@ void AddressSpace::put_user_pages(const PinnedPages& pages) {
 
 Result<std::vector<PhysExtent>> AddressSpace::physical_extents(VirtAddr va, std::uint64_t len,
                                                                std::uint64_t max_extent) const {
-  if (len == 0) return Errno::einval;
   std::vector<PhysExtent> extents;
+  Status s = physical_extents(va, len, max_extent, extents);
+  if (!s.ok()) return s.error();
+  return extents;
+}
+
+Status AddressSpace::physical_extents(VirtAddr va, std::uint64_t len, std::uint64_t max_extent,
+                                      std::vector<PhysExtent>& extents) const {
+  extents.clear();
+  if (len == 0) return Errno::einval;
   VirtAddr cur = va;
   const VirtAddr end = va + len;
   while (cur < end) {
@@ -204,7 +213,7 @@ Result<std::vector<PhysExtent>> AddressSpace::physical_extents(VirtAddr va, std:
     }
     cur += run;
   }
-  return extents;
+  return Status::success();
 }
 
 const Vma* AddressSpace::find_vma(VirtAddr va) const {

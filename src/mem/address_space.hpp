@@ -85,6 +85,17 @@ class AddressSpace {
   Result<std::vector<PhysExtent>> physical_extents(VirtAddr va, std::uint64_t len,
                                                    std::uint64_t max_extent) const;
 
+  /// Output-buffer variant of the walk: fills `out` (cleared first, capacity
+  /// reused) instead of allocating a fresh vector — the allocation-free form
+  /// the fast path and ExtentCache build on. On error `out` is unspecified.
+  Status physical_extents(VirtAddr va, std::uint64_t len, std::uint64_t max_extent,
+                          std::vector<PhysExtent>& out) const;
+
+  /// Monotone counter bumped by every munmap(); cached translations (see
+  /// ExtentCache) are valid only while the generation they were filled at
+  /// still matches.
+  std::uint64_t map_generation() const { return map_generation_; }
+
   const Vma* find_vma(VirtAddr va) const;
   std::size_t vma_count() const { return vmas_.size(); }
   std::uint64_t pinned_frame_count() const;
@@ -109,6 +120,7 @@ class AddressSpace {
   PageTable pt_;
   VirtAddr mmap_cursor_;
   Rng rng_;
+  std::uint64_t map_generation_ = 0;
 
   std::map<VirtAddr, Vma> vmas_;                         // keyed by start
   std::map<VirtAddr, std::vector<Backing>> backings_;    // keyed by VMA start

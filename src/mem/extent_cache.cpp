@@ -1,0 +1,59 @@
+#include "src/mem/extent_cache.hpp"
+
+#include <algorithm>
+
+namespace pd::mem {
+
+Result<std::span<const PhysExtent>> ExtentCache::lookup(const AddressSpace& as, VirtAddr va,
+                                                        std::uint64_t len,
+                                                        std::uint64_t max_extent,
+                                                        Outcome* outcome) {
+  ++tick_;
+  Entry* entry = nullptr;
+  for (Entry& e : entries_)
+    if (e.va == va && e.len == len && e.max_extent == max_extent) {
+      entry = &e;
+      break;
+    }
+
+  if (entry != nullptr && entry->generation == as.map_generation()) {
+    ++stats_.hits;
+    entry->last_used = tick_;
+    if (outcome != nullptr) *outcome = Outcome::hit;
+    return std::span<const PhysExtent>(entry->extents);
+  }
+
+  const Outcome miss_kind = entry == nullptr ? Outcome::miss : Outcome::invalidated;
+  if (entry == nullptr) {
+    if (entries_.size() < capacity_) {
+      entry = &entries_.emplace_back();
+    } else {
+      // Evict the least-recently-used slot; its vector capacity is reused.
+      entry = &*std::min_element(entries_.begin(), entries_.end(),
+                                 [](const Entry& a, const Entry& b) {
+                                   return a.last_used < b.last_used;
+                                 });
+    }
+    entry->va = va;
+    entry->len = len;
+    entry->max_extent = max_extent;
+  }
+
+  Status walked = as.physical_extents(va, len, max_extent, entry->extents);
+  if (!walked.ok()) {
+    // Keep the slot but poison the key so a later success does not alias.
+    entry->va = 0;
+    entry->len = 0;
+    return walked.error();
+  }
+  entry->generation = as.map_generation();
+  entry->last_used = tick_;
+  if (miss_kind == Outcome::miss)
+    ++stats_.misses;
+  else
+    ++stats_.invalidations;
+  if (outcome != nullptr) *outcome = miss_kind;
+  return std::span<const PhysExtent>(entry->extents);
+}
+
+}  // namespace pd::mem

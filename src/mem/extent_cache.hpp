@@ -1,0 +1,62 @@
+// Translation/extent cache for the LWK fast path (registration cache).
+//
+// The PicoDriver fast paths walk page tables instead of get_user_pages()
+// (§3.4) — cheap, but still O(pages) per call. HPC middleware (PSM2's TID
+// cache, libfabric memory-registration caches) amortizes exactly this:
+// repeated sends/TID registrations of the same pinned buffer should pay the
+// walk once. ExtentCache memoizes `physical_extents` results per
+// (va, len, max_extent) key and validates entries against the address
+// space's map generation, which is bumped on every munmap — so a stale
+// entry can never hand out frames that were returned to the allocator.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/common/status.hpp"
+#include "src/mem/address_space.hpp"
+
+namespace pd::mem {
+
+class ExtentCache {
+ public:
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;          // key never seen (cold)
+    std::uint64_t invalidations = 0;   // key seen, but map generation moved
+  };
+
+  enum class Outcome { hit, miss, invalidated };
+
+  explicit ExtentCache(std::size_t capacity = 64) : capacity_(capacity) {}
+
+  /// Resolve [va, va+len) against `as`. On a hit the cached runs are
+  /// returned without touching the page table; on a miss (or when the
+  /// address space unmapped anything since the entry was filled) the walk
+  /// re-runs into the entry's storage, reusing its capacity. The returned
+  /// span is valid until the next lookup() on this cache.
+  Result<std::span<const PhysExtent>> lookup(const AddressSpace& as, VirtAddr va,
+                                             std::uint64_t len, std::uint64_t max_extent,
+                                             Outcome* outcome = nullptr);
+
+  const Stats& stats() const { return stats_; }
+  std::size_t entries() const { return entries_.size(); }
+
+ private:
+  struct Entry {
+    VirtAddr va = 0;
+    std::uint64_t len = 0;
+    std::uint64_t max_extent = 0;
+    std::uint64_t generation = 0;
+    std::uint64_t last_used = 0;
+    std::vector<PhysExtent> extents;
+  };
+
+  std::size_t capacity_;
+  std::uint64_t tick_ = 0;
+  std::vector<Entry> entries_;  // few entries; linear scan beats hashing
+  Stats stats_;
+};
+
+}  // namespace pd::mem

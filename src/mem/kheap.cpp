@@ -5,38 +5,86 @@
 
 namespace pd::mem {
 
-KernelHeap::KernelHeap(std::vector<int> owned_cpus, ForeignFreePolicy policy, PhysAddr heap_base)
-    : owned_cpus_(std::move(owned_cpus)), policy_(policy), next_addr_(heap_base) {}
+KernelHeap::KernelHeap(std::vector<int> owned_cpus, ForeignFreePolicy policy, PhysAddr heap_base,
+                       bool slab_enabled)
+    : owned_cpus_(std::move(owned_cpus)),
+      policy_(policy),
+      next_addr_(heap_base),
+      slab_enabled_(slab_enabled) {
+  for (int cpu : owned_cpus_) magazines_[cpu];  // one magazine set per core
+}
 
 bool KernelHeap::owns_cpu(int cpu) const {
   return std::find(owned_cpus_.begin(), owned_cpus_.end(), cpu) != owned_cpus_.end();
 }
 
+std::size_t KernelHeap::class_for(std::uint64_t size) {
+  for (std::size_t i = 0; i < kSizeClasses.size(); ++i)
+    if (size <= kSizeClasses[i]) return i;
+  return kSizeClasses.size();
+}
+
 Result<PhysAddr> KernelHeap::kmalloc(std::uint64_t size, int cpu) {
   if (size == 0) return Errno::einval;
   if (!owns_cpu(cpu)) return Errno::eperm;
+
+  const std::size_t cls = class_for(size);
+  if (slab_enabled_ && cls < kSizeClasses.size()) {
+    auto& magazine = magazines_[cpu][cls];
+    if (!magazine.empty()) {
+      const PhysAddr addr = magazine.back();
+      magazine.pop_back();
+      Block& block = blocks_[addr];
+      block.size = size;
+      block.owner_cpu = cpu;
+      block.live = true;
+      std::memset(block.bytes.get(), 0, block.capacity);
+      ++stats_.allocs;
+      ++stats_.slab_reuses;
+      stats_.bytes_live += size;
+      ++live_blocks_;
+      return addr;
+    }
+  }
+
   Block block;
   block.size = size;
+  block.capacity = cls < kSizeClasses.size() ? kSizeClasses[cls] : size;
   block.owner_cpu = cpu;
-  block.bytes = std::make_unique<std::uint8_t[]>(size);
-  std::memset(block.bytes.get(), 0, size);
+  block.live = true;
+  block.bytes = std::make_unique<std::uint8_t[]>(block.capacity);
+  std::memset(block.bytes.get(), 0, block.capacity);
 
   const PhysAddr addr = next_addr_;
-  next_addr_ = page_ceil(next_addr_ + size, 64);  // 64-byte (cacheline) spacing
+  next_addr_ = page_ceil(next_addr_ + block.capacity, 64);  // cacheline spacing
   blocks_.emplace(addr, std::move(block));
   ++stats_.allocs;
+  ++stats_.host_allocs;
   stats_.bytes_live += size;
+  ++live_blocks_;
   return addr;
+}
+
+void KernelHeap::park_on_magazine(PhysAddr addr, Block& block) {
+  const std::size_t cls = class_for(block.capacity);
+  if (slab_enabled_ && cls < kSizeClasses.size() && owns_cpu(block.owner_cpu)) {
+    block.live = false;
+    magazines_[block.owner_cpu][cls].push_back(addr);
+    ++stats_.slab_recycles;
+  } else {
+    blocks_.erase(addr);
+  }
 }
 
 Status KernelHeap::kfree(PhysAddr addr, int cpu) {
   auto it = blocks_.find(addr);
-  if (it == blocks_.end()) return Errno::einval;
+  if (it == blocks_.end() || !it->second.live) return Errno::einval;
 
   if (owns_cpu(cpu)) {
     stats_.bytes_live -= it->second.size;
     ++stats_.local_frees;
-    blocks_.erase(it);
+    --live_blocks_;
+    park_on_magazine(addr, it->second);
     return Status::success();
   }
 
@@ -54,30 +102,41 @@ Status KernelHeap::kfree(PhysAddr addr, int cpu) {
 
 std::size_t KernelHeap::drain_remote_frees(int cpu) {
   auto qit = remote_free_queues_.find(cpu);
-  if (qit == remote_free_queues_.end()) return 0;
+  if (qit == remote_free_queues_.end() || qit->second.empty()) return 0;
+  // One batch: recycle every queued block, then clear. Nothing re-enters the
+  // queue while parking, and clear() keeps the deque's chunk — so the
+  // steady-state free/drain cycle never touches the host heap.
+  std::deque<PhysAddr>& pending = qit->second;
   std::size_t drained = 0;
-  while (!qit->second.empty()) {
-    const PhysAddr addr = qit->second.front();
-    qit->second.pop_front();
+  for (const PhysAddr addr : pending) {
     auto it = blocks_.find(addr);
-    if (it != blocks_.end()) {
-      stats_.bytes_live -= it->second.size;
-      blocks_.erase(it);
-      ++drained;
-    }
+    if (it == blocks_.end() || !it->second.live) continue;
+    stats_.bytes_live -= it->second.size;
+    --live_blocks_;
+    park_on_magazine(addr, it->second);
+    ++drained;
   }
+  pending.clear();
   return drained;
 }
 
 std::span<std::uint8_t> KernelHeap::data(PhysAddr addr) {
   auto it = blocks_.find(addr);
-  if (it == blocks_.end()) return {};
+  if (it == blocks_.end() || !it->second.live) return {};
   return {it->second.bytes.get(), it->second.size};
 }
 
 std::size_t KernelHeap::remote_queue_depth(int cpu) const {
   auto it = remote_free_queues_.find(cpu);
   return it == remote_free_queues_.end() ? 0 : it->second.size();
+}
+
+std::size_t KernelHeap::magazine_depth(int cpu) const {
+  auto it = magazines_.find(cpu);
+  if (it == magazines_.end()) return 0;
+  std::size_t total = 0;
+  for (const auto& list : it->second) total += list.size();
+  return total;
 }
 
 }  // namespace pd::mem

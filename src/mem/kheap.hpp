@@ -1,4 +1,4 @@
-// Kernel heap with per-core free lists and cross-kernel free handling
+// Kernel heap with per-core slab free lists and cross-kernel free handling
 // (paper §3.3).
 //
 // McKernel's allocator keeps per-core free lists, so kfree() must know
@@ -7,17 +7,26 @@
 // would fail there; the PicoDriver extension detects the foreign CPU and
 // routes the block to a remote-free queue that the owning core drains.
 //
+// Steady-state fast-path allocations (the 192-byte completion metadata per
+// SDMA send) are served from per-core size-class free lists: a block freed
+// on its owner core — or drained from the remote queue — parks on the
+// core's magazine for that size class, and the next kmalloc() of the class
+// pops it back in O(1) with no host allocation. Only cold allocations and
+// sizes above the largest class touch the host heap.
+//
 // Blocks carry real host bytes (`data()`): the simulated driver keeps its
 // structure images in them, and the LWK reads those images through
 // DWARF-extracted offsets — so the cross-kernel pointer story is exercised
 // with actual memory, not just bookkeeping.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <deque>
 #include <map>
 #include <memory>
 #include <span>
+#include <unordered_map>
 #include <vector>
 
 #include "src/common/status.hpp"
@@ -39,12 +48,22 @@ class KernelHeap {
     std::uint64_t remote_frees = 0;    // routed through the remote queue
     std::uint64_t rejected_frees = 0;  // failed under ForeignFreePolicy::fail
     std::uint64_t bytes_live = 0;
+    std::uint64_t slab_reuses = 0;     // kmalloc served from a per-core magazine
+    std::uint64_t slab_recycles = 0;   // freed blocks parked on a magazine
+    std::uint64_t host_allocs = 0;     // kmalloc that had to touch the host heap
   };
+
+  /// Size classes served by the per-core magazines; anything larger falls
+  /// back to a direct host allocation (and is returned to the host on free).
+  static constexpr std::array<std::uint64_t, 8> kSizeClasses = {64,  128,  192,  256,
+                                                                512, 1024, 2048, 4096};
 
   /// `owned_cpus`: logical CPU ids this kernel's allocator may run on.
   /// `heap_base`: simulated physical base of the heap arena.
+  /// `slab_enabled`: turn the per-core magazines off to model the original
+  /// map-per-block allocator (used by the before/after bench).
   KernelHeap(std::vector<int> owned_cpus, ForeignFreePolicy policy,
-             PhysAddr heap_base = 0x0000'00F0'0000'0000ull);
+             PhysAddr heap_base = 0x0000'00F0'0000'0000ull, bool slab_enabled = true);
 
   /// Allocate `size` bytes on behalf of `cpu` (must be an owned CPU).
   /// Returns the simulated physical address of the block.
@@ -54,28 +73,42 @@ class KernelHeap {
   Status kfree(PhysAddr addr, int cpu);
 
   /// Drain this core's remote-free queue (the owning kernel calls this
-  /// periodically, e.g. on its scheduler tick). Returns blocks reclaimed.
+  /// periodically, e.g. on its scheduler tick). The whole queue is recycled
+  /// in one batch and every block lands back on its owner's magazine.
+  /// Returns blocks reclaimed.
   std::size_t drain_remote_frees(int cpu);
 
-  /// Host-memory view of a live block (nullptr when not allocated).
+  /// Host-memory view of a live block (empty when not allocated).
   std::span<std::uint8_t> data(PhysAddr addr);
 
   bool owns_cpu(int cpu) const;
   std::size_t remote_queue_depth(int cpu) const;
   const Stats& stats() const { return stats_; }
-  std::size_t live_blocks() const { return blocks_.size(); }
+  std::size_t live_blocks() const { return live_blocks_; }
+  /// Blocks parked on `cpu`'s magazines across all size classes.
+  std::size_t magazine_depth(int cpu) const;
 
  private:
   struct Block {
-    std::uint64_t size;
-    int owner_cpu;  // core whose free list the block came from
+    std::uint64_t size = 0;     // requested size (what data() exposes)
+    std::uint64_t capacity = 0; // size-class bytes actually backing it
+    int owner_cpu = -1;         // core whose magazine the block belongs to
+    bool live = false;
     std::unique_ptr<std::uint8_t[]> bytes;
   };
+
+  /// Index into kSizeClasses, or kSizeClasses.size() when oversized.
+  static std::size_t class_for(std::uint64_t size);
+  void park_on_magazine(PhysAddr addr, Block& block);
 
   std::vector<int> owned_cpus_;
   ForeignFreePolicy policy_;
   PhysAddr next_addr_;
-  std::map<PhysAddr, Block> blocks_;
+  bool slab_enabled_;
+  std::size_t live_blocks_ = 0;
+  std::unordered_map<PhysAddr, Block> blocks_;
+  // Per owned CPU: one free-list magazine per size class.
+  std::unordered_map<int, std::array<std::vector<PhysAddr>, kSizeClasses.size()>> magazines_;
   std::map<int, std::deque<PhysAddr>> remote_free_queues_;  // keyed by owner cpu
   Stats stats_;
 };

@@ -73,6 +73,15 @@ struct Config {
   // --- PicoDriver-side costs --------------------------------------------
   Dur pico_bind_cost = from_us(150);       // per-rank kernel-mapping setup
   Dur pico_lock_acquire = from_ns(60);     // shared spin-lock hand-off
+  // Extent-cache hit: validate the generation + copy cached runs, instead
+  // of the per-page table walk (registration-cache amortization, §3.4).
+  Dur pico_extent_cache_hit = from_ns(25);
+  // Ring-full wait under the engine lock: bounded exponential backoff,
+  // then give the lock up and fall back to the Linux writev path instead
+  // of spinning unboundedly while holding the shared lock.
+  int pico_ring_backoff_attempts = 8;
+  Dur pico_ring_backoff_base = from_ns(500);
+  Dur pico_ring_backoff_cap = from_us(8);
 
   // --- memory management ------------------------------------------------
   Dur mmap_base_cost = from_us(1.2);

@@ -62,6 +62,12 @@ sim::Task<Result<int>> Process::open(const std::string& dev_name) {
 }
 
 sim::Task<Result<long>> Process::writev(int fd, std::vector<IoVec> iov) {
+  // The vector lives in this coroutine's frame, so the span stays valid
+  // across every suspension of the inner call.
+  co_return co_await writev(fd, std::span<const IoVec>(iov));
+}
+
+sim::Task<Result<long>> Process::writev(int fd, std::span<const IoVec> iov) {
   const Time t0 = engine().now();
   OpenFile* f = file(fd);
   if (f == nullptr) {

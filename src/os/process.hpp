@@ -47,6 +47,9 @@ class Process {
   /// --- syscalls -----------------------------------------------------------
   sim::Task<Result<int>> open(const std::string& dev_name);
   sim::Task<Result<long>> writev(int fd, std::vector<IoVec> iov);
+  /// Allocation-free variant: the caller owns the iovec storage and must
+  /// keep it alive until the call returns (PSM's fixed header+payload pair).
+  sim::Task<Result<long>> writev(int fd, std::span<const IoVec> iov);
   sim::Task<Result<long>> ioctl(int fd, unsigned long cmd, void* arg);
   sim::Task<Result<long>> poll_fd(int fd);
   sim::Task<Result<long>> read_fd(int fd, std::uint64_t len);

@@ -37,8 +37,14 @@ std::uint64_t SyscallProfiler::count_of(const std::string& name) const {
   return it == calls_.end() ? 0 : it->second.count();
 }
 
+std::uint64_t SyscallProfiler::counter(const std::string& name) const {
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
 void SyscallProfiler::merge(const SyscallProfiler& other) {
   for (const auto& [name, stats] : other.calls_) calls_[name].merge(stats);
+  for (const auto& [name, n] : other.counters_) counters_[name] += n;
   total_ += other.total_;
 }
 

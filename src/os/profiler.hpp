@@ -1,5 +1,8 @@
 // In-kernel syscall profiler (the paper's "in-house kernel profiler",
 // §4.3) and generic named-cost accounting used for Figures 8 and 9.
+// Also carries named event counters (extent-cache hits/misses, slab
+// reuse, ring-full fallbacks) so fast-path internals are observable from
+// the same place as the syscall profile.
 #pragma once
 
 #include <cstdint>
@@ -37,14 +40,22 @@ class SyscallProfiler {
   double total_us_of(const std::string& name) const;
   std::uint64_t count_of(const std::string& name) const;
 
+  /// --- named event counters ----------------------------------------------
+  /// Untimed occurrence counts (cache hits, slab reuses, fallbacks, ...).
+  void bump(const std::string& name, std::uint64_t n = 1) { counters_[name] += n; }
+  std::uint64_t counter(const std::string& name) const;
+  const std::map<std::string, std::uint64_t>& counters() const { return counters_; }
+
   void merge(const SyscallProfiler& other);
   void clear() {
     calls_.clear();
+    counters_.clear();
     total_ = 0;
   }
 
  private:
   std::map<std::string, RunningStats> calls_;
+  std::map<std::string, std::uint64_t> counters_;
   Dur total_ = 0;
 };
 

@@ -32,7 +32,17 @@ struct OpenFile {
   Process* proc = nullptr;
   CharDevice* dev = nullptr;
   void* driver_ctx = nullptr;  // driver-private (freed by driver close())
-  int ctxt = -1;               // hardware receive context bound at open()
+  // Teardown fallback set alongside driver_ctx: frees the context when the
+  // file dies with close() never called (a process torn down mid-run).
+  void (*driver_ctx_dtor)(void*) = nullptr;
+  int ctxt = -1;  // hardware receive context bound at open()
+
+  OpenFile() = default;
+  OpenFile(const OpenFile&) = delete;
+  OpenFile& operator=(const OpenFile&) = delete;
+  ~OpenFile() {
+    if (driver_ctx != nullptr && driver_ctx_dtor != nullptr) driver_ctx_dtor(driver_ctx);
+  }
 };
 
 /// Device-file operations. All methods execute "in kernel mode" on the

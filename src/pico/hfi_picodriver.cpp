@@ -75,6 +75,40 @@ int HfiPicoDriver::lwk_cpu_for(const os::Process& proc) const {
   return cpus[static_cast<std::size_t>(proc.ctxt()) % cpus.size()];
 }
 
+mem::ExtentCache& HfiPicoDriver::extent_cache_for(const os::OpenFile& f) {
+  return file_caches_[{static_cast<const void*>(f.proc), f.fd}];
+}
+
+void HfiPicoDriver::note_cache_outcome(mem::ExtentCache::Outcome outcome) {
+  switch (outcome) {
+    case mem::ExtentCache::Outcome::hit:
+      ++cache_hits_;
+      mck_.profiler().bump("pico.extent_cache.hit");
+      break;
+    case mem::ExtentCache::Outcome::miss:
+      ++cache_misses_;
+      mck_.profiler().bump("pico.extent_cache.miss");
+      break;
+    case mem::ExtentCache::Outcome::invalidated:
+      ++cache_invalidations_;
+      mck_.profiler().bump("pico.extent_cache.invalidation");
+      break;
+  }
+}
+
+std::vector<hw::SdmaDescriptor> HfiPicoDriver::take_desc_buffer() {
+  if (desc_arena_.empty()) return {};
+  std::vector<hw::SdmaDescriptor> buf = std::move(desc_arena_.back());
+  desc_arena_.pop_back();
+  buf.clear();
+  return buf;
+}
+
+void HfiPicoDriver::recycle_desc_buffer(std::vector<hw::SdmaDescriptor>&& buf) {
+  constexpr std::size_t kPooledBuffers = 64;
+  if (desc_arena_.size() < kPooledBuffers) desc_arena_.push_back(std::move(buf));
+}
+
 sim::Task<> HfiPicoDriver::rank_init() {
   // McKernel-side establishment of kernel mappings of driver internals —
   // the added MPI_Init cost the paper reports (Table 1, italic rows).
@@ -90,7 +124,8 @@ sim::Task<Result<long>> HfiPicoDriver::fast_writev(os::OpenFile& f,
   if (hdr == nullptr) co_return Errno::efault;
 
   // Scheduler-tick housekeeping piggybacked on fast-path entry: reclaim
-  // blocks the Linux IRQ side queued for our cores.
+  // blocks the Linux IRQ side queued for our cores (straight back onto the
+  // per-core slab magazines).
   drained_total_ += mck_.drain_remote_frees();
 
   os::Process& proc = *f.proc;
@@ -106,28 +141,39 @@ sim::Task<Result<long>> HfiPicoDriver::fast_writev(os::OpenFile& f,
     co_return co_await driver_.writev(f, iov);
   }
 
-  // Page-table walk instead of get_user_pages: memory is pinned by policy.
+  // Translation through the per-file extent cache: repeated sends of the
+  // same pinned buffer skip the page-table walk; only cold or invalidated
+  // ranges are re-walked. Descriptors build into an arena-pooled buffer.
+  mem::ExtentCache& cache = extent_cache_for(f);
+  std::vector<hw::SdmaDescriptor> descs = take_desc_buffer();
+  auto bail = [&](Errno err) {
+    recycle_desc_buffer(std::move(descs));
+    return err;
+  };
   std::uint64_t total_bytes = 0;
-  std::vector<hw::SdmaDescriptor> descs;
+  std::uint64_t walked_pages = 0;
+  std::uint64_t cached_ranges = 0;
   for (std::size_t i = 1; i < iov.size(); ++i) {
     const mem::Vma* vma = as.find_vma(iov[i].base);
-    if (vma == nullptr || !vma->pinned) co_return Errno::efault;
-    auto extents = as.physical_extents(iov[i].base, iov[i].len, cfg.pico_sdma_desc_bytes);
-    if (!extents.ok()) co_return extents.error();
+    if (vma == nullptr || !vma->pinned) co_return bail(Errno::efault);
+    mem::ExtentCache::Outcome outcome;
+    auto extents = cache.lookup(as, iov[i].base, iov[i].len, cfg.pico_sdma_desc_bytes, &outcome);
+    if (!extents.ok()) co_return bail(extents.error());
+    note_cache_outcome(outcome);
+    if (outcome == mem::ExtentCache::Outcome::hit)
+      ++cached_ranges;
+    else
+      walked_pages += mem::page_ceil(iov[i].len, mem::kPage4K) / mem::kPage4K;
+    // The span is only valid until the next lookup — consume it right away.
     for (const auto& e : *extents)
       descs.push_back(hw::SdmaDescriptor{e.pa, static_cast<std::uint32_t>(e.len)});
     total_bytes += iov[i].len;
   }
-  if (descs.empty()) co_return Errno::einval;
-  const std::uint64_t pages =
-      mem::page_ceil(total_bytes, mem::kPage4K) / mem::kPage4K;
-  co_await mck_.engine().delay(static_cast<Dur>(pages) * cfg.ptw_per_page +
+  if (descs.empty()) co_return bail(Errno::einval);
+  co_await mck_.engine().delay(static_cast<Dur>(walked_pages) * cfg.ptw_per_page +
+                               static_cast<Dur>(cached_ranges) * cfg.pico_extent_cache_hit +
                                cfg.sdma_submit_base +
                                static_cast<Dur>(descs.size()) * cfg.sdma_submit_per_desc);
-
-  // Completion metadata in the *LWK* heap, owned by this rank's core.
-  auto meta = mck_.kheap().kmalloc(192, lwk_cpu_for(proc));
-  if (!meta.ok()) co_return Errno::enomem;
 
   // Submission critical section under the driver's own per-engine
   // spin-lock — the §3.3 cross-kernel lock, literally shared with the
@@ -135,7 +181,37 @@ sim::Task<Result<long>> HfiPicoDriver::fast_writev(os::OpenFile& f,
   os::SharedSpinlock& lock = driver_.engine_lock(engine_id);
   co_await lock.acquire();
   hw::SdmaEngine& engine = driver_.device().engine(engine_id);
-  while (engine.ring_free() < descs.size()) co_await mck_.engine().delay(500_ns);
+
+  // Ring backpressure: bounded exponential backoff instead of an unbounded
+  // poll loop under the shared lock. If the ring stays full past the last
+  // attempt, give the lock back and take the Linux path — the proxy-side
+  // driver already knows how to wait without starving the other kernel.
+  int attempt = 0;
+  while (engine.ring_free() < descs.size()) {
+    if (attempt >= cfg.pico_ring_backoff_attempts) {
+      lock.release();
+      ++fallbacks_;
+      ++ring_full_fallbacks_;
+      mck_.profiler().bump("pico.ring_full_fallback");
+      recycle_desc_buffer(std::move(descs));
+      co_return co_await driver_.writev(f, iov);
+    }
+    Dur backoff = cfg.pico_ring_backoff_base * (Dur{1} << std::min(attempt, 20));
+    if (cfg.pico_ring_backoff_cap > 0) backoff = std::min(backoff, cfg.pico_ring_backoff_cap);
+    co_await mck_.engine().delay(backoff);
+    ++attempt;
+  }
+
+  // Completion metadata in the *LWK* heap, owned by this rank's core —
+  // steady state this is an O(1) pop off the core's slab magazine.
+  const std::uint64_t slab_reuses_before = mck_.kheap().stats().slab_reuses;
+  auto meta = mck_.kheap().kmalloc(192, lwk_cpu_for(proc));
+  if (!meta.ok()) {
+    lock.release();
+    co_return bail(Errno::enomem);
+  }
+  if (mck_.kheap().stats().slab_reuses != slab_reuses_before)
+    mck_.profiler().bump("lwk.kheap.slab_reuse");
 
   // Cross-kernel shared state: bump the same descq_submitted counter the
   // Linux driver maintains, through the extracted offset.
@@ -147,6 +223,10 @@ sim::Task<Result<long>> HfiPicoDriver::fast_writev(os::OpenFile& f,
   req.descriptors = std::move(descs);
   req.header = hdr->wire;
   req.header.payload_bytes = total_bytes;
+  // Arena hook: the engine returns the descriptor storage once consumed.
+  req.recycle_descriptors = [this](std::vector<hw::SdmaDescriptor>&& buf) {
+    recycle_desc_buffer(std::move(buf));
+  };
 
   // The duplicated completion callback (§3.3): lives in McKernel TEXT,
   // executes on a Linux CPU, and its deallocation routine is McKernel's —
@@ -189,22 +269,34 @@ sim::Task<Result<long>> HfiPicoDriver::fast_ioctl(os::OpenFile& f, unsigned long
 
       // Contiguity-aware registration: one RcvArray entry per physically
       // contiguous extent (up to 2 MiB), instead of one per 4 KiB page.
-      auto extents = as.physical_extents(args->vaddr, args->length, mem::kPage2M);
-      if (!extents.ok()) co_return extents.error();
-      const std::uint64_t pages =
-          mem::page_ceil(args->length, mem::kPage4K) / mem::kPage4K;
-      co_await mck_.engine().delay(static_cast<Dur>(pages) * cfg.ptw_per_page);
+      // Re-registrations of the same pinned window hit the extent cache
+      // and skip the walk entirely (the TID-cache amortization).
+      mem::ExtentCache::Outcome outcome;
+      auto cached = extent_cache_for(f).lookup(as, args->vaddr, args->length,
+                                               mem::kPage2M, &outcome);
+      if (!cached.ok()) co_return cached.error();
+      note_cache_outcome(outcome);
+      // The cached span only lives until the next lookup, and this path
+      // suspends below — copy the few extents out (registration is not the
+      // per-send hot path; the walk, not this copy, is what the cache saves).
+      const std::vector<mem::PhysExtent> extents(cached->begin(), cached->end());
+      const Dur translate_cost =
+          outcome == mem::ExtentCache::Outcome::hit
+              ? cfg.pico_extent_cache_hit
+              : static_cast<Dur>(mem::page_ceil(args->length, mem::kPage4K) / mem::kPage4K) *
+                    cfg.ptw_per_page;
+      co_await mck_.engine().delay(translate_cost);
 
       auto fd_bytes = driver_.linux_kernel().kheap().data(driver_.filedata_image(f));
       auto cd_bytes = driver_.linux_kernel().kheap().data(driver_.ctxtdata_image(f));
       const std::uint64_t quota = cd_expected_count_.read(cd_bytes.data());
-      if (fd_tid_used_.read(fd_bytes.data()) + extents->size() > quota)
+      if (fd_tid_used_.read(fd_bytes.data()) + extents.size() > quota)
         co_return Errno::enospc;
 
       co_await mck_.engine().delay(cfg.tid_program_base +
-                                   static_cast<Dur>(extents->size()) *
+                                   static_cast<Dur>(extents.size()) *
                                        cfg.tid_program_per_entry);
-      for (const auto& e : *extents) {
+      for (const auto& e : extents) {
         auto tid = driver_.device().rcv_array().program(f.ctxt, e.pa, e.len);
         if (!tid.ok()) {
           for (const std::uint32_t t : args->tids) {
@@ -220,7 +312,7 @@ sim::Task<Result<long>> HfiPicoDriver::fast_ioctl(os::OpenFile& f, unsigned long
         (void)driver_.account_tid_pin(f, *tid, mem::PinnedPages{});
       }
       fd_tid_used_.write(fd_bytes.data(),
-                         fd_tid_used_.read(fd_bytes.data()) + extents->size());
+                         fd_tid_used_.read(fd_bytes.data()) + extents.size());
       co_return static_cast<long>(args->tids.size());
     }
 

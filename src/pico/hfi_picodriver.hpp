@@ -12,14 +12,30 @@
 //     is McKernel's (§3.3) — it runs on a Linux CPU and routes the free
 //     through the remote-free queue.
 //
+// On top of that, the steady-state fast path is allocation-free on the
+// host side:
+//   * a per-open-file ExtentCache memoizes the page-table walk, so repeated
+//     sends / TID registrations of the same pinned buffer reuse cached
+//     PhysExtent runs (invalidated by munmap via the map generation);
+//   * SDMA descriptors are built into arena-pooled vectors that the engine
+//     hands back after consuming them (SdmaRequest::recycle_descriptors);
+//   * completion metadata comes from the kheap's per-core slab magazines.
+// Cache and fallback events are exported as named counters on the LWK's
+// SyscallProfiler ("pico.extent_cache.*", "pico.ring_full_fallback",
+// "lwk.kheap.slab_reuse").
+//
 // All driver state it touches (sdma_engine/sdma_state images, filedata,
 // ctxtdata) is read and written through DWARF-extracted offsets only.
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <memory>
+#include <utility>
+#include <vector>
 
 #include "src/hfi/driver.hpp"
+#include "src/mem/extent_cache.hpp"
 #include "src/pico/framework.hpp"
 
 namespace pd::pico {
@@ -49,7 +65,11 @@ class HfiPicoDriver {
   std::uint64_t fast_tid_updates() const { return fast_tid_updates_; }
   std::uint64_t fast_tid_frees() const { return fast_tid_frees_; }
   std::uint64_t fallbacks() const { return fallbacks_; }
+  std::uint64_t ring_full_fallbacks() const { return ring_full_fallbacks_; }
   std::uint64_t remote_frees_drained() const { return drained_total_; }
+  std::uint64_t extent_cache_hits() const { return cache_hits_; }
+  std::uint64_t extent_cache_misses() const { return cache_misses_; }
+  std::uint64_t extent_cache_invalidations() const { return cache_invalidations_; }
 
  private:
   HfiPicoDriver(PicoBinding binding, os::McKernel& mck, hfi::HfiDriver& driver);
@@ -57,6 +77,16 @@ class HfiPicoDriver {
   /// Read the engine's current sdma_state through extracted offsets.
   hfi::SdmaStates engine_state(int engine_id) const;
   int lwk_cpu_for(const os::Process& proc) const;
+
+  /// Per-open-file translation cache (keyed by process identity + fd so a
+  /// recycled OpenFile slot can never alias a previous file's entries).
+  mem::ExtentCache& extent_cache_for(const os::OpenFile& f);
+  /// Record a lookup outcome in the local counters and the LWK profiler.
+  void note_cache_outcome(mem::ExtentCache::Outcome outcome);
+
+  /// Descriptor arena: pop a pooled vector (capacity intact) / return it.
+  std::vector<hw::SdmaDescriptor> take_desc_buffer();
+  void recycle_desc_buffer(std::vector<hw::SdmaDescriptor>&& buf);
 
   PicoBinding binding_;
   os::McKernel& mck_;
@@ -70,11 +100,18 @@ class HfiPicoDriver {
   dwarf::FieldAccessor<std::uint64_t> fd_tid_used_;
   dwarf::FieldAccessor<std::uint32_t> cd_expected_count_;
 
+  std::map<std::pair<const void*, int>, mem::ExtentCache> file_caches_;
+  std::vector<std::vector<hw::SdmaDescriptor>> desc_arena_;
+
   std::uint64_t fast_writevs_ = 0;
   std::uint64_t fast_tid_updates_ = 0;
   std::uint64_t fast_tid_frees_ = 0;
   std::uint64_t fallbacks_ = 0;
+  std::uint64_t ring_full_fallbacks_ = 0;
   std::uint64_t drained_total_ = 0;
+  std::uint64_t cache_hits_ = 0;
+  std::uint64_t cache_misses_ = 0;
+  std::uint64_t cache_invalidations_ = 0;
 };
 
 }  // namespace pd::pico

@@ -1,7 +1,9 @@
 #include "src/psm/endpoint.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cassert>
+#include <span>
 
 #include "src/common/log.hpp"
 #include "src/hfi/uapi.hpp"
@@ -195,10 +197,12 @@ sim::Task<> Endpoint::run_send(PsmHandle h) {
     Endpoint* self = this;
     PsmHandle hc = h;
     hdr.on_complete = [self, hc]() mutable { self->complete(hc); };
-    std::vector<os::IoVec> iov{
+    // Fixed header+payload pair in the coroutine frame — no per-send
+    // iovec allocation (the span overload borrows the storage).
+    const std::array<os::IoVec, 2> iov{
         os::IoVec{reinterpret_cast<mem::VirtAddr>(&hdr), sizeof hdr},
         os::IoVec{h->buf, h->bytes}};
-    auto r = co_await proc_.writev(fd_, std::move(iov));
+    auto r = co_await proc_.writev(fd_, std::span<const os::IoVec>(iov));
     if (!r.ok()) {
       PD_LOG(error) << "psm: eager writev failed: " << to_string(r.error());
       complete(h);
@@ -246,9 +250,9 @@ sim::Task<> Endpoint::send_window(PsmHandle h, std::uint32_t window, std::uint32
       self->complete(hc);
     }
   };
-  std::vector<os::IoVec> iov{os::IoVec{reinterpret_cast<mem::VirtAddr>(&hdr), sizeof hdr},
-                             os::IoVec{h->buf + offset, len}};
-  auto r = co_await proc_.writev(fd_, std::move(iov));
+  const std::array<os::IoVec, 2> iov{os::IoVec{reinterpret_cast<mem::VirtAddr>(&hdr), sizeof hdr},
+                                     os::IoVec{h->buf + offset, len}};
+  auto r = co_await proc_.writev(fd_, std::span<const os::IoVec>(iov));
   if (!r.ok()) {
     PD_LOG(error) << "psm: expected writev failed: " << to_string(r.error());
     active_sends_.erase(h->msg_id);

@@ -4,6 +4,14 @@
 
 namespace pd::sim {
 
+Engine::~Engine() {
+  // Detached service coroutines (device engines etc.) loop forever and are
+  // still suspended when the simulation ends; reclaim their frames. Nothing
+  // resumes during teardown, so destroying in set order is safe — detached
+  // frames are top-level and never own one another.
+  for (void* addr : detached_) std::coroutine_handle<>::from_address(addr).destroy();
+}
+
 void Engine::schedule_at(Time t, std::function<void()> fn) {
   assert(t >= now_ && "cannot schedule into the simulated past");
   queue_.push(Event{t, next_seq_++, std::move(fn)});

@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <functional>
 #include <queue>
+#include <unordered_set>
 #include <vector>
 
 #include "src/common/time.hpp"
@@ -23,6 +24,7 @@ class Engine {
   Engine() = default;
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
+  ~Engine();
 
   /// Current simulated time.
   Time now() const { return now_; }
@@ -62,10 +64,13 @@ class Engine {
   bool idle() const { return queue_.empty(); }
   std::uint64_t events_processed() const { return events_processed_; }
 
-  /// Detached-task bookkeeping (see Task::detach / spawn in task.hpp).
-  void note_task_spawned() { ++live_tasks_; }
-  void note_task_done() { --live_tasks_; }
-  std::int64_t live_tasks() const { return live_tasks_; }
+  /// Detached-task bookkeeping (see spawn in task.hpp). The engine records
+  /// each detached frame so immortal service loops (device engines that
+  /// `while (true)` forever) are destroyed with the engine rather than
+  /// leaked when the simulation ends.
+  void note_task_spawned(std::coroutine_handle<> h) { detached_.insert(h.address()); }
+  void note_task_done(std::coroutine_handle<> h) { detached_.erase(h.address()); }
+  std::int64_t live_tasks() const { return static_cast<std::int64_t>(detached_.size()); }
 
  private:
   struct Event {
@@ -82,7 +87,7 @@ class Engine {
   Time now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t events_processed_ = 0;
-  std::int64_t live_tasks_ = 0;
+  std::unordered_set<void*> detached_;  // frames of live detached tasks
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
 };
 

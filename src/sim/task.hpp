@@ -46,9 +46,8 @@ struct FinalAwaiter {
     if (p.detached_owner != nullptr) {
       // A detached simulated process has nobody to rethrow into.
       assert(!p.exception && "unhandled exception escaped a detached Task");
-      Engine* owner = p.detached_owner;
+      p.detached_owner->note_task_done(h);
       h.destroy();
-      owner->note_task_done();
       return std::noop_coroutine();
     }
     if (p.continuation) return p.continuation;
@@ -171,7 +170,7 @@ void spawn(Engine& engine, Task<U> task) {
   assert(task.valid());
   auto h = std::exchange(task.h_, {});
   h.promise().detached_owner = &engine;
-  engine.note_task_spawned();
+  engine.note_task_spawned(h);
   h.resume();
 }
 

@@ -40,7 +40,8 @@ RunSignature run_once(os::OsMode mode) {
   RunSignature sig;
   sig.runtime_sec = to_sec(world.max_solve());
   sig.events = cluster.engine().events_processed();
-  const auto* wait = world.stats_table().row("Waitall");
+  const mpirt::MpiStatsTable table = world.stats_table();
+  const auto* wait = table.row("Waitall");
   sig.wait_ms = wait != nullptr ? wait->time_ms : 0;
   sig.kernel_ioctl_us = cluster.app_kernel_profile().total_us_of("ioctl");
   sig.descriptors = 0;
@@ -114,7 +115,13 @@ TEST(Stress, RandomTaskGraphDrainsClean) {
 
 TEST(Stress, DeepTaskChainsNoStackOverflow) {
   // Symmetric transfer must not build native stack: a 50k-deep chain of
-  // awaited child tasks.
+  // awaited child tasks. ASan instrumentation defeats the tail call that
+  // symmetric transfer compiles to, so keep the chain shallow there.
+#if defined(__SANITIZE_ADDRESS__)
+  constexpr int kDepth = 1'000;
+#else
+  constexpr int kDepth = 50'000;
+#endif
   sim::Engine engine;
   struct Chain {
     static sim::Task<int> step(sim::Engine& e, int depth) {
@@ -128,10 +135,10 @@ TEST(Stress, DeepTaskChainsNoStackOverflow) {
   };
   int result = -1;
   sim::spawn(engine, [](sim::Engine& e, int& out) -> sim::Task<> {
-    out = co_await Chain::step(e, 50'000);
+    out = co_await Chain::step(e, kDepth);
   }(engine, result));
   engine.run();
-  EXPECT_EQ(result, 50'000);
+  EXPECT_EQ(result, kDepth);
 }
 
 TEST(Stress, ManyNodesManyRanksSmoke) {

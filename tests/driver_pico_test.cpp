@@ -13,10 +13,11 @@
 
 // ASSERT_* returns `void`, which is illegal inside a coroutine; this is the
 // coroutine-safe equivalent (record failure, co_return).
-#define CO_ASSERT_TRUE(cond)  \
-  do {                        \
-    EXPECT_TRUE(cond);        \
-    if (!(cond)) co_return;   \
+#define CO_ASSERT_TRUE(cond)                          \
+  do {                                                \
+    const bool co_assert_ok_ = static_cast<bool>(cond); \
+    EXPECT_TRUE(co_assert_ok_) << #cond;              \
+    if (!co_assert_ok_) co_return;                    \
   } while (0)
 
 namespace pd {
@@ -339,6 +340,149 @@ TEST(Offload, ContentionQueuesOnServiceCpus) {
   EXPECT_EQ(opened, 32);
   // 32 opens through 4 service CPUs: queueing must be visible.
   EXPECT_GT(c.nodes[0].ihk->mean_queueing_us(), 1.0);
+}
+
+TEST(Writev, RepeatedBufferHitsExtentCacheAndReusesSlab) {
+  MiniCluster c(2, os::OsMode::mckernel_hfi);
+  auto proc = c.make_process(0, 0, os::OsMode::mckernel_hfi);
+  int completions = 0;
+  sim::spawn(c.engine, [](os::Process& p, int& done) -> sim::Task<> {
+    auto fd = co_await p.open(hfi::kDeviceName);
+    CO_ASSERT_TRUE(fd.ok());
+    auto buf = co_await p.mmap_anon(64_KiB);
+    CO_ASSERT_TRUE(buf.ok());
+    const auto send = [&](std::uint64_t seq) -> sim::Task<Result<long>> {
+      hfi::SdmaReqHeader hdr;
+      hdr.wire.src_node = p.node();
+      hdr.wire.dst_node = 1;
+      hdr.wire.src_ctxt = p.ctxt();
+      hdr.wire.dst_ctxt = 0;
+      hdr.wire.kind = hw::WireKind::eager;
+      hdr.wire.seq = seq;
+      hdr.on_complete = [&done] { ++done; };
+      std::vector<os::IoVec> iov;
+      iov.push_back(os::IoVec{reinterpret_cast<mem::VirtAddr>(&hdr), sizeof hdr});
+      iov.push_back(os::IoVec{*buf, 64_KiB});
+      co_return co_await p.writev(*fd, std::move(iov));
+    };
+    for (std::uint64_t i = 1; i <= 4; ++i) {
+      CO_ASSERT_TRUE((co_await send(i)).ok());
+      // Let the completion IRQ run so the metadata lands on the remote-free
+      // queue before the next send's entry drain.
+      co_await p.nanosleep(50_us);
+    }
+    // Any munmap moves the map generation; the next send of the *same*
+    // buffer must notice and re-walk instead of reusing stale frames.
+    auto scratch = co_await p.mmap_anon(16_KiB);
+    CO_ASSERT_TRUE(scratch.ok());
+    CO_ASSERT_TRUE((co_await p.munmap(*scratch, 16_KiB)).ok());
+    CO_ASSERT_TRUE((co_await send(5)).ok());
+  }(*proc, completions));
+  c.nodes[1].device->open_context(0);
+  c.engine.run();
+
+  auto& node = c.nodes[0];
+  EXPECT_EQ(node.pico->fast_writevs(), 5u);
+  EXPECT_EQ(node.pico->fallbacks(), 0u);
+  // Send 1 walks, sends 2-4 hit, send 5 re-walks after the munmap.
+  EXPECT_EQ(node.pico->extent_cache_misses(), 1u);
+  EXPECT_EQ(node.pico->extent_cache_hits(), 3u);
+  EXPECT_EQ(node.pico->extent_cache_invalidations(), 1u);
+  const auto& prof = node.mck->profiler();
+  EXPECT_EQ(prof.counter("pico.extent_cache.hit"), 3u);
+  EXPECT_EQ(prof.counter("pico.extent_cache.miss"), 1u);
+  EXPECT_EQ(prof.counter("pico.extent_cache.invalidation"), 1u);
+  // Sends 2-5 each reclaim the previous completion's 192-byte metadata
+  // from the remote-free queue and pop it straight off the slab magazine.
+  EXPECT_GE(node.mck->kheap().stats().slab_reuses, 3u);
+  EXPECT_GE(prof.counter("lwk.kheap.slab_reuse"), 3u);
+  EXPECT_EQ(completions, 5);
+}
+
+TEST(Tid, ReRegistrationHitsExtentCache) {
+  MiniCluster c(1, os::OsMode::mckernel_hfi);
+  auto proc = c.make_process(0, 0, os::OsMode::mckernel_hfi);
+  sim::spawn(c.engine, [](MiniCluster& cl, os::Process& p) -> sim::Task<> {
+    auto fd = co_await p.open(hfi::kDeviceName);
+    CO_ASSERT_TRUE(fd.ok());
+    auto buf = co_await p.mmap_anon(2_MiB);
+    CO_ASSERT_TRUE(buf.ok());
+    for (int round = 0; round < 2; ++round) {
+      hfi::TidUpdateArgs args;
+      args.vaddr = *buf;
+      args.length = 2_MiB;
+      CO_ASSERT_TRUE((co_await p.ioctl(*fd, hfi::kTidUpdate, &args)).ok());
+      hfi::TidFreeArgs free_args;
+      free_args.tids = args.tids;
+      CO_ASSERT_TRUE((co_await p.ioctl(*fd, hfi::kTidFree, &free_args)).ok());
+    }
+    EXPECT_EQ(cl.nodes[0].device->rcv_array().in_use(), 0u);
+  }(c, *proc));
+  c.engine.run();
+  // TID_FREE does not unmap anything, so the second registration of the
+  // same pinned window is the PSM2 TID-cache amortization: a pure hit.
+  EXPECT_EQ(c.nodes[0].pico->fast_tid_updates(), 2u);
+  EXPECT_EQ(c.nodes[0].pico->extent_cache_misses(), 1u);
+  EXPECT_EQ(c.nodes[0].pico->extent_cache_hits(), 1u);
+  EXPECT_EQ(c.nodes[0].mck->profiler().counter("pico.extent_cache.hit"), 1u);
+}
+
+TEST(Writev, RingFullFallsBackToLinuxAfterBoundedBackoff) {
+  MiniCluster c(2, os::OsMode::mckernel_hfi);
+  // Two short backoff attempts (300 ns total) cannot outwait a full ring
+  // that drains one 10 KiB descriptor per ~473 ns.
+  c.cfg.pico_ring_backoff_attempts = 2;
+  c.cfg.pico_ring_backoff_base = 100_ns;
+  auto proc = c.make_process(0, 0, os::OsMode::mckernel_hfi);
+  WritevOutcome out;
+  sim::spawn(c.engine, [](MiniCluster& cl, os::Process& p, WritevOutcome& o) -> sim::Task<> {
+    auto fd = co_await p.open(hfi::kDeviceName);
+    CO_ASSERT_TRUE(fd.ok());
+    auto buf = co_await p.mmap_anon(128_KiB);
+    CO_ASSERT_TRUE(buf.ok());
+
+    // Stuff every engine's ring completely full right before the send.
+    auto& dev = *cl.nodes[0].device;
+    std::uint64_t seq = 1000;
+    for (int e = 0; e < dev.num_engines(); ++e) {
+      auto& engine = dev.engine(e);
+      while (engine.ring_free() > 0) {
+        hw::SdmaRequest filler;
+        filler.descriptors.push_back(hw::SdmaDescriptor{0x1000, 10240});
+        filler.header.src_node = 0;
+        filler.header.dst_node = 1;
+        filler.header.dst_ctxt = 0;
+        filler.header.kind = hw::WireKind::eager;
+        filler.header.seq = seq++;
+        CO_ASSERT_TRUE(engine.submit(std::move(filler)).ok());
+      }
+    }
+
+    hfi::SdmaReqHeader hdr;
+    hdr.wire.src_node = p.node();
+    hdr.wire.dst_node = 1;
+    hdr.wire.src_ctxt = p.ctxt();
+    hdr.wire.dst_ctxt = 0;
+    hdr.wire.kind = hw::WireKind::expected;
+    hdr.wire.seq = 1;
+    hdr.on_complete = [&o] { o.completed = true; };
+    std::vector<os::IoVec> iov;
+    iov.push_back(os::IoVec{reinterpret_cast<mem::VirtAddr>(&hdr), sizeof hdr});
+    iov.push_back(os::IoVec{*buf, 128_KiB});
+    o.result = co_await p.writev(*fd, std::move(iov));
+    o.finished = cl.engine.now();
+  }(c, *proc, out));
+  c.nodes[1].device->open_context(0);
+  c.engine.run();
+
+  ASSERT_TRUE(out.result.ok()) << "the send must still succeed via Linux";
+  EXPECT_EQ(*out.result, static_cast<long>(128_KiB));
+  EXPECT_TRUE(out.completed);
+  auto& node = c.nodes[0];
+  EXPECT_EQ(node.pico->ring_full_fallbacks(), 1u);
+  EXPECT_EQ(node.pico->fallbacks(), 1u);
+  EXPECT_EQ(node.driver->writev_calls(), 1u) << "fallback must reuse the Linux path";
+  EXPECT_EQ(node.mck->profiler().counter("pico.ring_full_fallback"), 1u);
 }
 
 TEST(Writev, EngineNotRunningFallsBackToLinuxPath) {

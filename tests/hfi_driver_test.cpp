@@ -8,10 +8,11 @@
 #include "src/common/units.hpp"
 #include "src/hfi/driver.hpp"
 
-#define CO_ASSERT_TRUE(cond)  \
-  do {                        \
-    EXPECT_TRUE(cond);        \
-    if (!(cond)) co_return;   \
+#define CO_ASSERT_TRUE(cond)                          \
+  do {                                                \
+    const bool co_assert_ok_ = static_cast<bool>(cond); \
+    EXPECT_TRUE(co_assert_ok_) << #cond;              \
+    if (!co_assert_ok_) co_return;                    \
   } while (0)
 
 namespace pd::hfi {

@@ -1,9 +1,11 @@
 // Tests for AddressSpace: the Linux-vs-LWK backing policies, pinning,
-// get_user_pages, and physical-extent discovery (the §3.4 mechanism).
+// get_user_pages, physical-extent discovery (the §3.4 mechanism), and the
+// translation/extent cache layered on top of it.
 #include <gtest/gtest.h>
 
 #include "src/common/units.hpp"
 #include "src/mem/address_space.hpp"
+#include "src/mem/extent_cache.hpp"
 
 namespace pd::mem {
 namespace {
@@ -168,6 +170,145 @@ TEST(AddressSpace, DeviceMappingDoesNotConsumePhys) {
   auto t = as.translate(*va + 0x10);
   ASSERT_TRUE(t.has_value());
   EXPECT_EQ(t->pa, 0xF000'0010ull);
+}
+
+TEST(AddressSpace, MapGenerationBumpsOnSuccessfulMunmapOnly) {
+  PhysMap phys = small_map();
+  AddressSpace as(phys, BackingPolicy::lwk_contig, MemKind::mcdram, kMmapBase);
+  const std::uint64_t g0 = as.map_generation();
+  auto va = as.mmap_anonymous(64_KiB, kProtRead);
+  ASSERT_TRUE(va.ok());
+  EXPECT_EQ(as.map_generation(), g0) << "mmap must not invalidate cached runs";
+  EXPECT_FALSE(as.munmap(*va + kPage4K, 4_KiB).ok());
+  EXPECT_EQ(as.map_generation(), g0) << "failed munmap must not invalidate";
+  ASSERT_TRUE(as.munmap(*va, 64_KiB).ok());
+  EXPECT_EQ(as.map_generation(), g0 + 1);
+}
+
+TEST(PhysicalExtents, OutBufferOverloadMatchesAllocatingOverload) {
+  PhysMap phys = small_map();
+  AddressSpace as(phys, BackingPolicy::lwk_contig, MemKind::mcdram, kMmapBase);
+  auto va = as.mmap_anonymous(64_KiB, kProtRead);
+  ASSERT_TRUE(va.ok());
+  auto ref = as.physical_extents(*va, 64_KiB, 10240);
+  ASSERT_TRUE(ref.ok());
+  std::vector<PhysExtent> out;
+  ASSERT_TRUE(as.physical_extents(*va, 64_KiB, 10240, out).ok());
+  ASSERT_EQ(out.size(), ref->size());
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i].pa, (*ref)[i].pa);
+    EXPECT_EQ(out[i].len, (*ref)[i].len);
+  }
+  // A second fill clears, not appends.
+  ASSERT_TRUE(as.physical_extents(*va, 64_KiB, 10240, out).ok());
+  EXPECT_EQ(out.size(), ref->size());
+}
+
+TEST(ExtentCache, RepeatLookupHitsWithoutRewalking) {
+  PhysMap phys = small_map();
+  AddressSpace as(phys, BackingPolicy::lwk_contig, MemKind::mcdram, kMmapBase);
+  auto va = as.mmap_anonymous(64_KiB, kProtRead);
+  ASSERT_TRUE(va.ok());
+  ExtentCache cache;
+  ExtentCache::Outcome outcome;
+  auto first = cache.lookup(as, *va, 64_KiB, 10240, &outcome);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(outcome, ExtentCache::Outcome::miss);
+  EXPECT_EQ(first->size(), 7u);  // ceil(65536/10240), contiguous backing
+  auto second = cache.lookup(as, *va, 64_KiB, 10240, &outcome);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(outcome, ExtentCache::Outcome::hit);
+  EXPECT_EQ(second->size(), 7u);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.stats().invalidations, 0u);
+  EXPECT_EQ(cache.entries(), 1u);
+  // A different max_extent is a different key, not a hit.
+  ASSERT_TRUE(cache.lookup(as, *va, 64_KiB, kPage2M, &outcome).ok());
+  EXPECT_EQ(outcome, ExtentCache::Outcome::miss);
+  EXPECT_EQ(cache.entries(), 2u);
+}
+
+TEST(ExtentCache, MunmapAnywhereInvalidatesByGeneration) {
+  PhysMap phys = small_map();
+  AddressSpace as(phys, BackingPolicy::lwk_contig, MemKind::mcdram, kMmapBase);
+  auto buf = as.mmap_anonymous(64_KiB, kProtRead);
+  auto scratch = as.mmap_anonymous(16_KiB, kProtRead);
+  ASSERT_TRUE(buf.ok() && scratch.ok());
+  ExtentCache cache;
+  ExtentCache::Outcome outcome;
+  ASSERT_TRUE(cache.lookup(as, *buf, 64_KiB, 10240, &outcome).ok());
+  EXPECT_EQ(outcome, ExtentCache::Outcome::miss);
+  // Unmapping *any* range moves the generation; the conservative rule keeps
+  // stale extents from ever reaching the hardware.
+  ASSERT_TRUE(as.munmap(*scratch, 16_KiB).ok());
+  auto again = cache.lookup(as, *buf, 64_KiB, 10240, &outcome);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(outcome, ExtentCache::Outcome::invalidated);
+  EXPECT_EQ(cache.stats().invalidations, 1u);
+  EXPECT_EQ(again->size(), 7u) << "re-walk must produce fresh extents";
+  // Stable again until the next munmap.
+  ASSERT_TRUE(cache.lookup(as, *buf, 64_KiB, 10240, &outcome).ok());
+  EXPECT_EQ(outcome, ExtentCache::Outcome::hit);
+}
+
+TEST(ExtentCache, ReMmapAfterMunmapRewalksNotStale) {
+  PhysMap phys = small_map();
+  AddressSpace as(phys, BackingPolicy::lwk_contig, MemKind::mcdram, kMmapBase);
+  auto va = as.mmap_anonymous(64_KiB, kProtRead);
+  ASSERT_TRUE(va.ok());
+  ExtentCache cache;
+  ASSERT_TRUE(cache.lookup(as, *va, 64_KiB, 10240).ok());
+  ASSERT_TRUE(as.munmap(*va, 64_KiB).ok());
+  auto va2 = as.mmap_anonymous(64_KiB, kProtRead);
+  ASSERT_TRUE(va2.ok());
+  ExtentCache::Outcome outcome;
+  auto fresh = cache.lookup(as, *va2, 64_KiB, 10240, &outcome);
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_NE(outcome, ExtentCache::Outcome::hit);
+  // The re-walked extents must match what the page table says *now*.
+  auto truth = as.physical_extents(*va2, 64_KiB, 10240);
+  ASSERT_TRUE(truth.ok());
+  ASSERT_EQ(fresh->size(), truth->size());
+  for (std::size_t i = 0; i < truth->size(); ++i)
+    EXPECT_EQ((*fresh)[i].pa, (*truth)[i].pa);
+}
+
+TEST(ExtentCache, LruEvictionAtCapacity) {
+  PhysMap phys = small_map();
+  AddressSpace as(phys, BackingPolicy::lwk_contig, MemKind::mcdram, kMmapBase);
+  auto a = as.mmap_anonymous(16_KiB, kProtRead);
+  auto b = as.mmap_anonymous(16_KiB, kProtRead);
+  auto c = as.mmap_anonymous(16_KiB, kProtRead);
+  ASSERT_TRUE(a.ok() && b.ok() && c.ok());
+  ExtentCache cache(/*capacity=*/2);
+  ExtentCache::Outcome outcome;
+  ASSERT_TRUE(cache.lookup(as, *a, 16_KiB, 10240).ok());
+  ASSERT_TRUE(cache.lookup(as, *b, 16_KiB, 10240).ok());
+  // Touch `a` so `b` is the LRU victim when `c` arrives.
+  ASSERT_TRUE(cache.lookup(as, *a, 16_KiB, 10240, &outcome).ok());
+  EXPECT_EQ(outcome, ExtentCache::Outcome::hit);
+  ASSERT_TRUE(cache.lookup(as, *c, 16_KiB, 10240).ok());
+  EXPECT_EQ(cache.entries(), 2u);
+  ASSERT_TRUE(cache.lookup(as, *a, 16_KiB, 10240, &outcome).ok());
+  EXPECT_EQ(outcome, ExtentCache::Outcome::hit) << "recently-used entry survives";
+  ASSERT_TRUE(cache.lookup(as, *b, 16_KiB, 10240, &outcome).ok());
+  EXPECT_EQ(outcome, ExtentCache::Outcome::miss) << "LRU entry was evicted";
+}
+
+TEST(ExtentCache, FaultingRangeIsNotCached) {
+  PhysMap phys = small_map();
+  AddressSpace as(phys, BackingPolicy::lwk_contig, MemKind::mcdram, kMmapBase);
+  ExtentCache cache;
+  EXPECT_EQ(cache.lookup(as, 0xDEAD000, 4096, 0).error(), Errno::efault);
+  EXPECT_EQ(cache.lookup(as, 0xDEAD000, 4096, 0).error(), Errno::efault);
+  EXPECT_EQ(cache.stats().hits, 0u) << "a failed walk must never turn into a hit";
+  // A valid range still works after the failures.
+  auto va = as.mmap_anonymous(16_KiB, kProtRead);
+  ASSERT_TRUE(va.ok());
+  ExtentCache::Outcome outcome;
+  ASSERT_TRUE(cache.lookup(as, *va, 16_KiB, 10240, &outcome).ok());
+  EXPECT_EQ(outcome, ExtentCache::Outcome::miss);
 }
 
 TEST(AddressSpace, FindVma) {

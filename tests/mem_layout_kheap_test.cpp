@@ -128,5 +128,98 @@ TEST(KernelHeap, FreeUnknownAddressRejected) {
   EXPECT_EQ(heap.kfree(0x1234, 0).error(), Errno::einval);
 }
 
+TEST(KernelHeapSlab, LocalFreeParksOnMagazineAndKmallocReuses) {
+  KernelHeap heap({0}, ForeignFreePolicy::fail);
+  auto a = heap.kmalloc(192, 0);  // the SDMA completion-metadata size
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(heap.stats().host_allocs, 1u);
+  heap.data(*a)[7] = 0x55;  // dirty it; reuse must re-zero
+  ASSERT_TRUE(heap.kfree(*a, 0).ok());
+  EXPECT_EQ(heap.magazine_depth(0), 1u);
+  EXPECT_EQ(heap.stats().slab_recycles, 1u);
+  EXPECT_TRUE(heap.data(*a).empty()) << "parked block is not live";
+
+  auto b = heap.kmalloc(192, 0);
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(*b, *a) << "steady state pops the same block back";
+  EXPECT_EQ(heap.stats().slab_reuses, 1u);
+  EXPECT_EQ(heap.stats().host_allocs, 1u) << "no second host allocation";
+  EXPECT_EQ(heap.magazine_depth(0), 0u);
+  auto bytes = heap.data(*b);
+  ASSERT_EQ(bytes.size(), 192u);
+  for (auto byte : bytes) ASSERT_EQ(byte, 0) << "reused block must be zeroed";
+}
+
+TEST(KernelHeapSlab, SameClassServesSmallerRequest) {
+  KernelHeap heap({0}, ForeignFreePolicy::fail);
+  auto a = heap.kmalloc(192, 0);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(heap.kfree(*a, 0).ok());
+  auto b = heap.kmalloc(150, 0);  // also rounds to the 192 class
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(*b, *a);
+  EXPECT_EQ(heap.stats().slab_reuses, 1u);
+  EXPECT_EQ(heap.data(*b).size(), 150u) << "data() reflects the requested size";
+}
+
+TEST(KernelHeapSlab, MagazinesArePerCore) {
+  KernelHeap heap({0, 1}, ForeignFreePolicy::fail);
+  auto a = heap.kmalloc(192, 0);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(heap.kfree(*a, 1).ok());  // freed on a different owned core
+  // The block belongs to its *owner* core's magazine, so core 0 reuses it.
+  EXPECT_EQ(heap.magazine_depth(0), 1u);
+  EXPECT_EQ(heap.magazine_depth(1), 0u);
+}
+
+TEST(KernelHeapSlab, DrainedRemoteFreesLandOnMagazineInOneSplice) {
+  KernelHeap heap({60}, ForeignFreePolicy::remote_queue);
+  std::vector<PhysAddr> addrs;
+  for (int i = 0; i < 3; ++i) {
+    auto a = heap.kmalloc(192, 60);
+    ASSERT_TRUE(a.ok());
+    addrs.push_back(*a);
+  }
+  for (const PhysAddr a : addrs)
+    ASSERT_TRUE(heap.kfree(a, /*linux cpu=*/0).ok());
+  EXPECT_EQ(heap.magazine_depth(60), 0u) << "nothing parked until the drain";
+  EXPECT_EQ(heap.drain_remote_frees(60), 3u);
+  EXPECT_EQ(heap.remote_queue_depth(60), 0u);
+  EXPECT_EQ(heap.magazine_depth(60), 3u);
+  EXPECT_EQ(heap.stats().slab_recycles, 3u);
+  // Steady state: all three come back with zero host allocations.
+  const std::uint64_t host_before = heap.stats().host_allocs;
+  for (int i = 0; i < 3; ++i) ASSERT_TRUE(heap.kmalloc(192, 60).ok());
+  EXPECT_EQ(heap.stats().host_allocs, host_before);
+  EXPECT_EQ(heap.stats().slab_reuses, 3u);
+  EXPECT_EQ(heap.magazine_depth(60), 0u);
+}
+
+TEST(KernelHeapSlab, OversizedBlocksBypassMagazines) {
+  KernelHeap heap({0}, ForeignFreePolicy::fail);
+  auto a = heap.kmalloc(8192, 0);  // above the largest (4096) class
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(heap.kfree(*a, 0).ok());
+  EXPECT_EQ(heap.magazine_depth(0), 0u);
+  EXPECT_EQ(heap.stats().slab_recycles, 0u);
+  auto b = heap.kmalloc(8192, 0);
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(heap.stats().slab_reuses, 0u);
+  EXPECT_EQ(heap.stats().host_allocs, 2u);
+}
+
+TEST(KernelHeapSlab, DisabledSlabModelsOriginalAllocator) {
+  KernelHeap heap({0}, ForeignFreePolicy::fail, 0x0000'00F0'0000'0000ull,
+                  /*slab_enabled=*/false);
+  auto a = heap.kmalloc(192, 0);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(heap.kfree(*a, 0).ok());
+  EXPECT_EQ(heap.magazine_depth(0), 0u);
+  auto b = heap.kmalloc(192, 0);
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(heap.stats().slab_reuses, 0u);
+  EXPECT_EQ(heap.stats().host_allocs, 2u) << "every kmalloc touches the host heap";
+}
+
 }  // namespace
 }  // namespace pd::mem

@@ -7,10 +7,11 @@
 #include "src/os/process.hpp"
 #include "src/sim/task.hpp"
 
-#define CO_ASSERT_TRUE(cond)  \
-  do {                        \
-    EXPECT_TRUE(cond);        \
-    if (!(cond)) co_return;   \
+#define CO_ASSERT_TRUE(cond)                          \
+  do {                                                \
+    const bool co_assert_ok_ = static_cast<bool>(cond); \
+    EXPECT_TRUE(co_assert_ok_) << #cond;              \
+    if (!co_assert_ok_) co_return;                    \
   } while (0)
 
 namespace pd::os {
@@ -252,7 +253,7 @@ TEST(Process, BadFdReturnsEbadf) {
   ProcFixture f;
   Process proc(f.linux_kernel, f.phys, 0, 0, 5);
   sim::spawn(f.engine, [](Process& p) -> sim::Task<> {
-    auto w = co_await p.writev(42, {});
+    auto w = co_await p.writev(42, std::vector<os::IoVec>{});
     EXPECT_EQ(w.error(), Errno::ebadf);
     auto i = co_await p.ioctl(42, 1, nullptr);
     EXPECT_EQ(i.error(), Errno::ebadf);
