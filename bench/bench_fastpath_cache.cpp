@@ -97,6 +97,61 @@ std::uint64_t cached_op(const AddressSpace& as, VirtAddr va, ExtentCache& cache,
   return descs.size();
 }
 
+/// Mixed-lifetime workload (the thrash case PR 1's cache collapsed on): one
+/// persistent MPI window re-sent every iteration while small transient
+/// buffers churn through mmap → send → munmap around it. "Precise" is the
+/// current design (unmap-interval log + size-aware eviction); "coarse"
+/// emulates the PR-1 cache (log capacity 0 → every munmap invalidates the
+/// whole space; pure LRU). The figure of merit is the persistent window's
+/// hit rate — precise must keep it, coarse collapses it to ~0.
+struct MixedResult {
+  double window_hit_rate = 0;
+  double ops_per_sec = 0;  // full iterations (1 window send + churn) per sec
+  std::uint64_t window_hits = 0;
+  std::uint64_t range_invalidations = 0;
+  std::uint64_t generation_overflows = 0;
+  std::uint64_t evictions = 0;
+};
+
+MixedResult run_mixed(bool precise, std::uint64_t iters) {
+  constexpr int kTransientsPerIter = 10;
+  constexpr std::uint64_t kTransientBytes = 8_KiB;
+
+  PhysMap phys = PhysMap::knl(512ull << 20, 1ull << 30, 2);
+  AddressSpace as(phys, BackingPolicy::lwk_contig, MemKind::mcdram, 0x2000'0000ull, 43);
+  as.set_unmap_log_capacity(precise ? AddressSpace::kDefaultUnmapLogCapacity : 0);
+  ExtentCache cache(8, precise ? ExtentCache::EvictionPolicy::size_aware
+                               : ExtentCache::EvictionPolicy::lru);
+
+  auto win = as.mmap_anonymous(kBufBytes, kProtRead | kProtWrite);
+  if (!win.ok()) std::abort();
+
+  MixedResult r;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::uint64_t i = 0; i < iters; ++i) {
+    ExtentCache::Outcome outcome = ExtentCache::Outcome::miss;
+    auto extents = cache.lookup(as, *win, kBufBytes, kDescCap, &outcome);
+    if (!extents.ok()) std::abort();
+    if (outcome == ExtentCache::Outcome::hit) ++r.window_hits;
+    for (int t = 0; t < kTransientsPerIter; ++t) {
+      auto tva = as.mmap_anonymous(kTransientBytes, kProtRead | kProtWrite);
+      if (!tva.ok()) std::abort();
+      auto te = cache.lookup(as, *tva, kTransientBytes, kDescCap);
+      if (!te.ok()) std::abort();
+      if (!as.munmap(*tva, kTransientBytes).ok()) std::abort();
+    }
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  const double secs = std::chrono::duration<double>(t1 - t0).count();
+
+  r.window_hit_rate = static_cast<double>(r.window_hits) / static_cast<double>(iters);
+  r.ops_per_sec = static_cast<double>(iters) / (secs > 0 ? secs : 1e-9);
+  r.range_invalidations = cache.stats().range_invalidations;
+  r.generation_overflows = cache.stats().generation_overflows;
+  r.evictions = cache.stats().evictions;
+  return r;
+}
+
 template <typename Op>
 PipelineResult run_pipeline(std::uint64_t warmup, std::uint64_t iters, Op&& op) {
   PipelineResult r;
@@ -152,6 +207,11 @@ int main() {
   for (std::size_t i = 0; i < truth->size(); ++i)
     if ((*truth)[i].pa != (*cached)[i].pa || (*truth)[i].len != (*cached)[i].len) return 1;
 
+  // Mixed-lifetime workload: persistent window + transient churn.
+  const std::uint64_t mixed_iters = quick_mode() ? 300 : 2'000;
+  MixedResult coarse = run_mixed(/*precise=*/false, mixed_iters);
+  MixedResult precise = run_mixed(/*precise=*/true, mixed_iters);
+
   const double speedup = fast.ops_per_sec / base.ops_per_sec;
   std::printf("  workload: %llu sends of the same pinned %llu KiB buffer\n",
               static_cast<unsigned long long>(iters),
@@ -166,6 +226,18 @@ int main() {
               static_cast<unsigned long long>(cache.stats().misses),
               static_cast<unsigned long long>(slab_heap.stats().slab_reuses),
               static_cast<unsigned long long>(slab_heap.stats().host_allocs));
+  std::printf("  mixed-lifetime (persistent window + %llu iters of transient churn):\n",
+              static_cast<unsigned long long>(mixed_iters));
+  std::printf("    coarse (PR-1: whole-space invalidation, LRU): %5.1f%% window hits, "
+              "%llu overflow invalidations, %llu evictions\n",
+              100.0 * coarse.window_hit_rate,
+              static_cast<unsigned long long>(coarse.generation_overflows),
+              static_cast<unsigned long long>(coarse.evictions));
+  std::printf("    precise (unmap log + size-aware eviction):    %5.1f%% window hits, "
+              "%llu range invalidations, %llu evictions\n",
+              100.0 * precise.window_hit_rate,
+              static_cast<unsigned long long>(precise.range_invalidations),
+              static_cast<unsigned long long>(precise.evictions));
 
   std::FILE* json = std::fopen("BENCH_fastpath.json", "w");
   if (json == nullptr) return 1;
@@ -177,9 +249,17 @@ int main() {
                "  \"optimized\": {\"ops_per_sec\": %.0f, \"heap_allocs_per_op\": %.3f},\n"
                "  \"speedup\": %.2f,\n"
                "  \"extent_cache\": {\"hits\": %llu, \"misses\": %llu, "
-               "\"invalidations\": %llu},\n"
+               "\"range_invalidations\": %llu, \"generation_overflows\": %llu, "
+               "\"evictions\": %llu},\n"
                "  \"slab_heap\": {\"slab_reuses\": %llu, \"slab_recycles\": %llu, "
-               "\"host_allocs\": %llu}\n"
+               "\"host_allocs\": %llu},\n"
+               "  \"mixed_lifetime\": {\n"
+               "    \"iterations\": %llu, \"transients_per_iteration\": 10,\n"
+               "    \"coarse\": {\"window_hit_rate\": %.4f, \"generation_overflows\": %llu, "
+               "\"evictions\": %llu, \"iters_per_sec\": %.0f},\n"
+               "    \"precise\": {\"window_hit_rate\": %.4f, \"range_invalidations\": %llu, "
+               "\"evictions\": %llu, \"iters_per_sec\": %.0f}\n"
+               "  }\n"
                "}\n",
                static_cast<unsigned long long>(kBufBytes),
                static_cast<unsigned long long>(kDescCap),
@@ -187,10 +267,18 @@ int main() {
                base.ops_per_sec, base.allocs_per_op, fast.ops_per_sec, fast.allocs_per_op,
                speedup, static_cast<unsigned long long>(cache.stats().hits),
                static_cast<unsigned long long>(cache.stats().misses),
-               static_cast<unsigned long long>(cache.stats().invalidations),
+               static_cast<unsigned long long>(cache.stats().range_invalidations),
+               static_cast<unsigned long long>(cache.stats().generation_overflows),
+               static_cast<unsigned long long>(cache.stats().evictions),
                static_cast<unsigned long long>(slab_heap.stats().slab_reuses),
                static_cast<unsigned long long>(slab_heap.stats().slab_recycles),
-               static_cast<unsigned long long>(slab_heap.stats().host_allocs));
+               static_cast<unsigned long long>(slab_heap.stats().host_allocs),
+               static_cast<unsigned long long>(mixed_iters), coarse.window_hit_rate,
+               static_cast<unsigned long long>(coarse.generation_overflows),
+               static_cast<unsigned long long>(coarse.evictions), coarse.ops_per_sec,
+               precise.window_hit_rate,
+               static_cast<unsigned long long>(precise.range_invalidations),
+               static_cast<unsigned long long>(precise.evictions), precise.ops_per_sec);
   std::fclose(json);
   std::printf("  wrote BENCH_fastpath.json\n");
 
@@ -202,6 +290,20 @@ int main() {
   }
   if (fast.allocs_per_op > 0.001) {
     std::printf("  FAIL: optimized pipeline still allocates\n");
+    return 1;
+  }
+  // Mixed-lifetime acceptance: range-precise invalidation + size-aware
+  // eviction must keep the persistent window hot through transient churn;
+  // the PR-1 emulation must show the collapse this PR fixes.
+  if (precise.window_hit_rate < 0.9) {
+    std::printf("  FAIL: precise config lost the persistent window (%.1f%% hits)\n",
+                100.0 * precise.window_hit_rate);
+    return 1;
+  }
+  if (coarse.window_hit_rate > 0.1) {
+    std::printf("  FAIL: coarse baseline unexpectedly kept the window (%.1f%% hits) — "
+                "the comparison no longer demonstrates the fix\n",
+                100.0 * coarse.window_hit_rate);
     return 1;
   }
   return 0;

@@ -4,11 +4,43 @@
 
 namespace pd::mem {
 
+ExtentCache::Entry* ExtentCache::select_victim() {
+  if (policy_ == EvictionPolicy::lru)
+    return &*std::min_element(entries_.begin(), entries_.end(),
+                              [](const Entry& a, const Entry& b) {
+                                return a.last_used < b.last_used;
+                              });
+  // Size-aware retention value: an entry is worth keeping in proportion to
+  // how often it hits and how many resident bytes each hit saves walking,
+  // decayed by how long it has sat unused. Large persistent windows keep a
+  // high score through bursts of small one-shot buffers; the burst evicts
+  // its own kind instead.
+  auto score = [this](const Entry& e) {
+    const double value = static_cast<double>(1 + e.hit_count) * static_cast<double>(e.len);
+    const double age = static_cast<double>(tick_ - e.last_used) + 1.0;
+    return value / age;
+  };
+  return &*std::min_element(entries_.begin(), entries_.end(),
+                            [&score](const Entry& a, const Entry& b) {
+                              return score(a) < score(b);
+                            });
+}
+
 Result<std::span<const PhysExtent>> ExtentCache::lookup(const AddressSpace& as, VirtAddr va,
                                                         std::uint64_t len,
                                                         std::uint64_t max_extent,
                                                         Outcome* outcome) {
   ++tick_;
+
+  if (capacity_ == 0) {
+    // Pass-through: walk into the scratch entry's storage, retain nothing.
+    Status walked = as.physical_extents(va, len, max_extent, scratch_.extents);
+    if (!walked.ok()) return walked.error();
+    ++stats_.misses;
+    if (outcome != nullptr) *outcome = Outcome::miss;
+    return std::span<const PhysExtent>(scratch_.extents);
+  }
+
   Entry* entry = nullptr;
   for (Entry& e : entries_)
     if (e.va == va && e.len == len && e.max_extent == max_extent) {
@@ -16,27 +48,48 @@ Result<std::span<const PhysExtent>> ExtentCache::lookup(const AddressSpace& as, 
       break;
     }
 
-  if (entry != nullptr && entry->generation == as.map_generation()) {
-    ++stats_.hits;
-    entry->last_used = tick_;
-    if (outcome != nullptr) *outcome = Outcome::hit;
-    return std::span<const PhysExtent>(entry->extents);
+  Outcome miss_kind = Outcome::miss;
+  if (entry != nullptr) {
+    bool fresh = entry->generation == as.map_generation();
+    if (!fresh) {
+      // Range-precise check: only an unmap overlapping this entry's pages
+      // proves it stale. When the log can clear it, refresh the generation
+      // so the next lookup takes the cheap equality path again.
+      switch (as.range_verdict_since(entry->va, entry->len, entry->generation)) {
+        case RangeVerdict::intact:
+          entry->generation = as.map_generation();
+          fresh = true;
+          break;
+        case RangeVerdict::overlaps_unmap:
+          miss_kind = Outcome::range_invalidated;
+          break;
+        case RangeVerdict::unknown:
+          miss_kind = Outcome::generation_overflow;
+          break;
+      }
+    }
+    if (fresh) {
+      ++stats_.hits;
+      ++entry->hit_count;
+      entry->last_used = tick_;
+      if (outcome != nullptr) *outcome = Outcome::hit;
+      return std::span<const PhysExtent>(entry->extents);
+    }
   }
 
-  const Outcome miss_kind = entry == nullptr ? Outcome::miss : Outcome::invalidated;
   if (entry == nullptr) {
     if (entries_.size() < capacity_) {
       entry = &entries_.emplace_back();
     } else {
-      // Evict the least-recently-used slot; its vector capacity is reused.
-      entry = &*std::min_element(entries_.begin(), entries_.end(),
-                                 [](const Entry& a, const Entry& b) {
-                                   return a.last_used < b.last_used;
-                                 });
+      // Evict the lowest-retention-value slot; its vector capacity is reused.
+      entry = select_victim();
+      ++stats_.evictions;
+      miss_kind = Outcome::evicted_small;
     }
     entry->va = va;
     entry->len = len;
     entry->max_extent = max_extent;
+    entry->hit_count = 0;
   }
 
   Status walked = as.physical_extents(va, len, max_extent, entry->extents);
@@ -44,14 +97,25 @@ Result<std::span<const PhysExtent>> ExtentCache::lookup(const AddressSpace& as, 
     // Keep the slot but poison the key so a later success does not alias.
     entry->va = 0;
     entry->len = 0;
+    entry->hit_count = 0;
     return walked.error();
   }
   entry->generation = as.map_generation();
   entry->last_used = tick_;
-  if (miss_kind == Outcome::miss)
-    ++stats_.misses;
-  else
-    ++stats_.invalidations;
+  switch (miss_kind) {
+    case Outcome::miss:
+    case Outcome::evicted_small:
+      ++stats_.misses;
+      break;
+    case Outcome::range_invalidated:
+      ++stats_.range_invalidations;
+      break;
+    case Outcome::generation_overflow:
+      ++stats_.generation_overflows;
+      break;
+    case Outcome::hit:
+      break;  // unreachable
+  }
   if (outcome != nullptr) *outcome = miss_kind;
   return std::span<const PhysExtent>(entry->extents);
 }

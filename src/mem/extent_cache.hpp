@@ -5,9 +5,21 @@
 // cache, libfabric memory-registration caches) amortizes exactly this:
 // repeated sends/TID registrations of the same pinned buffer should pay the
 // walk once. ExtentCache memoizes `physical_extents` results per
-// (va, len, max_extent) key and validates entries against the address
-// space's map generation, which is bumped on every munmap — so a stale
-// entry can never hand out frames that were returned to the allocator.
+// (va, len, max_extent) key.
+//
+// Invalidation is range-precise: a stale generation alone does not kill an
+// entry. The address space keeps a bounded log of recently unmapped
+// intervals, and an entry is re-walked only when its range actually
+// overlaps a logged unmap (`Outcome::range_invalidated`) or when the log
+// has overflowed past the entry's generation and nothing can be proven
+// (`Outcome::generation_overflow` — the conservative whole-space fallback).
+// Either way a stale entry can never hand out frames that were returned to
+// the allocator.
+//
+// Eviction is size-aware by default: entries are scored by
+// hit_count × resident bytes, decayed by LRU age, so the large persistent
+// windows PSM registers survive bursts of small transient sends (the
+// thrash problem pure LRU has with mixed-lifetime workloads).
 #pragma once
 
 #include <cstdint>
@@ -23,18 +35,37 @@ class ExtentCache {
  public:
   struct Stats {
     std::uint64_t hits = 0;
-    std::uint64_t misses = 0;          // key never seen (cold)
-    std::uint64_t invalidations = 0;   // key seen, but map generation moved
+    std::uint64_t misses = 0;                // key never seen (cold)
+    std::uint64_t range_invalidations = 0;   // a logged unmap overlapped the entry
+    std::uint64_t generation_overflows = 0;  // log overflowed; assumed stale
+    std::uint64_t evictions = 0;             // entries pushed out at capacity
+
+    /// All re-walks of a known key, whatever proved it stale.
+    std::uint64_t invalidations() const {
+      return range_invalidations + generation_overflows;
+    }
   };
 
-  enum class Outcome { hit, miss, invalidated };
+  /// What one lookup() did. `evicted_small` is a cold miss that had to push
+  /// out the lowest-retention-value entry (under the size-aware policy: the
+  /// small/transient one) to make room.
+  enum class Outcome { hit, miss, range_invalidated, generation_overflow, evicted_small };
 
-  explicit ExtentCache(std::size_t capacity = 64) : capacity_(capacity) {}
+  enum class EvictionPolicy {
+    lru,         // evict the least-recently-used entry (the PR-1 policy)
+    size_aware,  // evict min of (1 + hits) × resident bytes, decayed by age
+  };
+
+  explicit ExtentCache(std::size_t capacity = 64,
+                       EvictionPolicy policy = EvictionPolicy::size_aware)
+      : capacity_(capacity), policy_(policy) {}
 
   /// Resolve [va, va+len) against `as`. On a hit the cached runs are
   /// returned without touching the page table; on a miss (or when the
-  /// address space unmapped anything since the entry was filled) the walk
-  /// re-runs into the entry's storage, reusing its capacity. The returned
+  /// range was — or may have been — unmapped since the entry was filled)
+  /// the walk re-runs into the entry's storage, reusing its capacity. With
+  /// `capacity == 0` the cache degrades to pass-through: every lookup is a
+  /// fresh walk into scratch storage and nothing is retained. The returned
   /// span is valid until the next lookup() on this cache.
   Result<std::span<const PhysExtent>> lookup(const AddressSpace& as, VirtAddr va,
                                              std::uint64_t len, std::uint64_t max_extent,
@@ -42,6 +73,8 @@ class ExtentCache {
 
   const Stats& stats() const { return stats_; }
   std::size_t entries() const { return entries_.size(); }
+  std::size_t capacity() const { return capacity_; }
+  EvictionPolicy policy() const { return policy_; }
 
  private:
   struct Entry {
@@ -50,12 +83,17 @@ class ExtentCache {
     std::uint64_t max_extent = 0;
     std::uint64_t generation = 0;
     std::uint64_t last_used = 0;
+    std::uint64_t hit_count = 0;
     std::vector<PhysExtent> extents;
   };
 
+  Entry* select_victim();
+
   std::size_t capacity_;
+  EvictionPolicy policy_;
   std::uint64_t tick_ = 0;
   std::vector<Entry> entries_;  // few entries; linear scan beats hashing
+  Entry scratch_;               // pass-through storage when capacity_ == 0
   Stats stats_;
 };
 

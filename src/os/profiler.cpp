@@ -42,6 +42,14 @@ std::uint64_t SyscallProfiler::counter(const std::string& name) const {
   return it == counters_.end() ? 0 : it->second;
 }
 
+std::uint64_t SyscallProfiler::sum_counters(const std::string& prefix) const {
+  std::uint64_t total = 0;
+  for (auto it = counters_.lower_bound(prefix);
+       it != counters_.end() && it->first.compare(0, prefix.size(), prefix) == 0; ++it)
+    total += it->second;
+  return total;
+}
+
 void SyscallProfiler::merge(const SyscallProfiler& other) {
   for (const auto& [name, stats] : other.calls_) calls_[name].merge(stats);
   for (const auto& [name, n] : other.counters_) counters_[name] += n;

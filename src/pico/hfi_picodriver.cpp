@@ -89,9 +89,21 @@ void HfiPicoDriver::note_cache_outcome(mem::ExtentCache::Outcome outcome) {
       ++cache_misses_;
       mck_.profiler().bump("pico.extent_cache.miss");
       break;
-    case mem::ExtentCache::Outcome::invalidated:
-      ++cache_invalidations_;
-      mck_.profiler().bump("pico.extent_cache.invalidation");
+    case mem::ExtentCache::Outcome::evicted_small:
+      // A cold miss that pushed out the lowest-value (small/transient)
+      // entry; counted as a miss plus an eviction event.
+      ++cache_misses_;
+      ++cache_small_evictions_;
+      mck_.profiler().bump("pico.extent_cache.miss");
+      mck_.profiler().bump("pico.extent_cache.evicted_small");
+      break;
+    case mem::ExtentCache::Outcome::range_invalidated:
+      ++cache_range_invalidations_;
+      mck_.profiler().bump("pico.extent_cache.range_invalidated");
+      break;
+    case mem::ExtentCache::Outcome::generation_overflow:
+      ++cache_generation_overflows_;
+      mck_.profiler().bump("pico.extent_cache.generation_overflow");
       break;
   }
 }

@@ -16,7 +16,10 @@
 // host side:
 //   * a per-open-file ExtentCache memoizes the page-table walk, so repeated
 //     sends / TID registrations of the same pinned buffer reuse cached
-//     PhysExtent runs (invalidated by munmap via the map generation);
+//     PhysExtent runs (invalidated range-precisely against the address
+//     space's unmap-interval log, with the map generation as the overflow
+//     fallback, and evicted size-aware so persistent windows survive
+//     small-buffer churn);
 //   * SDMA descriptors are built into arena-pooled vectors that the engine
 //     hands back after consuming them (SdmaRequest::recycle_descriptors);
 //   * completion metadata comes from the kheap's per-core slab magazines.
@@ -69,7 +72,13 @@ class HfiPicoDriver {
   std::uint64_t remote_frees_drained() const { return drained_total_; }
   std::uint64_t extent_cache_hits() const { return cache_hits_; }
   std::uint64_t extent_cache_misses() const { return cache_misses_; }
-  std::uint64_t extent_cache_invalidations() const { return cache_invalidations_; }
+  std::uint64_t extent_cache_range_invalidations() const { return cache_range_invalidations_; }
+  std::uint64_t extent_cache_generation_overflows() const { return cache_generation_overflows_; }
+  std::uint64_t extent_cache_small_evictions() const { return cache_small_evictions_; }
+  /// All re-walks of a known key, whatever proved it stale.
+  std::uint64_t extent_cache_invalidations() const {
+    return cache_range_invalidations_ + cache_generation_overflows_;
+  }
 
  private:
   HfiPicoDriver(PicoBinding binding, os::McKernel& mck, hfi::HfiDriver& driver);
@@ -111,7 +120,9 @@ class HfiPicoDriver {
   std::uint64_t drained_total_ = 0;
   std::uint64_t cache_hits_ = 0;
   std::uint64_t cache_misses_ = 0;
-  std::uint64_t cache_invalidations_ = 0;
+  std::uint64_t cache_range_invalidations_ = 0;
+  std::uint64_t cache_generation_overflows_ = 0;
+  std::uint64_t cache_small_evictions_ = 0;
 };
 
 }  // namespace pd::pico

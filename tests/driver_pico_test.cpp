@@ -371,32 +371,47 @@ TEST(Writev, RepeatedBufferHitsExtentCacheAndReusesSlab) {
       // queue before the next send's entry drain.
       co_await p.nanosleep(50_us);
     }
-    // Any munmap moves the map generation; the next send of the *same*
-    // buffer must notice and re-walk instead of reusing stale frames.
+    // A munmap of a *disjoint* buffer moves the map generation, but the
+    // unmap-interval log proves the cached send buffer untouched: send 5
+    // must still hit instead of re-walking (range-precise invalidation).
     auto scratch = co_await p.mmap_anon(16_KiB);
     CO_ASSERT_TRUE(scratch.ok());
     CO_ASSERT_TRUE((co_await p.munmap(*scratch, 16_KiB)).ok());
     CO_ASSERT_TRUE((co_await send(5)).ok());
+    co_await p.nanosleep(50_us);
+    // With the log disabled (capacity 0) the same disjoint munmap degrades
+    // to the conservative whole-space fallback: send 6 re-walks.
+    p.as().set_unmap_log_capacity(0);
+    auto scratch2 = co_await p.mmap_anon(16_KiB);
+    CO_ASSERT_TRUE(scratch2.ok());
+    CO_ASSERT_TRUE((co_await p.munmap(*scratch2, 16_KiB)).ok());
+    CO_ASSERT_TRUE((co_await send(6)).ok());
   }(*proc, completions));
   c.nodes[1].device->open_context(0);
   c.engine.run();
 
   auto& node = c.nodes[0];
-  EXPECT_EQ(node.pico->fast_writevs(), 5u);
+  EXPECT_EQ(node.pico->fast_writevs(), 6u);
   EXPECT_EQ(node.pico->fallbacks(), 0u);
-  // Send 1 walks, sends 2-4 hit, send 5 re-walks after the munmap.
+  // Send 1 walks, sends 2-5 hit (5 despite the disjoint munmap), send 6
+  // re-walks under the generation-overflow fallback.
   EXPECT_EQ(node.pico->extent_cache_misses(), 1u);
-  EXPECT_EQ(node.pico->extent_cache_hits(), 3u);
+  EXPECT_EQ(node.pico->extent_cache_hits(), 4u);
+  EXPECT_EQ(node.pico->extent_cache_range_invalidations(), 0u);
+  EXPECT_EQ(node.pico->extent_cache_generation_overflows(), 1u);
   EXPECT_EQ(node.pico->extent_cache_invalidations(), 1u);
   const auto& prof = node.mck->profiler();
-  EXPECT_EQ(prof.counter("pico.extent_cache.hit"), 3u);
+  EXPECT_EQ(prof.counter("pico.extent_cache.hit"), 4u);
   EXPECT_EQ(prof.counter("pico.extent_cache.miss"), 1u);
-  EXPECT_EQ(prof.counter("pico.extent_cache.invalidation"), 1u);
-  // Sends 2-5 each reclaim the previous completion's 192-byte metadata
+  EXPECT_EQ(prof.counter("pico.extent_cache.range_invalidated"), 0u);
+  EXPECT_EQ(prof.counter("pico.extent_cache.generation_overflow"), 1u);
+  // Every lookup lands in exactly one outcome counter (no evictions here).
+  EXPECT_EQ(prof.sum_counters("pico.extent_cache."), 6u);
+  // Sends 2-6 each reclaim the previous completion's 192-byte metadata
   // from the remote-free queue and pop it straight off the slab magazine.
-  EXPECT_GE(node.mck->kheap().stats().slab_reuses, 3u);
-  EXPECT_GE(prof.counter("lwk.kheap.slab_reuse"), 3u);
-  EXPECT_EQ(completions, 5);
+  EXPECT_GE(node.mck->kheap().stats().slab_reuses, 4u);
+  EXPECT_GE(prof.counter("lwk.kheap.slab_reuse"), 4u);
+  EXPECT_EQ(completions, 6);
 }
 
 TEST(Tid, ReRegistrationHitsExtentCache) {
@@ -477,12 +492,69 @@ TEST(Writev, RingFullFallsBackToLinuxAfterBoundedBackoff) {
 
   ASSERT_TRUE(out.result.ok()) << "the send must still succeed via Linux";
   EXPECT_EQ(*out.result, static_cast<long>(128_KiB));
-  EXPECT_TRUE(out.completed);
+  EXPECT_TRUE(out.completed) << "the payload's completion must still fire";
   auto& node = c.nodes[0];
   EXPECT_EQ(node.pico->ring_full_fallbacks(), 1u);
   EXPECT_EQ(node.pico->fallbacks(), 1u);
   EXPECT_EQ(node.driver->writev_calls(), 1u) << "fallback must reuse the Linux path";
   EXPECT_EQ(node.mck->profiler().counter("pico.ring_full_fallback"), 1u);
+  // The Linux path really carried the payload to the hardware: beyond the
+  // ring-stuffing filler, the device saw the 128 KiB in 4 KiB descriptors.
+  EXPECT_GE(node.device->total_descriptor_bytes(), 128_KiB);
+}
+
+TEST(Writev, RingFullBackoffOutwaitsDrainWithoutFallback) {
+  // Companion regression: with the default (generous) backoff schedule the
+  // engine drains faster than the bounded wait expires, so a full ring must
+  // *not* force the Linux path — the fast path retries and submits.
+  MiniCluster c(2, os::OsMode::mckernel_hfi);
+  auto proc = c.make_process(0, 0, os::OsMode::mckernel_hfi);
+  WritevOutcome out;
+  sim::spawn(c.engine, [](MiniCluster& cl, os::Process& p, WritevOutcome& o) -> sim::Task<> {
+    auto fd = co_await p.open(hfi::kDeviceName);
+    CO_ASSERT_TRUE(fd.ok());
+    auto buf = co_await p.mmap_anon(128_KiB);
+    CO_ASSERT_TRUE(buf.ok());
+    auto& dev = *cl.nodes[0].device;
+    std::uint64_t seq = 1000;
+    for (int e = 0; e < dev.num_engines(); ++e) {
+      auto& engine = dev.engine(e);
+      while (engine.ring_free() > 0) {
+        hw::SdmaRequest filler;
+        filler.descriptors.push_back(hw::SdmaDescriptor{0x1000, 10240});
+        filler.header.src_node = 0;
+        filler.header.dst_node = 1;
+        filler.header.dst_ctxt = 0;
+        filler.header.kind = hw::WireKind::eager;
+        filler.header.seq = seq++;
+        CO_ASSERT_TRUE(engine.submit(std::move(filler)).ok());
+      }
+    }
+    hfi::SdmaReqHeader hdr;
+    hdr.wire.src_node = p.node();
+    hdr.wire.dst_node = 1;
+    hdr.wire.src_ctxt = p.ctxt();
+    hdr.wire.dst_ctxt = 0;
+    hdr.wire.kind = hw::WireKind::expected;
+    hdr.wire.seq = 1;
+    hdr.on_complete = [&o] { o.completed = true; };
+    std::vector<os::IoVec> iov;
+    iov.push_back(os::IoVec{reinterpret_cast<mem::VirtAddr>(&hdr), sizeof hdr});
+    iov.push_back(os::IoVec{*buf, 128_KiB});
+    o.result = co_await p.writev(*fd, std::move(iov));
+  }(c, *proc, out));
+  c.nodes[1].device->open_context(0);
+  c.engine.run();
+
+  ASSERT_TRUE(out.result.ok());
+  EXPECT_EQ(*out.result, static_cast<long>(128_KiB));
+  EXPECT_TRUE(out.completed);
+  auto& node = c.nodes[0];
+  EXPECT_EQ(node.pico->ring_full_fallbacks(), 0u) << "backoff should outwait the drain";
+  EXPECT_EQ(node.pico->fallbacks(), 0u);
+  EXPECT_EQ(node.pico->fast_writevs(), 1u);
+  EXPECT_EQ(node.driver->writev_calls(), 0u) << "Linux path must not be used";
+  EXPECT_EQ(node.mck->profiler().counter("pico.ring_full_fallback"), 0u);
 }
 
 TEST(Writev, EngineNotRunningFallsBackToLinuxPath) {

@@ -221,7 +221,7 @@ TEST(ExtentCache, RepeatLookupHitsWithoutRewalking) {
   EXPECT_EQ(second->size(), 7u);
   EXPECT_EQ(cache.stats().hits, 1u);
   EXPECT_EQ(cache.stats().misses, 1u);
-  EXPECT_EQ(cache.stats().invalidations, 0u);
+  EXPECT_EQ(cache.stats().invalidations(), 0u);
   EXPECT_EQ(cache.entries(), 1u);
   // A different max_extent is a different key, not a hit.
   ASSERT_TRUE(cache.lookup(as, *va, 64_KiB, kPage2M, &outcome).ok());
@@ -229,7 +229,7 @@ TEST(ExtentCache, RepeatLookupHitsWithoutRewalking) {
   EXPECT_EQ(cache.entries(), 2u);
 }
 
-TEST(ExtentCache, MunmapAnywhereInvalidatesByGeneration) {
+TEST(ExtentCache, NonOverlappingMunmapNoLongerInvalidates) {
   PhysMap phys = small_map();
   AddressSpace as(phys, BackingPolicy::lwk_contig, MemKind::mcdram, kMmapBase);
   auto buf = as.mmap_anonymous(64_KiB, kProtRead);
@@ -239,17 +239,100 @@ TEST(ExtentCache, MunmapAnywhereInvalidatesByGeneration) {
   ExtentCache::Outcome outcome;
   ASSERT_TRUE(cache.lookup(as, *buf, 64_KiB, 10240, &outcome).ok());
   EXPECT_EQ(outcome, ExtentCache::Outcome::miss);
-  // Unmapping *any* range moves the generation; the conservative rule keeps
-  // stale extents from ever reaching the hardware.
+  // Unmapping a disjoint range moves the generation, but the unmap-interval
+  // log proves the cached range untouched: still a hit, no re-walk.
   ASSERT_TRUE(as.munmap(*scratch, 16_KiB).ok());
   auto again = cache.lookup(as, *buf, 64_KiB, 10240, &outcome);
   ASSERT_TRUE(again.ok());
-  EXPECT_EQ(outcome, ExtentCache::Outcome::invalidated);
-  EXPECT_EQ(cache.stats().invalidations, 1u);
-  EXPECT_EQ(again->size(), 7u) << "re-walk must produce fresh extents";
-  // Stable again until the next munmap.
+  EXPECT_EQ(outcome, ExtentCache::Outcome::hit);
+  EXPECT_EQ(cache.stats().invalidations(), 0u);
+  EXPECT_EQ(again->size(), 7u);
+}
+
+TEST(ExtentCache, OverlappingMunmapRangeInvalidates) {
+  PhysMap phys = small_map();
+  AddressSpace as(phys, BackingPolicy::lwk_contig, MemKind::mcdram, kMmapBase);
+  auto buf = as.mmap_anonymous(64_KiB, kProtRead);
+  ASSERT_TRUE(buf.ok());
+  ExtentCache cache;
+  ExtentCache::Outcome outcome;
+  ASSERT_TRUE(cache.lookup(as, *buf, 64_KiB, 10240, &outcome).ok());
+  EXPECT_EQ(outcome, ExtentCache::Outcome::miss);
+  // Unmapping the cached buffer itself must be caught by the overlap check.
+  ASSERT_TRUE(as.munmap(*buf, 64_KiB).ok());
+  auto stale = cache.lookup(as, *buf, 64_KiB, 10240, &outcome);
+  EXPECT_FALSE(stale.ok()) << "re-walk of an unmapped range must fault, not hit";
+  EXPECT_EQ(stale.error(), Errno::efault);
+  EXPECT_EQ(cache.stats().hits, 0u);
+}
+
+TEST(ExtentCache, UnmapLogOverflowFallsBackToGeneration) {
+  PhysMap phys = small_map();
+  AddressSpace as(phys, BackingPolicy::lwk_contig, MemKind::mcdram, kMmapBase);
+  as.set_unmap_log_capacity(4);
+  auto buf = as.mmap_anonymous(64_KiB, kProtRead);
+  ASSERT_TRUE(buf.ok());
+  ExtentCache cache;
+  ExtentCache::Outcome outcome;
+  ASSERT_TRUE(cache.lookup(as, *buf, 64_KiB, 10240, &outcome).ok());
+  // Churn more disjoint unmaps than the log retains: the entry's fill
+  // generation falls below the log floor and nothing can be proven.
+  for (int i = 0; i < 6; ++i) {
+    auto scratch = as.mmap_anonymous(16_KiB, kProtRead);
+    ASSERT_TRUE(scratch.ok());
+    ASSERT_TRUE(as.munmap(*scratch, 16_KiB).ok());
+  }
+  EXPECT_EQ(as.unmap_log_size(), 4u);
+  EXPECT_GT(as.unmap_log_floor(), 0u);
+  auto again = cache.lookup(as, *buf, 64_KiB, 10240, &outcome);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(outcome, ExtentCache::Outcome::generation_overflow);
+  EXPECT_EQ(cache.stats().generation_overflows, 1u);
+  EXPECT_EQ(again->size(), 7u) << "conservative re-walk must produce fresh extents";
+  // The re-walk refreshed the generation: stable again.
   ASSERT_TRUE(cache.lookup(as, *buf, 64_KiB, 10240, &outcome).ok());
   EXPECT_EQ(outcome, ExtentCache::Outcome::hit);
+}
+
+TEST(ExtentCache, ZeroLogCapacityDegradesToWholeSpaceInvalidation) {
+  PhysMap phys = small_map();
+  AddressSpace as(phys, BackingPolicy::lwk_contig, MemKind::mcdram, kMmapBase);
+  as.set_unmap_log_capacity(0);  // PR-1 behaviour: any munmap kills everything
+  auto buf = as.mmap_anonymous(64_KiB, kProtRead);
+  auto scratch = as.mmap_anonymous(16_KiB, kProtRead);
+  ASSERT_TRUE(buf.ok() && scratch.ok());
+  ExtentCache cache;
+  ExtentCache::Outcome outcome;
+  ASSERT_TRUE(cache.lookup(as, *buf, 64_KiB, 10240, &outcome).ok());
+  ASSERT_TRUE(as.munmap(*scratch, 16_KiB).ok());
+  ASSERT_TRUE(cache.lookup(as, *buf, 64_KiB, 10240, &outcome).ok());
+  EXPECT_EQ(outcome, ExtentCache::Outcome::generation_overflow);
+}
+
+TEST(AddressSpace, RangeVerdictSinceTracksOverlapAndOverflow) {
+  PhysMap phys = small_map();
+  AddressSpace as(phys, BackingPolicy::lwk_contig, MemKind::mcdram, kMmapBase);
+  as.set_unmap_log_capacity(2);
+  auto a = as.mmap_anonymous(16_KiB, kProtRead);
+  auto b = as.mmap_anonymous(16_KiB, kProtRead);
+  ASSERT_TRUE(a.ok() && b.ok());
+  const std::uint64_t g0 = as.map_generation();
+  EXPECT_EQ(as.range_verdict_since(*a, 16_KiB, g0), RangeVerdict::intact);
+  ASSERT_TRUE(as.munmap(*b, 16_KiB).ok());
+  EXPECT_EQ(as.range_verdict_since(*a, 16_KiB, g0), RangeVerdict::intact);
+  // Overlap is detected even for a one-byte query inside the unmapped VMA,
+  // and for an unaligned query whose edge page was unmapped.
+  EXPECT_EQ(as.range_verdict_since(*b + 100, 1, g0), RangeVerdict::overlaps_unmap);
+  EXPECT_EQ(as.range_verdict_since(*b - 1 + kPage4K, 2, g0), RangeVerdict::overlaps_unmap);
+  // The current generation is always intact by definition.
+  EXPECT_EQ(as.range_verdict_since(*b, 16_KiB, as.map_generation()), RangeVerdict::intact);
+  // Overflow the two-entry log; g0 drops below the floor.
+  for (int i = 0; i < 3; ++i) {
+    auto scratch = as.mmap_anonymous(4_KiB, kProtRead);
+    ASSERT_TRUE(scratch.ok());
+    ASSERT_TRUE(as.munmap(*scratch, 4_KiB).ok());
+  }
+  EXPECT_EQ(as.range_verdict_since(*a, 16_KiB, g0), RangeVerdict::unknown);
 }
 
 TEST(ExtentCache, ReMmapAfterMunmapRewalksNotStale) {
@@ -274,26 +357,76 @@ TEST(ExtentCache, ReMmapAfterMunmapRewalksNotStale) {
     EXPECT_EQ((*fresh)[i].pa, (*truth)[i].pa);
 }
 
-TEST(ExtentCache, LruEvictionAtCapacity) {
+TEST(ExtentCache, LruEvictionOrderAtCapacity) {
   PhysMap phys = small_map();
   AddressSpace as(phys, BackingPolicy::lwk_contig, MemKind::mcdram, kMmapBase);
   auto a = as.mmap_anonymous(16_KiB, kProtRead);
   auto b = as.mmap_anonymous(16_KiB, kProtRead);
   auto c = as.mmap_anonymous(16_KiB, kProtRead);
   ASSERT_TRUE(a.ok() && b.ok() && c.ok());
-  ExtentCache cache(/*capacity=*/2);
+  ExtentCache cache(/*capacity=*/2, ExtentCache::EvictionPolicy::lru);
   ExtentCache::Outcome outcome;
   ASSERT_TRUE(cache.lookup(as, *a, 16_KiB, 10240).ok());
   ASSERT_TRUE(cache.lookup(as, *b, 16_KiB, 10240).ok());
   // Touch `a` so `b` is the LRU victim when `c` arrives.
   ASSERT_TRUE(cache.lookup(as, *a, 16_KiB, 10240, &outcome).ok());
   EXPECT_EQ(outcome, ExtentCache::Outcome::hit);
-  ASSERT_TRUE(cache.lookup(as, *c, 16_KiB, 10240).ok());
+  ASSERT_TRUE(cache.lookup(as, *c, 16_KiB, 10240, &outcome).ok());
+  EXPECT_EQ(outcome, ExtentCache::Outcome::evicted_small) << "capacity miss evicts";
   EXPECT_EQ(cache.entries(), 2u);
+  EXPECT_EQ(cache.stats().evictions, 1u);
   ASSERT_TRUE(cache.lookup(as, *a, 16_KiB, 10240, &outcome).ok());
   EXPECT_EQ(outcome, ExtentCache::Outcome::hit) << "recently-used entry survives";
   ASSERT_TRUE(cache.lookup(as, *b, 16_KiB, 10240, &outcome).ok());
-  EXPECT_EQ(outcome, ExtentCache::Outcome::miss) << "LRU entry was evicted";
+  EXPECT_EQ(outcome, ExtentCache::Outcome::evicted_small) << "LRU entry was evicted";
+}
+
+TEST(ExtentCache, SizeAwareEvictionKeepsLargeHotWindow) {
+  PhysMap phys = small_map();
+  AddressSpace as(phys, BackingPolicy::lwk_contig, MemKind::mcdram, kMmapBase);
+  auto window = as.mmap_anonymous(2_MiB, kProtRead);  // persistent PSM window
+  ASSERT_TRUE(window.ok());
+  ExtentCache cache(/*capacity=*/4, ExtentCache::EvictionPolicy::size_aware);
+  ExtentCache::Outcome outcome;
+  ASSERT_TRUE(cache.lookup(as, *window, 2_MiB, 10240).ok());
+  for (int i = 0; i < 2; ++i) {  // accumulate hits on the window
+    ASSERT_TRUE(cache.lookup(as, *window, 2_MiB, 10240, &outcome).ok());
+    EXPECT_EQ(outcome, ExtentCache::Outcome::hit);
+  }
+  // A burst of one-shot small buffers overflows the capacity. Under pure
+  // LRU the window (oldest) would be the first victim; size-aware scoring
+  // makes the burst evict its own kind instead.
+  for (int i = 0; i < 8; ++i) {
+    auto small = as.mmap_anonymous(8_KiB, kProtRead);
+    ASSERT_TRUE(small.ok());
+    ASSERT_TRUE(cache.lookup(as, *small, 8_KiB, 10240, &outcome).ok());
+    EXPECT_NE(outcome, ExtentCache::Outcome::hit);
+  }
+  EXPECT_EQ(cache.stats().evictions, 5u);
+  ASSERT_TRUE(cache.lookup(as, *window, 2_MiB, 10240, &outcome).ok());
+  EXPECT_EQ(outcome, ExtentCache::Outcome::hit)
+      << "the large hot window must survive the small-buffer burst";
+}
+
+TEST(ExtentCache, ZeroCapacityDegradesToPassThrough) {
+  PhysMap phys = small_map();
+  AddressSpace as(phys, BackingPolicy::lwk_contig, MemKind::mcdram, kMmapBase);
+  auto va = as.mmap_anonymous(64_KiB, kProtRead);
+  ASSERT_TRUE(va.ok());
+  ExtentCache cache(/*capacity=*/0);
+  ExtentCache::Outcome outcome;
+  for (int i = 0; i < 3; ++i) {
+    auto r = cache.lookup(as, *va, 64_KiB, 10240, &outcome);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(outcome, ExtentCache::Outcome::miss) << "every lookup is a fresh walk";
+    EXPECT_EQ(r->size(), 7u);
+  }
+  EXPECT_EQ(cache.entries(), 0u);
+  EXPECT_EQ(cache.stats().hits, 0u);
+  EXPECT_EQ(cache.stats().misses, 3u);
+  EXPECT_EQ(cache.stats().evictions, 0u);
+  // Errors pass through too.
+  EXPECT_EQ(cache.lookup(as, 0xDEAD000, 4096, 0).error(), Errno::efault);
 }
 
 TEST(ExtentCache, FaultingRangeIsNotCached) {
