@@ -5,11 +5,9 @@
 namespace pd::mem {
 
 ExtentCache::Entry* ExtentCache::select_victim() {
-  if (policy_ == EvictionPolicy::lru)
-    return &*std::min_element(entries_.begin(), entries_.end(),
-                              [](const Entry& a, const Entry& b) {
-                                return a.last_used < b.last_used;
-                              });
+  // Pinned entries are in-flight (a send is mid-way through a rendezvous
+  // window): never victims, whatever their score.
+  Entry* best = nullptr;
   // Size-aware retention value: an entry is worth keeping in proportion to
   // how often it hits and how many resident bytes each hit saves walking,
   // decayed by how long it has sat unused. Large persistent windows keep a
@@ -20,10 +18,57 @@ ExtentCache::Entry* ExtentCache::select_victim() {
     const double age = static_cast<double>(tick_ - e.last_used) + 1.0;
     return value / age;
   };
-  return &*std::min_element(entries_.begin(), entries_.end(),
-                            [&score](const Entry& a, const Entry& b) {
-                              return score(a) < score(b);
-                            });
+  for (Entry& e : entries_) {
+    if (e.pin_count > 0) continue;
+    if (best == nullptr) {
+      best = &e;
+      continue;
+    }
+    const bool worse = policy_ == EvictionPolicy::lru ? e.last_used < best->last_used
+                                                      : score(e) < score(*best);
+    if (worse) best = &e;
+  }
+  return best;
+}
+
+ExtentCache::Entry* ExtentCache::find_entry(VirtAddr va, std::uint64_t len,
+                                            std::uint64_t max_extent) {
+  for (Entry& e : entries_)
+    if (e.va == va && e.len == len && e.max_extent == max_extent) return &e;
+  return nullptr;
+}
+
+bool ExtentCache::pin(VirtAddr va, std::uint64_t len, std::uint64_t max_extent) {
+  Entry* e = find_entry(va, len, max_extent);
+  if (e == nullptr) return false;
+  ++e->pin_count;
+  return true;
+}
+
+void ExtentCache::unpin(VirtAddr va, std::uint64_t len, std::uint64_t max_extent) {
+  Entry* e = find_entry(va, len, max_extent);
+  if (e == nullptr || e->pin_count == 0) return;
+  --e->pin_count;
+  if (e->pin_count == 0) shrink_to_capacity();
+}
+
+std::size_t ExtentCache::pinned_entries() const {
+  std::size_t n = 0;
+  for (const Entry& e : entries_)
+    if (e.pin_count > 0) ++n;
+  return n;
+}
+
+void ExtentCache::shrink_to_capacity() {
+  // A pin-forced overflow ends here: drop the lowest-value unpinned
+  // entries until the cache is back at its configured size.
+  while (entries_.size() > capacity_) {
+    Entry* victim = select_victim();
+    if (victim == nullptr) return;  // still all pinned
+    ++stats_.evictions;
+    if (victim != &entries_.back()) *victim = std::move(entries_.back());
+    entries_.pop_back();
+  }
 }
 
 Result<std::span<const PhysExtent>> ExtentCache::lookup(const AddressSpace& as, VirtAddr va,
@@ -80,11 +125,15 @@ Result<std::span<const PhysExtent>> ExtentCache::lookup(const AddressSpace& as, 
   if (entry == nullptr) {
     if (entries_.size() < capacity_) {
       entry = &entries_.emplace_back();
-    } else {
+    } else if (Entry* victim = select_victim(); victim != nullptr) {
       // Evict the lowest-retention-value slot; its vector capacity is reused.
-      entry = select_victim();
+      entry = victim;
       ++stats_.evictions;
       miss_kind = Outcome::evicted_small;
+    } else {
+      // Every resident entry is pinned by an in-flight send: overflow
+      // capacity rather than kill a window; unpin() shrinks back.
+      entry = &entries_.emplace_back();
     }
     entry->va = va;
     entry->len = len;
@@ -95,9 +144,12 @@ Result<std::span<const PhysExtent>> ExtentCache::lookup(const AddressSpace& as, 
   Status walked = as.physical_extents(va, len, max_extent, entry->extents);
   if (!walked.ok()) {
     // Keep the slot but poison the key so a later success does not alias.
+    // Any pin dies with the key: the holder's unpin will no-op, and a
+    // stranded pin must not block eviction of a now-meaningless slot.
     entry->va = 0;
     entry->len = 0;
     entry->hit_count = 0;
+    entry->pin_count = 0;
     return walked.error();
   }
   entry->generation = as.map_generation();

@@ -19,7 +19,9 @@
 // Eviction is size-aware by default: entries are scored by
 // hit_count × resident bytes, decayed by LRU age, so the large persistent
 // windows PSM registers survive bursts of small transient sends (the
-// thrash problem pure LRU has with mixed-lifetime workloads).
+// thrash problem pure LRU has with mixed-lifetime workloads). Entries can
+// additionally be pinned (pin/unpin) for the duration of an in-flight
+// send: a pinned entry is never an eviction victim, whatever its score.
 #pragma once
 
 #include <cstdint>
@@ -71,6 +73,16 @@ class ExtentCache {
                                              std::uint64_t len, std::uint64_t max_extent,
                                              Outcome* outcome = nullptr);
 
+  /// Pin the entry for this key so eviction never selects it — for
+  /// in-flight rendezvous windows that must stay resident for the duration
+  /// of a send. Returns false when the key is not cached (capacity 0, or
+  /// never looked up): nothing to protect, nothing to unpin. Pins nest;
+  /// when every entry is pinned a cold miss temporarily overflows capacity
+  /// instead of killing a window, and unpin() shrinks back.
+  bool pin(VirtAddr va, std::uint64_t len, std::uint64_t max_extent);
+  void unpin(VirtAddr va, std::uint64_t len, std::uint64_t max_extent);
+  std::size_t pinned_entries() const;
+
   const Stats& stats() const { return stats_; }
   std::size_t entries() const { return entries_.size(); }
   std::size_t capacity() const { return capacity_; }
@@ -84,10 +96,16 @@ class ExtentCache {
     std::uint64_t generation = 0;
     std::uint64_t last_used = 0;
     std::uint64_t hit_count = 0;
+    std::uint32_t pin_count = 0;  // > 0: never an eviction victim
     std::vector<PhysExtent> extents;
   };
 
+  /// Lowest-retention-value unpinned entry, or nullptr when all are pinned.
   Entry* select_victim();
+  Entry* find_entry(VirtAddr va, std::uint64_t len, std::uint64_t max_extent);
+  /// Drop low-value unpinned entries until back within capacity (after a
+  /// pin-forced overflow ends).
+  void shrink_to_capacity();
 
   std::size_t capacity_;
   EvictionPolicy policy_;

@@ -137,6 +137,24 @@ Result<PhysAddr> PhysMap::alloc(std::uint64_t bytes, MemKind preferred) {
   return Errno::enomem;
 }
 
+Result<PhysAddr> PhysMap::alloc_near(std::uint64_t bytes, std::size_t home_domain) {
+  if (home_domain >= domains_.size()) return Errno::einval;
+  auto& home = domains_[home_domain];
+  if (auto r = home.allocator.alloc(bytes); r.ok()) return r;
+  // Home exhausted: same-kind siblings first (stay in the fast tier),
+  // then any domain at all.
+  for (int pass = 0; pass < 2; ++pass) {
+    for (std::size_t i = 0; i < domains_.size(); ++i) {
+      if (i == home_domain) continue;
+      auto& dom = domains_[i];
+      const bool match = (dom.kind == home.kind);
+      if (pass == 0 ? !match : match) continue;
+      if (auto r = dom.allocator.alloc(bytes); r.ok()) return r;
+    }
+  }
+  return Errno::enomem;
+}
+
 void PhysMap::free(PhysAddr addr, std::uint64_t bytes) {
   for (auto& dom : domains_) {
     if (dom.allocator.contains(addr)) {

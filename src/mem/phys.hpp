@@ -79,6 +79,12 @@ class PhysMap {
   /// "prioritize MCDRAM, fall back to DRAM" policy).
   Result<PhysAddr> alloc(std::uint64_t bytes, MemKind preferred);
 
+  /// NUMA-aware form: try the home domain first (a socket's near
+  /// partition), then every other domain of the same kind, then anything —
+  /// the graceful far-fallback the kheap partitions follow. `home_domain`
+  /// indexes `domain()`.
+  Result<PhysAddr> alloc_near(std::uint64_t bytes, std::size_t home_domain);
+
   void free(PhysAddr addr, std::uint64_t bytes);
 
   std::size_t domain_count() const { return domains_.size(); }

@@ -83,6 +83,12 @@ struct Config {
   Dur pico_ring_backoff_base = from_ns(500);
   Dur pico_ring_backoff_cap = from_us(8);
 
+  // --- kheap NUMA partitions (per SNC quadrant/"socket") ------------------
+  // Byte budgets for each socket's near (MCDRAM-like) and far (DDR-like)
+  // kernel-heap partition; the cold path falls back near → far → remote.
+  std::uint64_t kheap_near_bytes = 256ull << 20;
+  std::uint64_t kheap_far_bytes = 4ull << 30;
+
   // --- memory management ------------------------------------------------
   Dur mmap_base_cost = from_us(1.2);
   Dur linux_mmap_per_page = from_ns(90);

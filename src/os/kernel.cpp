@@ -92,6 +92,12 @@ sim::Task<> LinuxKernel::irq_task(std::vector<KernelCallback> callbacks) {
   co_await service_cpus_->acquire();
   co_await engine_.delay(config().irq_handler);
   ++irqs_handled_;
+  // Rotate IRQ affinity across the pool, like irqbalance would; set
+  // immediately before the callbacks with no suspension in between, so
+  // current_irq_cpu() is stable for the whole callback chain even with
+  // several IRQ tasks interleaving.
+  current_irq_cpu_ = next_irq_cpu_;
+  next_irq_cpu_ = (next_irq_cpu_ + 1) % config().linux_service_cpus;
   for (const auto& cb : callbacks) (void)invoke(cb);
   service_cpus_->release();
 }

@@ -88,6 +88,12 @@ class LinuxKernel : public Kernel {
   /// completion callbacks — each checked for text visibility.
   void raise_irq(std::vector<KernelCallback> callbacks);
 
+  /// The service CPU executing the current IRQ's callbacks (IRQs rotate
+  /// across the service pool). Completion-side kfree() passes this so the
+  /// LWK heap learns the *real* source socket of a foreign free instead of
+  /// a hard-coded representative CPU.
+  int current_irq_cpu() const { return current_irq_cpu_; }
+
   /// --- cross-kernel text mapping (§3.1) -----------------------------------
   /// Reserve a vmap_area so another kernel's image becomes visible here.
   Status reserve_vmap_area(const mem::VaRange& range);
@@ -116,6 +122,8 @@ class LinuxKernel : public Kernel {
   std::unique_ptr<mem::KernelHeap> kheap_;
   std::uint64_t callback_faults_ = 0;
   std::uint64_t irqs_handled_ = 0;
+  int current_irq_cpu_ = 0;
+  int next_irq_cpu_ = 0;
 };
 
 }  // namespace pd::os

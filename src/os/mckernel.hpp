@@ -47,8 +47,15 @@ class McKernel : public Kernel {
   std::string spinlock_abi() const { return "ticket-spinlock-x86_64-v2"; }
   mem::KernelHeap& kheap() { return *kheap_; }
 
-  /// Scheduler-tick housekeeping: drain remote-free queues for LWK cores.
+  /// Scheduler-tick housekeeping: drain remote-free queues for LWK cores,
+  /// one per-source-socket batch at a time; cross-socket reclaim events
+  /// land on the profiler as "lwk.kheap.cross_socket_drain".
   std::size_t drain_remote_frees();
+
+  /// Publish kheap placement outcomes accumulated since `before` as
+  /// profiler counters ("lwk.kheap.{near_alloc,far_alloc,
+  /// partition_exhausted}"); call sites snapshot stats() around kmalloc.
+  void note_kheap_placement(const mem::KernelHeap::Stats& before);
 
   /// CPU ids the LWK owns (app cores).
   const std::vector<int>& cpus() const { return cpus_; }

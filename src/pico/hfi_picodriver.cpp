@@ -158,7 +158,18 @@ sim::Task<Result<long>> HfiPicoDriver::fast_writev(os::OpenFile& f,
   // ranges are re-walked. Descriptors build into an arena-pooled buffer.
   mem::ExtentCache& cache = extent_cache_for(f);
   std::vector<hw::SdmaDescriptor> descs = take_desc_buffer();
+  // Every iov range looked up so far stays pinned in the cache until this
+  // call finishes (including every error/fallback exit): an in-flight
+  // rendezvous window must never be the victim of a concurrent send's
+  // eviction while its extents are being wired into descriptors.
+  std::size_t pinned_upto = 0;
+  auto unpin_all = [&] {
+    for (std::size_t i = 1; i <= pinned_upto; ++i)
+      cache.unpin(iov[i].base, iov[i].len, cfg.pico_sdma_desc_bytes);
+    pinned_upto = 0;
+  };
   auto bail = [&](Errno err) {
+    unpin_all();
     recycle_desc_buffer(std::move(descs));
     return err;
   };
@@ -171,6 +182,8 @@ sim::Task<Result<long>> HfiPicoDriver::fast_writev(os::OpenFile& f,
     mem::ExtentCache::Outcome outcome;
     auto extents = cache.lookup(as, iov[i].base, iov[i].len, cfg.pico_sdma_desc_bytes, &outcome);
     if (!extents.ok()) co_return bail(extents.error());
+    (void)cache.pin(iov[i].base, iov[i].len, cfg.pico_sdma_desc_bytes);
+    pinned_upto = i;
     note_cache_outcome(outcome);
     if (outcome == mem::ExtentCache::Outcome::hit)
       ++cached_ranges;
@@ -205,6 +218,7 @@ sim::Task<Result<long>> HfiPicoDriver::fast_writev(os::OpenFile& f,
       ++fallbacks_;
       ++ring_full_fallbacks_;
       mck_.profiler().bump("pico.ring_full_fallback");
+      unpin_all();
       recycle_desc_buffer(std::move(descs));
       co_return co_await driver_.writev(f, iov);
     }
@@ -215,15 +229,18 @@ sim::Task<Result<long>> HfiPicoDriver::fast_writev(os::OpenFile& f,
   }
 
   // Completion metadata in the *LWK* heap, owned by this rank's core —
-  // steady state this is an O(1) pop off the core's slab magazine.
-  const std::uint64_t slab_reuses_before = mck_.kheap().stats().slab_reuses;
+  // steady state this is an O(1) pop off the core's slab magazine; a cold
+  // refill carves from the core's near partition (placement outcomes land
+  // on the profiler as lwk.kheap.{near_alloc,far_alloc,partition_exhausted}).
+  const mem::KernelHeap::Stats stats_before = mck_.kheap().stats();
   auto meta = mck_.kheap().kmalloc(192, lwk_cpu_for(proc));
   if (!meta.ok()) {
     lock.release();
     co_return bail(Errno::enomem);
   }
-  if (mck_.kheap().stats().slab_reuses != slab_reuses_before)
+  if (mck_.kheap().stats().slab_reuses != stats_before.slab_reuses)
     mck_.profiler().bump("lwk.kheap.slab_reuse");
+  mck_.note_kheap_placement(stats_before);
 
   // Cross-kernel shared state: bump the same descq_submitted counter the
   // Linux driver maintains, through the extracted offset.
@@ -247,9 +264,11 @@ sim::Task<Result<long>> HfiPicoDriver::fast_writev(os::OpenFile& f,
   const mem::PhysAddr meta_addr = *meta;
   os::McKernel* mck = &mck_;
   os::LinuxKernel* lnx = &driver_.linux_kernel();
-  os::KernelCallback cleanup = binding_.lwk_callback([mck, meta_addr] {
-    // Runs on a Linux service CPU (id 0 is representative): foreign free.
-    Status s = mck->kheap().kfree(meta_addr, /*cpu=*/0);
+  os::KernelCallback cleanup = binding_.lwk_callback([mck, lnx, meta_addr] {
+    // Runs on whichever Linux service CPU fields the IRQ: the foreign free
+    // carries that CPU's socket into the remote queue, so the owner's
+    // drain can batch reclaims per source socket.
+    Status s = mck->kheap().kfree(meta_addr, lnx->current_irq_cpu());
     assert(s.ok());
     (void)s;
   });
@@ -262,6 +281,7 @@ sim::Task<Result<long>> HfiPicoDriver::fast_writev(os::OpenFile& f,
   assert(s.ok());
   (void)s;
   lock.release();
+  unpin_all();
   co_return static_cast<long>(total_bytes);
 }
 

@@ -63,6 +63,7 @@ class KheapCrossKernelStress : public testing::Test {
   std::vector<LiveBlock> queued;             // foreign-freed, awaiting drain
   std::uint64_t queued_bytes = 0;
   std::uint64_t tracked_bytes = 0;
+  std::uint64_t double_free_attempts = 0;
 
   int random_owner() { return kOwnerCpus[rng.next_below(std::size(kOwnerCpus))]; }
   int random_linux() { return kLinuxCpus[rng.next_below(std::size(kLinuxCpus))]; }
@@ -102,6 +103,18 @@ class KheapCrossKernelStress : public testing::Test {
     }
   }
 
+  // A duplicate completion IRQ (or a confused owner) frees a block that is
+  // already sitting on the remote-free queue. Must be rejected without
+  // touching the queue, and the queued block must expose no writable span.
+  void do_double_free() {
+    if (queued.empty()) return;
+    const LiveBlock& b = queued[rng.next_below(queued.size())];
+    const int cpu = rng.next_below(2) == 0 ? random_linux() : b.owner_cpu;
+    ASSERT_EQ(heap.kfree(b.addr, cpu).error(), Errno::einval);
+    ASSERT_TRUE(heap.data(b.addr).empty());
+    ++double_free_attempts;
+  }
+
   void do_drain() {
     const int cpu = random_owner();
     std::size_t expected = 0;
@@ -134,6 +147,8 @@ class KheapCrossKernelStress : public testing::Test {
     for (int cpu : kOwnerCpus) magazines += heap.magazine_depth(cpu);
     ASSERT_EQ(magazines, s.slab_recycles - s.slab_reuses);
     ASSERT_EQ(s.rejected_frees, 0u);
+    // Every caught double free is ours; none slipped through as a real free.
+    ASSERT_EQ(s.double_frees, double_free_attempts);
   }
 };
 
@@ -144,9 +159,11 @@ TEST_F(KheapCrossKernelStress, RandomizedInterleavingKeepsLedgerConsistent) {
       do_alloc();
     } else if (dice < 55) {
       do_free(/*foreign=*/true);  // Linux-side completion IRQ
-    } else if (dice < 70) {
+    } else if (dice < 68) {
       do_free(/*foreign=*/false);  // owner-core free
-    } else if (dice < 85) {
+    } else if (dice < 73) {
+      do_double_free();  // duplicate completion IRQ
+    } else if (dice < 86) {
       do_drain();  // scheduler tick on one owner core
     } else {
       check_invariants();
@@ -204,6 +221,52 @@ TEST_F(KheapCrossKernelStress, DrainThenAllocReusesBlockWithoutHostAlloc) {
   EXPECT_EQ(s.rejected_frees, 0u);
   EXPECT_EQ(heap.live_blocks(), 0u);
   EXPECT_EQ(s.bytes_live, 0u);
+}
+
+// Regression: a second kfree() of a block already parked on the remote-free
+// queue used to succeed — the block was enqueued twice, remote_frees
+// double-counted, and the eventual drain recycled the same address into two
+// magazine slots. The state machine must catch it from any CPU.
+TEST_F(KheapCrossKernelStress, FreeWhileQueuedIsACaughtDoubleFree) {
+  auto addr = heap.kmalloc(192, kOwnerCpus[0]);
+  ASSERT_TRUE(addr.ok());
+  ASSERT_TRUE(heap.kfree(*addr, kLinuxCpus[0]).ok());  // completion IRQ enqueues
+  ASSERT_EQ(heap.stats().remote_frees, 1u);
+
+  // Duplicate IRQ on another Linux CPU: rejected, not enqueued again.
+  EXPECT_EQ(heap.kfree(*addr, kLinuxCpus[1]).error(), Errno::einval);
+  // Owner-side free of the queued block is the same double free.
+  EXPECT_EQ(heap.kfree(*addr, kOwnerCpus[0]).error(), Errno::einval);
+  EXPECT_EQ(heap.stats().remote_frees, 1u) << "double free inflated remote_frees";
+  EXPECT_EQ(heap.stats().double_frees, 2u);
+  EXPECT_EQ(heap.remote_queue_depth(kOwnerCpus[0]), 1u);
+
+  EXPECT_EQ(heap.drain_remote_frees(kOwnerCpus[0]), 1u);
+  // Exactly one copy parked — a doubled enqueue would leave two.
+  EXPECT_EQ(heap.magazine_depth(kOwnerCpus[0]), 1u);
+  EXPECT_EQ(heap.live_blocks(), 0u);
+  EXPECT_EQ(heap.stats().bytes_live, 0u);
+  // Parked is still not live: freeing it yet again stays a double free.
+  EXPECT_EQ(heap.kfree(*addr, kOwnerCpus[0]).error(), Errno::einval);
+  EXPECT_EQ(heap.stats().double_frees, 3u);
+}
+
+// Regression: data() used to hand out a writable span for a block on the
+// remote-free queue — conceptually freed memory the IRQ side could still
+// scribble on while the owner raced to drain and reallocate it.
+TEST_F(KheapCrossKernelStress, QueuedBlockExposesNoWritableSpan) {
+  auto addr = heap.kmalloc(192, kOwnerCpus[1]);
+  ASSERT_TRUE(addr.ok());
+  EXPECT_EQ(heap.data(*addr).size(), 192u);
+  ASSERT_TRUE(heap.kfree(*addr, kLinuxCpus[0]).ok());
+  EXPECT_TRUE(heap.data(*addr).empty()) << "queued block leaked a span";
+  ASSERT_EQ(heap.drain_remote_frees(kOwnerCpus[1]), 1u);
+  EXPECT_TRUE(heap.data(*addr).empty()) << "parked block leaked a span";
+  // Reallocation of the class revives the same block with a fresh span.
+  auto again = heap.kmalloc(192, kOwnerCpus[1]);
+  ASSERT_TRUE(again.ok());
+  ASSERT_EQ(*again, *addr);
+  EXPECT_EQ(heap.data(*again).size(), 192u);
 }
 
 }  // namespace

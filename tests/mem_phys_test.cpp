@@ -114,5 +114,38 @@ TEST(PhysMap, FreeReturnsToOwningDomain) {
   EXPECT_EQ(map.free_bytes(MemKind::ddr), 8_MiB);
 }
 
+// NUMA-aware kheap refill: the home domain serves first, then same-kind
+// siblings (stay in the fast tier), then any domain, then ENOMEM.
+TEST(PhysMap, AllocNearPrefersHomeThenKindThenAny) {
+  // Domains: mcdram0, mcdram1 (4 MiB each), ddr0, ddr1 (4 MiB each).
+  PhysMap map = PhysMap::knl(8_MiB, 8_MiB, 2);
+  auto in_domain = [&](const Result<PhysAddr>& a, std::size_t i) {
+    return a.ok() && map.domain(i).allocator.contains(*a);
+  };
+
+  auto a = map.alloc_near(2_MiB, 0);
+  EXPECT_TRUE(in_domain(a, 0));
+  auto b = map.alloc_near(2_MiB, 0);
+  EXPECT_TRUE(in_domain(b, 0));  // home still has room
+  // Home exhausted: the same-kind sibling mcdram1 beats the DDR domains.
+  auto c = map.alloc_near(2_MiB, 0);
+  EXPECT_TRUE(in_domain(c, 1));
+  auto d = map.alloc_near(2_MiB, 0);
+  EXPECT_TRUE(in_domain(d, 1));
+  // All MCDRAM gone: graceful fall-through to DDR keeps the alloc served.
+  auto e = map.alloc_near(2_MiB, 0);
+  ASSERT_TRUE(e.ok());
+  EXPECT_TRUE(in_domain(e, 2) || in_domain(e, 3));
+  // Exhaust everything: the final answer is ENOMEM, not a crash.
+  while (map.alloc_near(2_MiB, 0).ok()) {
+  }
+  EXPECT_EQ(map.alloc_near(2_MiB, 0).error(), Errno::enomem);
+  EXPECT_EQ(map.alloc_near(4_KiB, 99).error(), Errno::einval);
+
+  // Frees land back in the owning domain regardless of who asked.
+  map.free(*c, 2_MiB);
+  EXPECT_TRUE(in_domain(map.alloc_near(2_MiB, 0), 1));
+}
+
 }  // namespace
 }  // namespace pd::mem

@@ -294,5 +294,107 @@ TEST(ExtentCacheEquivalence, SecondarySeedSweep) {
   }
 }
 
+// --- pin/unpin: in-flight rendezvous windows are never eviction victims ---
+
+class ExtentCachePinning : public testing::Test {
+ protected:
+  static constexpr std::uint64_t kMaxExtent = 10240;
+
+  PhysMap phys{PhysMap::knl(128_MiB, 256_MiB, 2)};
+  AddressSpace as{phys, BackingPolicy::lwk_contig, MemKind::mcdram, 0x30'0000'0000ull, 0x9142};
+
+  VirtAddr map(std::uint64_t len) {
+    auto va = as.mmap_anonymous(len, kProtRead | kProtWrite);
+    EXPECT_TRUE(va.ok());
+    return va.ok() ? *va : 0;
+  }
+
+  ExtentCache::Outcome look(ExtentCache& cache, VirtAddr va, std::uint64_t len) {
+    ExtentCache::Outcome out{};
+    auto spans = cache.lookup(as, va, len, kMaxExtent, &out);
+    EXPECT_TRUE(spans.ok());
+    return out;
+  }
+};
+
+// Under size-aware scoring a small zero-hit entry is the canonical victim.
+// Pinning it must force the burst to evict its own kind instead, and the
+// window must still be a hit when the send resumes.
+TEST_F(ExtentCachePinning, PinnedEntrySurvivesEvictionPressure) {
+  ExtentCache cache(2, ExtentCache::EvictionPolicy::size_aware);
+  const VirtAddr window = map(4_KiB);  // small: lowest score, natural victim
+  ASSERT_EQ(look(cache, window, 4_KiB), ExtentCache::Outcome::miss);
+  ASSERT_TRUE(cache.pin(window, 4_KiB, kMaxExtent));
+  ASSERT_EQ(cache.pinned_entries(), 1u);
+
+  for (int i = 0; i < 16; ++i) {
+    const VirtAddr burst = map(64_KiB);
+    look(cache, burst, 64_KiB);  // each insertion must pick the unpinned slot
+    ASSERT_LE(cache.entries(), cache.capacity());
+  }
+  EXPECT_EQ(look(cache, window, 4_KiB), ExtentCache::Outcome::hit)
+      << "pinned window was evicted mid-flight";
+
+  // Control: the identical burst against an unpinned clone evicts the
+  // window immediately — the pin is what kept it alive above.
+  ExtentCache control(2, ExtentCache::EvictionPolicy::size_aware);
+  ASSERT_EQ(look(control, window, 4_KiB), ExtentCache::Outcome::miss);
+  for (int i = 0; i < 16; ++i) {
+    const VirtAddr burst = map(64_KiB);
+    look(control, burst, 64_KiB);
+  }
+  // (The re-walk evicts a burst slot, so the outcome is the evicting miss.)
+  EXPECT_NE(look(control, window, 4_KiB), ExtentCache::Outcome::hit);
+}
+
+// With every entry pinned a cold miss may not kill a window: the cache
+// overflows capacity for the duration and unpin() shrinks it back.
+TEST_F(ExtentCachePinning, AllPinnedOverflowsThenShrinksOnUnpin) {
+  ExtentCache cache(1, ExtentCache::EvictionPolicy::size_aware);
+  const VirtAddr window = map(64_KiB);
+  look(cache, window, 64_KiB);
+  ASSERT_TRUE(cache.pin(window, 64_KiB, kMaxExtent));
+
+  const VirtAddr cold = map(8_KiB);
+  ASSERT_EQ(look(cache, cold, 8_KiB), ExtentCache::Outcome::miss);
+  EXPECT_EQ(cache.entries(), 2u) << "cold miss should overflow, not evict the pin";
+  EXPECT_EQ(look(cache, window, 64_KiB), ExtentCache::Outcome::hit);
+
+  cache.unpin(window, 64_KiB, kMaxExtent);
+  EXPECT_EQ(cache.pinned_entries(), 0u);
+  EXPECT_EQ(cache.entries(), cache.capacity()) << "unpin should shrink the overflow";
+  // The high-score window is what the shrink retains.
+  EXPECT_EQ(look(cache, window, 64_KiB), ExtentCache::Outcome::hit);
+}
+
+TEST_F(ExtentCachePinning, PinsNestAndUnknownKeysAreRejected) {
+  ExtentCache cache(1, ExtentCache::EvictionPolicy::size_aware);
+  const VirtAddr window = map(16_KiB);
+  // Nothing cached yet: nothing to protect.
+  EXPECT_FALSE(cache.pin(window, 16_KiB, kMaxExtent));
+  cache.unpin(window, 16_KiB, kMaxExtent);  // no-op, must not crash
+
+  look(cache, window, 16_KiB);
+  ASSERT_TRUE(cache.pin(window, 16_KiB, kMaxExtent));
+  ASSERT_TRUE(cache.pin(window, 16_KiB, kMaxExtent));  // two overlapping sends
+  cache.unpin(window, 16_KiB, kMaxExtent);
+  EXPECT_EQ(cache.pinned_entries(), 1u) << "pins must nest";
+  for (int i = 0; i < 8; ++i) look(cache, map(64_KiB), 64_KiB);
+  EXPECT_EQ(look(cache, window, 16_KiB), ExtentCache::Outcome::hit);
+  cache.unpin(window, 16_KiB, kMaxExtent);
+  EXPECT_EQ(cache.pinned_entries(), 0u);
+}
+
+// A pass-through cache (capacity 0) retains nothing, so there is nothing
+// to pin — the driver's pin call degrades to a no-op and the fast path
+// still works.
+TEST_F(ExtentCachePinning, PassThroughCacheHasNothingToPin) {
+  ExtentCache cache(0, ExtentCache::EvictionPolicy::size_aware);
+  const VirtAddr window = map(16_KiB);
+  look(cache, window, 16_KiB);
+  EXPECT_FALSE(cache.pin(window, 16_KiB, kMaxExtent));
+  EXPECT_EQ(cache.pinned_entries(), 0u);
+}
+
 }  // namespace
 }  // namespace pd::mem

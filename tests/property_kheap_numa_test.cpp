@@ -1,0 +1,340 @@
+// NUMA drain-batching equivalence property (paper §3.3 + SNC-4 placement).
+//
+// The NUMA-aware kheap changes *where* cold allocations land and *how* the
+// remote-free queue is walked (one batch per source socket instead of FIFO
+// per block). Neither may change what the allocator *does*: the same op
+// sequence driven against a flat-placement heap and a numa_aware heap —
+// sharing one multi-socket topology — must reclaim exactly the same blocks
+// on every drain, keep byte-identical ledgers, and keep every block's
+// pattern intact while live. Only the placement counters and the
+// cross-socket event count may differ, and the NUMA heap must never see
+// *more* cross-socket events than the flat one.
+//
+// Determinism: fixed default seed, overridable with PD_PROPERTY_SEED; a
+// failure prints the seed. Run with `ctest -L property` (also labelled
+// `numa`).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <iterator>
+#include <vector>
+
+#include "src/common/rng.hpp"
+#include "src/mem/kheap.hpp"
+#include "src/mem/numa_topology.hpp"
+
+namespace pd::mem {
+namespace {
+
+// blocked(16, 4): CPUs {0..3}→socket 0, {4..7}→1, {8..11}→2, {12..15}→3.
+// Owners sit on sockets 1–3 (never 0); foreign frees come from the Linux
+// service CPUs on socket 0 *and* from unowned CPUs on the owner sockets, so
+// drains see both remote and same-socket sources.
+constexpr int kTotalCpus = 16;
+constexpr int kSockets = 4;
+constexpr int kOwnerCpus[] = {4, 5, 8, 9, 12, 13};
+constexpr int kForeignCpus[] = {0, 1, 2, 3, 6, 10, 14};
+constexpr int kOps = 12'000;
+
+std::uint64_t harness_seed() {
+  if (const char* env = std::getenv("PD_PROPERTY_SEED"); env != nullptr && *env != '\0')
+    return std::strtoull(env, nullptr, 0);
+  return 0x5C0CE75ull;
+}
+
+std::uint8_t pattern_for(std::size_t slot, std::uint64_t size) {
+  return static_cast<std::uint8_t>(slot * 17 ^ size ^ 0xA7);
+}
+
+// One block tracked through both heaps. Addresses differ (placement is the
+// point under test), so slots pair them up.
+struct Slot {
+  PhysAddr flat_addr = 0;
+  PhysAddr numa_addr = 0;
+  std::uint64_t size = 0;
+  int owner_cpu = -1;
+  std::size_t id = 0;  // stable pattern key across slot-vector shuffles
+};
+
+class DrainEquivalenceHarness {
+ public:
+  explicit DrainEquivalenceHarness(std::uint64_t seed)
+      : seed_(seed),
+        rng_(seed),
+        topo_(NumaTopology::blocked(kTotalCpus, kSockets)),
+        flat_(owners(), ForeignFreePolicy::remote_queue, topo_, PartitionBudget{},
+              PlacementPolicy::flat),
+        numa_(owners(), ForeignFreePolicy::remote_queue, topo_, PartitionBudget{},
+              PlacementPolicy::numa_aware) {}
+
+  void run(int ops) {
+    for (int op = 0; op < ops && !testing::Test::HasFatalFailure(); ++op) {
+      const std::uint64_t dice = rng_.next_below(100);
+      if (dice < 38) {
+        do_alloc();
+      } else if (dice < 58) {
+        do_free(/*foreign=*/true);
+      } else if (dice < 70) {
+        do_free(/*foreign=*/false);
+      } else if (dice < 75) {
+        do_double_free();
+      } else if (dice < 88) {
+        do_drain(owner());
+      } else {
+        check_ledgers();
+      }
+    }
+    if (testing::Test::HasFatalFailure()) return;
+    // Settle: free everything locally, drain every owner, final audit.
+    while (!live_.empty()) do_free(/*foreign=*/false);
+    for (int cpu : kOwnerCpus) do_drain(cpu);
+    check_ledgers();
+    finish();
+  }
+
+ private:
+  static std::vector<int> owners() { return {std::begin(kOwnerCpus), std::end(kOwnerCpus)}; }
+  int owner() { return kOwnerCpus[rng_.next_below(std::size(kOwnerCpus))]; }
+  int foreign() { return kForeignCpus[rng_.next_below(std::size(kForeignCpus))]; }
+
+  std::uint64_t random_size() {
+    const std::uint64_t dice = rng_.next_below(100);
+    if (dice < 60) return 192;  // SDMA completion metadata
+    if (dice < 90) return 1 + rng_.next_below(4096);
+    return 4097 + rng_.next_below(8ull * 1024);  // oversized → host path
+  }
+
+  void fill(KernelHeap& heap, PhysAddr addr, const Slot& s) {
+    auto span = heap.data(addr);
+    ASSERT_EQ(span.size(), s.size) << reproducer();
+    for (auto& byte : span) byte = pattern_for(s.id, s.size);
+  }
+
+  void check_bytes(KernelHeap& heap, PhysAddr addr, const Slot& s) {
+    auto span = heap.data(addr);
+    ASSERT_EQ(span.size(), s.size) << reproducer();
+    const std::uint8_t p = pattern_for(s.id, s.size);
+    for (std::size_t i = 0; i < span.size(); ++i)
+      ASSERT_EQ(span[i], p) << "slot " << s.id << " byte " << i << " stomped"
+                            << reproducer();
+  }
+
+  void do_alloc() {
+    Slot s;
+    s.owner_cpu = owner();
+    s.size = random_size();
+    s.id = next_id_++;
+    auto fa = flat_.kmalloc(s.size, s.owner_cpu);
+    auto na = numa_.kmalloc(s.size, s.owner_cpu);
+    ASSERT_TRUE(fa.ok()) << reproducer();
+    ASSERT_TRUE(na.ok()) << reproducer();
+    s.flat_addr = *fa;
+    s.numa_addr = *na;
+    fill(flat_, s.flat_addr, s);
+    fill(numa_, s.numa_addr, s);
+    live_.push_back(s);
+  }
+
+  void do_free(bool is_foreign) {
+    if (live_.empty()) return;
+    const std::size_t pick = rng_.next_below(live_.size());
+    Slot s = live_[pick];
+    live_[pick] = live_.back();
+    live_.pop_back();
+    check_bytes(flat_, s.flat_addr, s);  // integrity holds right up to the free
+    check_bytes(numa_, s.numa_addr, s);
+    const int cpu = is_foreign ? foreign() : s.owner_cpu;
+    ASSERT_TRUE(flat_.kfree(s.flat_addr, cpu).ok()) << reproducer();
+    ASSERT_TRUE(numa_.kfree(s.numa_addr, cpu).ok()) << reproducer();
+    if (is_foreign) queued_.push_back(s);
+  }
+
+  // Both heaps must reject a free of a queued block identically.
+  void do_double_free() {
+    if (queued_.empty()) return;
+    const Slot& s = queued_[rng_.next_below(queued_.size())];
+    const int cpu = rng_.next_below(2) == 0 ? foreign() : s.owner_cpu;
+    ASSERT_EQ(flat_.kfree(s.flat_addr, cpu).error(), Errno::einval) << reproducer();
+    ASSERT_EQ(numa_.kfree(s.numa_addr, cpu).error(), Errno::einval) << reproducer();
+    ASSERT_TRUE(flat_.data(s.flat_addr).empty()) << reproducer();
+    ASSERT_TRUE(numa_.data(s.numa_addr).empty()) << reproducer();
+  }
+
+  void do_drain(int cpu) {
+    ASSERT_EQ(flat_.remote_queue_depth(cpu), numa_.remote_queue_depth(cpu))
+        << reproducer();
+    const std::size_t flat_got = flat_.drain_remote_frees(cpu);
+    const std::size_t numa_got = numa_.drain_remote_frees(cpu);
+    // The batched walk must reclaim exactly what the FIFO walk reclaims.
+    ASSERT_EQ(flat_got, numa_got) << reproducer();
+    std::size_t expected = 0;
+    for (std::size_t i = 0; i < queued_.size();) {
+      if (queued_[i].owner_cpu == cpu) {
+        ++expected;
+        queued_[i] = queued_.back();
+        queued_.pop_back();
+      } else {
+        ++i;
+      }
+    }
+    ASSERT_EQ(flat_got, expected) << reproducer();
+  }
+
+  void check_ledgers() {
+    const KernelHeap::Stats& f = flat_.stats();
+    const KernelHeap::Stats& n = numa_.stats();
+    ASSERT_EQ(f.allocs, n.allocs) << reproducer();
+    ASSERT_EQ(f.local_frees, n.local_frees) << reproducer();
+    ASSERT_EQ(f.remote_frees, n.remote_frees) << reproducer();
+    ASSERT_EQ(f.double_frees, n.double_frees) << reproducer();
+    ASSERT_EQ(f.bytes_live, n.bytes_live) << reproducer();
+    // Placement must not perturb the magazine steady state: identical op
+    // streams hit / refill per-core magazines identically in both heaps.
+    ASSERT_EQ(f.host_allocs, n.host_allocs) << reproducer();
+    ASSERT_EQ(f.slab_reuses, n.slab_reuses) << reproducer();
+    ASSERT_EQ(f.slab_recycles, n.slab_recycles) << reproducer();
+    ASSERT_EQ(flat_.live_blocks(), numa_.live_blocks()) << reproducer();
+    ASSERT_EQ(flat_.live_blocks(), live_.size() + queued_.size()) << reproducer();
+    // Batching can only shrink the cross-socket event count.
+    ASSERT_LE(n.cross_socket_drains, f.cross_socket_drains) << reproducer();
+  }
+
+  void finish() {
+    ASSERT_EQ(flat_.live_blocks(), 0u) << reproducer();
+    ASSERT_EQ(numa_.stats().bytes_live, 0u) << reproducer();
+    const KernelHeap::Stats& f = flat_.stats();
+    const KernelHeap::Stats& n = numa_.stats();
+    EXPECT_GT(f.remote_frees, 500u) << "remote path barely exercised" << reproducer();
+    // Placement outcomes: every owner lives on socket 1–3, so the flat
+    // heap (everything carved from socket 0) never places near, while the
+    // numa heap with unbounded budgets always does.
+    EXPECT_EQ(f.near_allocs, 0u) << reproducer();
+    EXPECT_EQ(f.far_allocs, f.host_allocs) << reproducer();
+    EXPECT_EQ(n.near_allocs, n.host_allocs) << reproducer();
+    EXPECT_EQ(n.far_allocs, 0u) << reproducer();
+    EXPECT_EQ(n.partition_exhausted, 0u) << reproducer();
+    // The headline: per-source-socket batching strictly beats per-block
+    // accounting once drains carry multi-block batches, which this op mix
+    // guarantees at this scale.
+    EXPECT_LT(n.cross_socket_drains, f.cross_socket_drains) << reproducer();
+  }
+
+  std::string reproducer() const {
+    return "\n  reproduce with PD_PROPERTY_SEED=" + std::to_string(seed_);
+  }
+
+  std::uint64_t seed_;
+  Rng rng_;
+  NumaTopology topo_;
+  KernelHeap flat_;
+  KernelHeap numa_;
+  std::vector<Slot> live_;
+  std::vector<Slot> queued_;  // foreign-freed, awaiting the owner's drain
+  std::size_t next_id_ = 0;
+};
+
+TEST(KheapNumaProperty, BatchedDrainIsEquivalentToFlatDrain) {
+  const std::uint64_t seed = harness_seed();
+  std::printf("kheap numa equivalence: PD_PROPERTY_SEED=%llu (%d ops)\n",
+              static_cast<unsigned long long>(seed), kOps);
+  DrainEquivalenceHarness h(seed);
+  h.run(kOps);
+}
+
+// Breadth: extra fixed seeds keep running even when PD_PROPERTY_SEED pins
+// the main harness to a reproducer.
+TEST(KheapNumaProperty, FixedSeedsStayEquivalent) {
+  for (std::uint64_t seed : {std::uint64_t{0xBA7C4ull}, std::uint64_t{7}}) {
+    DrainEquivalenceHarness h(splitmix64(seed));
+    h.run(4'000);
+    if (testing::Test::HasFatalFailure()) return;
+  }
+}
+
+// Deterministic worked example of the figure of merit: eight completion
+// blocks freed from two remote sockets cost the flat drain eight
+// cross-socket events (one cache-line pull per block) but the batched
+// drain only two (one per source socket).
+TEST(KheapNumaDrain, DrainCoalescesPerSourceSocket) {
+  const NumaTopology topo = NumaTopology::blocked(kTotalCpus, kSockets);
+  KernelHeap flat({4}, ForeignFreePolicy::remote_queue, topo, PartitionBudget{},
+                  PlacementPolicy::flat);
+  KernelHeap numa({4}, ForeignFreePolicy::remote_queue, topo, PartitionBudget{},
+                  PlacementPolicy::numa_aware);
+  for (KernelHeap* heap : {&flat, &numa}) {
+    std::vector<PhysAddr> blocks;
+    for (int i = 0; i < 8; ++i) {
+      auto a = heap->kmalloc(192, 4);
+      ASSERT_TRUE(a.ok());
+      blocks.push_back(*a);
+    }
+    for (int i = 0; i < 8; ++i) {
+      // Alternate source sockets 0 and 2 (CPUs 0 and 10); owner is socket 1.
+      ASSERT_TRUE(heap->kfree(blocks[static_cast<std::size_t>(i)], i % 2 == 0 ? 0 : 10).ok());
+    }
+    EXPECT_EQ(heap->drain_remote_frees(4), 8u);
+  }
+  EXPECT_EQ(flat.stats().cross_socket_drains, 8u);
+  EXPECT_EQ(numa.stats().cross_socket_drains, 2u);
+}
+
+// Same-socket foreign frees are not cross-socket traffic under either walk:
+// CPU 6 shares socket 1 with the owner CPU 4.
+TEST(KheapNumaDrain, SameSocketForeignFreeIsNotCrossSocket) {
+  const NumaTopology topo = NumaTopology::blocked(kTotalCpus, kSockets);
+  for (const PlacementPolicy placement :
+       {PlacementPolicy::flat, PlacementPolicy::numa_aware}) {
+    KernelHeap heap({4}, ForeignFreePolicy::remote_queue, topo, PartitionBudget{},
+                    placement);
+    auto a = heap.kmalloc(192, 4);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(heap.kfree(*a, 6).ok());
+    EXPECT_EQ(heap.drain_remote_frees(4), 1u);
+    EXPECT_EQ(heap.stats().cross_socket_drains, 0u);
+  }
+}
+
+// Partition capacity model: a starved near budget falls back to the home
+// socket's far partition — allocations keep succeeding, the exhaustion is
+// counted, and frees return budget bytes.
+TEST(KheapNumaPartitions, NearExhaustionFallsBackToFar) {
+  const NumaTopology topo = NumaTopology::blocked(8, 2);
+  // 8 KiB near budget: exactly one oversized 8 KiB block fits near.
+  KernelHeap heap({4, 5, 6, 7}, ForeignFreePolicy::remote_queue, topo,
+                  PartitionBudget{8 * 1024, 1ull << 30}, PlacementPolicy::numa_aware);
+  std::vector<PhysAddr> addrs;
+  for (int i = 0; i < 16; ++i) {
+    auto a = heap.kmalloc(8 * 1024, 4);  // oversized → every alloc carves
+    ASSERT_TRUE(a.ok()) << "far fallback must keep allocation " << i << " served";
+    addrs.push_back(*a);
+  }
+  const KernelHeap::Stats& s = heap.stats();
+  EXPECT_EQ(s.near_allocs, 1u);
+  EXPECT_EQ(s.far_allocs, 15u);
+  EXPECT_EQ(s.partition_exhausted, 15u);
+  EXPECT_EQ(heap.near_used(1), 8u * 1024);
+  EXPECT_EQ(heap.far_used(1), 15u * 8 * 1024);
+  // Oversized blocks go back to the host on free: budgets drain to zero.
+  for (PhysAddr a : addrs) ASSERT_TRUE(heap.kfree(a, 4).ok());
+  EXPECT_EQ(heap.near_used(1), 0u);
+  EXPECT_EQ(heap.far_used(1), 0u);
+}
+
+// When the home socket's partitions are both exhausted the carve spills to
+// the other sockets' slices before failing with ENOMEM.
+TEST(KheapNumaPartitions, ExhaustedHomeSpillsThenFails) {
+  const NumaTopology topo = NumaTopology::blocked(8, 2);
+  KernelHeap heap({4}, ForeignFreePolicy::remote_queue, topo,
+                  PartitionBudget{8 * 1024, 8 * 1024}, PlacementPolicy::numa_aware);
+  // Four 8 KiB slices exist (near/far × 2 sockets); the fifth carve fails.
+  for (int i = 0; i < 4; ++i)
+    ASSERT_TRUE(heap.kmalloc(8 * 1024, 4).ok()) << "slice " << i;
+  EXPECT_EQ(heap.kmalloc(8 * 1024, 4).error(), Errno::enomem);
+  EXPECT_EQ(heap.stats().near_allocs, 1u);
+  EXPECT_EQ(heap.stats().far_allocs, 3u);
+}
+
+}  // namespace
+}  // namespace pd::mem
