@@ -1,7 +1,9 @@
 // Ablation: IKC one-way latency sensitivity of the offloaded data path.
 // Sweeps the IKC message latency and reports 1 MB ping-pong bandwidth on
 // plain McKernel — separating the *latency* component of offloading from
-// the *contention* component (see bench_ablation_offload_cpus for that).
+// the *contention* component (see bench_ablation_offload_cpus for that) —
+// plus the storm harness's p95 queueing under both transports, showing the
+// ring's batching advantage is orthogonal to the raw message latency.
 #include "bench/bench_common.hpp"
 #include "src/common/units.hpp"
 #include "src/mpirt/world.hpp"
@@ -12,7 +14,7 @@ int main() {
   bench::print_banner("Ablation — IKC one-way latency vs offloaded bandwidth",
                       "single-rank ping-pong: latency alone costs ~10-15%, not 5x");
 
-  TextTable table({"IKC one-way us", "McKernel MB/s"});
+  TextTable table({"IKC one-way us", "McKernel MB/s", "Legacy p95 us", "Ring p95 us"});
   for (double us : {0.2, 0.5, 0.8, 1.6, 3.2, 6.4}) {
     mpirt::ClusterOptions copts;
     copts.nodes = 2;
@@ -48,8 +50,20 @@ int main() {
       co_await rank.finalize();
     });
     const double sec = to_sec(shared.t1 - shared.t0);
+
+    // Queueing under contention at the same one-way latency, both transports.
+    os::Config scfg;
+    scfg.offload_oneway = from_us(us);
+    const int per_rank = bench::quick_mode() ? 12 : 32;
+    scfg.ikc_mode = os::IkcMode::direct;
+    const auto legacy = bench::run_offload_storm(scfg, 32, per_rank, from_us(3), from_us(20));
+    scfg.ikc_mode = os::IkcMode::ring;
+    const auto ring = bench::run_offload_storm(scfg, 32, per_rank, from_us(3), from_us(20));
+
     table.add_row({format_double(us, 1),
-                   format_double(static_cast<double>(kBytes) * iters / (sec / 2.0) / 1e6, 1)});
+                   format_double(static_cast<double>(kBytes) * iters / (sec / 2.0) / 1e6, 1),
+                   format_double(legacy.queue.p95_us, 1),
+                   format_double(ring.queue.p95_us, 1)});
   }
   std::printf("%s\n", table.to_string().c_str());
   return 0;

@@ -5,6 +5,7 @@
 // the full figure.
 #pragma once
 
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -12,6 +13,7 @@
 
 #include "src/common/stats.hpp"
 #include "src/os/config.hpp"
+#include "src/os/ihk.hpp"
 
 namespace pd::bench {
 
@@ -41,6 +43,57 @@ inline const std::vector<pd::os::OsMode>& all_modes() {
   static const std::vector<pd::os::OsMode> modes = {
       pd::os::OsMode::linux, pd::os::OsMode::mckernel, pd::os::OsMode::mckernel_hfi};
   return modes;
+}
+
+/// --- offload storm harness -----------------------------------------------
+/// The paper's squeeze in isolation: `ranks` LWK submitters hammering one
+/// node's Ihk (no MPI, no device model), so the legacy and ring transports
+/// can be compared on identical syscall streams. Every 4th offload is a
+/// control-class call, the rest bulk; the channel hint is the rank id.
+
+struct StormResult {
+  std::uint64_t offloads = 0;
+  double offloads_per_ms = 0;  // completed per simulated millisecond
+  ikc::QueueingSummary queue;
+  std::uint64_t degraded = 0;
+  std::uint64_t timeouts = 0;
+  double sim_ms = 0;
+};
+
+namespace detail {
+inline sim::Task<> storm_rank(sim::Engine& eng, os::Ihk& ihk, int rank, int per_rank,
+                              Dur work, Dur gap) {
+  for (int k = 0; k < per_rank; ++k) {
+    const auto prio = (k % 4 == 0) ? ikc::Priority::control : ikc::Priority::bulk;
+    auto r = co_await ihk.offload(
+        [&eng, work]() -> sim::Task<Result<long>> {
+          co_await eng.delay(work);
+          co_return 0L;
+        },
+        prio, rank);
+    (void)r;
+    co_await eng.delay(gap);
+  }
+}
+}  // namespace detail
+
+inline StormResult run_offload_storm(const os::Config& cfg, int ranks, int per_rank,
+                                     Dur work, Dur gap) {
+  sim::Engine engine;
+  os::LinuxKernel linux_kernel(engine, cfg);
+  os::Ihk ihk(engine, cfg, linux_kernel);
+  for (int r = 0; r < ranks; ++r)
+    sim::spawn(engine, detail::storm_rank(engine, ihk, r, per_rank, work, gap));
+  engine.run();
+
+  StormResult out;
+  out.offloads = ihk.offload_count();
+  out.queue = ihk.queueing_summary();
+  out.degraded = linux_kernel.profiler().counter("ikc.ring.degraded");
+  out.timeouts = linux_kernel.profiler().counter("ikc.ring.timeout");
+  out.sim_ms = to_ms(engine.now());
+  if (out.sim_ms > 0) out.offloads_per_ms = static_cast<double>(out.offloads) / out.sim_ms;
+  return out;
 }
 
 }  // namespace pd::bench

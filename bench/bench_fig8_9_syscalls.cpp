@@ -22,6 +22,8 @@ using namespace pd::apps;
 
 struct KernelBreakdown {
   os::SyscallProfiler profiler;
+  std::uint64_t offloads = 0;
+  ikc::QueueingSummary queue;
 };
 
 KernelBreakdown run_mode(os::OsMode mode, const std::function<sim::Task<>(mpirt::Rank&)>& body,
@@ -35,7 +37,7 @@ KernelBreakdown run_mode(os::OsMode mode, const std::function<sim::Task<>(mpirt:
   wopts.ranks_per_node = rpn;
   wopts.buf_bytes = buf_bytes;
   auto out = run_app(copts, wopts, body);
-  return KernelBreakdown{std::move(out.kernel)};
+  return KernelBreakdown{std::move(out.kernel), out.offloads, out.offload_queue};
 }
 
 void print_figure(const char* figure, const char* app,
@@ -61,8 +63,46 @@ void print_figure(const char* figure, const char* app,
       100.0 * (mck.profiler.share_of("ioctl") + mck.profiler.share_of("writev"));
   const double hfi_datapath =
       100.0 * (hfi.profiler.share_of("ioctl") + hfi.profiler.share_of("writev"));
-  std::printf("ioctl+writev share: McKernel %.1f%% -> McKernel+HFI1 %.1f%%\n\n", mck_datapath,
+  std::printf("ioctl+writev share: McKernel %.1f%% -> McKernel+HFI1 %.1f%%\n", mck_datapath,
               hfi_datapath);
+  std::printf("offload queueing (McKernel): %llu offloads, p50 %.1f / p95 %.1f / max %.1f us\n\n",
+              static_cast<unsigned long long>(mck.offloads), mck.queue.p50_us,
+              mck.queue.p95_us, mck.queue.max_us);
+}
+
+/// The ISSUE-4 acceptance check: 64 ranks on 4 service CPUs, identical
+/// offload stream through the legacy direct transport and the batched ring
+/// transport. Ring batching amortizes the proxy schedule-in across a whole
+/// batch and never pays the cold-wakeup/thrash scaling, so its p95 queueing
+/// must come out lower. Non-zero exit if it does not.
+int compare_transports() {
+  using namespace pd::time_literals;
+  std::printf("--- IKC transport: offload queueing, 64 ranks / 4 service CPUs ---\n");
+  os::Config cfg;
+  const int per_rank = bench::quick_mode() ? 24 : 96;
+
+  cfg.ikc_mode = os::IkcMode::direct;
+  const auto legacy = bench::run_offload_storm(cfg, 64, per_rank, from_us(3), from_us(20));
+  cfg.ikc_mode = os::IkcMode::ring;
+  const auto ring = bench::run_offload_storm(cfg, 64, per_rank, from_us(3), from_us(20));
+
+  TextTable table({"Transport", "Offloads", "Offl/ms", "p50 us", "p95 us", "Max us"});
+  for (const auto* row : {&legacy, &ring}) {
+    table.add_row({row == &legacy ? "legacy direct" : "ring batched",
+                   std::to_string(row->offloads), format_double(row->offloads_per_ms, 1),
+                   format_double(row->queue.p50_us, 1), format_double(row->queue.p95_us, 1),
+                   format_double(row->queue.max_us, 1)});
+  }
+  std::printf("%s", table.to_string().c_str());
+  std::printf("ring degraded=%llu timeouts=%llu\n\n",
+              static_cast<unsigned long long>(ring.degraded),
+              static_cast<unsigned long long>(ring.timeouts));
+  if (ring.queue.p95_us >= legacy.queue.p95_us) {
+    std::printf("FAIL: ring p95 %.1f us >= legacy p95 %.1f us\n", ring.queue.p95_us,
+                legacy.queue.p95_us);
+    return 1;
+  }
+  return 0;
 }
 
 }  // namespace
@@ -77,5 +117,5 @@ int main() {
   QboxParams qbox;
   print_figure("Figure 9", "QBOX", [qbox](mpirt::Rank& r) { return qbox_rank(r, qbox); },
                kQboxRpn, 4ull << 20);
-  return 0;
+  return compare_transports();
 }

@@ -36,9 +36,10 @@ int main() {
                 wait != nullptr ? wait->time_ms : 0.0,
                 waitall != nullptr ? waitall->time_ms : 0.0);
     if (out.offloads > 0)
-      std::printf("offloaded syscalls: %llu, mean service-CPU queueing %.1f us\n",
+      std::printf("offloaded syscalls: %llu, service-CPU queueing p50 %.1f / p95 %.1f / max %.1f us\n",
                   static_cast<unsigned long long>(out.offloads),
-                  out.mean_offload_queue_us);
+                  out.offload_queue.p50_us, out.offload_queue.p95_us,
+                  out.offload_queue.max_us);
     std::printf("kernel time in ioctl+writev: %.1f%%\n\n",
                 100.0 * (out.kernel.share_of("ioctl") + out.kernel.share_of("writev")));
   }

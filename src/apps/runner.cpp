@@ -13,16 +13,16 @@ RunOutcome run_app(const mpirt::ClusterOptions& copts, const mpirt::WorldOptions
   out.total_sec = to_sec(world.max_runtime());
   out.mpi = world.stats_table();
   out.kernel = cluster.app_kernel_profile();
+  Samples queueing;
   for (int n = 0; n < cluster.num_nodes(); ++n) {
     out.sdma_descriptors += cluster.node(n).device->total_descriptors();
     out.sdma_bytes += cluster.node(n).device->total_descriptor_bytes();
     if (cluster.node(n).ihk) {
       out.offloads += cluster.node(n).ihk->offload_count();
-      out.mean_offload_queue_us += cluster.node(n).ihk->mean_queueing_us();
+      queueing.merge(cluster.node(n).ihk->queueing_samples());
     }
   }
-  if (cluster.num_nodes() > 0)
-    out.mean_offload_queue_us /= cluster.num_nodes();
+  out.offload_queue = ikc::summarize_queueing(queueing);
   return out;
 }
 

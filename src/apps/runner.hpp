@@ -16,7 +16,8 @@ struct RunOutcome {
   std::uint64_t sdma_descriptors = 0;
   std::uint64_t sdma_bytes = 0;
   std::uint64_t offloads = 0;
-  double mean_offload_queue_us = 0;
+  /// Offload queueing distribution pooled across every node's Ihk.
+  ikc::QueueingSummary offload_queue;
 };
 
 /// Build a cluster + world, run `body` on every rank, aggregate results.

@@ -39,6 +39,8 @@ class RunningStats {
 class Samples {
  public:
   void add(double x) { xs_.push_back(x); }
+  /// Pool another node's samples (cluster-wide percentile summaries).
+  void merge(const Samples& other) { xs_.insert(xs_.end(), other.xs_.begin(), other.xs_.end()); }
   std::size_t count() const { return xs_.size(); }
   double mean() const;
   /// p in [0,100]; nearest-rank on the sorted copy.

@@ -59,7 +59,10 @@ void HfiDevice::on_chunk(const WireChunk& chunk) {
   auto it = contexts_.find(chunk.msg.dst_ctxt);
   if (it == contexts_.end()) {
     ++dropped_;
-    PD_LOG(warn) << "hfi" << node_id_ << ": chunk for closed context " << chunk.msg.dst_ctxt;
+    PD_LOG(warn) << "hfi" << node_id_ << ": chunk for closed context " << chunk.msg.dst_ctxt
+                 << " kind=" << static_cast<int>(chunk.msg.kind) << " src=" << chunk.msg.src_node
+                 << "/" << chunk.msg.src_ctxt << " msg_id=" << chunk.msg.msg_id
+                 << " win=" << chunk.msg.window << " bytes=" << total;
     return;
   }
   ++rx_messages_;

@@ -1,0 +1,174 @@
+// IKC transport: the cross-kernel system-call delegation channel as an
+// explicit subsystem (paper §2.1; MultiK's "the inter-kernel channel is an
+// orchestrated component, not an ad-hoc call").
+//
+// Two transports live behind `Ihk::offload`:
+//
+//   direct — the legacy path: every offload is its own proxy wakeup on the
+//            shared Linux service-CPU pool, with load-dependent wakeup,
+//            per-waiter scheduler thrash and the proxy-run service
+//            multiplier. This is the paper's measured McKernel behaviour
+//            and stays the calibrated default.
+//   ring   — per-LWK-CPU request rings in simulated shared memory
+//            (RingBuffer slots guarded by the §3.3 cross-kernel spin-lock),
+//            drained by dedicated Linux-side service loops pinned to the
+//            `linux_service_cpus`. Loops dequeue in batches, amortizing the
+//            schedule-in cost, and wake through a doorbell/poll hybrid.
+//            Each channel carries two priority classes so fast-path control
+//            calls (TID-registration ioctls) are not stuck behind bulk I/O.
+//
+// Robustness (ring mode): every request carries a ring-residency deadline;
+// on expiry the submitter retries on a ring owned by a different service
+// loop (bounded backoff), and after the retry budget falls back to the
+// direct path. Consecutive timeouts mark a service loop suspect — further
+// submissions avoid it except for periodic health probes, whose success
+// clears the mark. The ladder is: retry elsewhere → avoid the stalled loop
+// → degrade to direct; a fully stalled service side therefore slows
+// offloads down instead of hanging them.
+//
+// Observability: `ikc.ring.{enqueue,batch_drain,doorbell,poll_hit,timeout,
+// retry,degraded,...}` counters plus per-channel queue-depth histograms are
+// threaded through the Linux kernel's SyscallProfiler, and every request's
+// queueing delay lands in the shared `Samples` the owning Ihk summarizes.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/ring_buffer.hpp"
+#include "src/common/stats.hpp"
+#include "src/common/status.hpp"
+#include "src/os/config.hpp"
+#include "src/os/profiler.hpp"
+#include "src/os/spinlock.hpp"
+#include "src/sim/engine.hpp"
+#include "src/sim/sync.hpp"
+#include "src/sim/task.hpp"
+
+namespace pd::ikc {
+
+/// The Linux-side work of one offloaded syscall (runs in proxy context).
+using Service = std::function<sim::Task<Result<long>>()>;
+
+/// Per-channel priority classes: `control` for fast-path-critical admin
+/// calls (TID registration, open/close), `bulk` for data-path I/O.
+enum class Priority { control = 0, bulk = 1 };
+
+/// Percentile summary of offload queueing delays (µs).
+struct QueueingSummary {
+  std::size_t count = 0;
+  double mean_us = 0;
+  double p50_us = 0;
+  double p95_us = 0;
+  double max_us = 0;
+};
+
+QueueingSummary summarize_queueing(const Samples& samples);
+
+class IkcTransport {
+ public:
+  /// Queue-depth histogram buckets: depth ≤ 1, 2, 4, 8, 16, 32, > 32.
+  static constexpr int kDepthBuckets = 7;
+  using DepthHistogram = std::array<std::uint64_t, kDepthBuckets>;
+
+  /// `service_cpus`: the shared Linux service-CPU pool (CPU time for both
+  /// transports and for IRQ bottom halves). `profiler`: where the ikc.*
+  /// counters land (the Linux kernel's). `queueing_us`: per-request
+  /// queueing samples, owned by the Ihk that owns this transport.
+  /// Ring-mode service loops are spawned here and live until the engine
+  /// destroys their frames.
+  IkcTransport(sim::Engine& engine, const os::Config& cfg, sim::Resource& service_cpus,
+               os::SyscallProfiler& profiler, Samples& queueing_us, std::string lock_abi);
+  IkcTransport(const IkcTransport&) = delete;
+  IkcTransport& operator=(const IkcTransport&) = delete;
+
+  /// Delegate one syscall. Ring mode enqueues on the hinted channel and
+  /// follows the degradation ladder; direct mode is the legacy path.
+  sim::Task<Result<long>> offload(Service service, Priority prio, int channel_hint);
+
+  int num_channels() const { return channels_n_; }
+  int num_loops() const { return loops_n_; }
+  int loop_of(int channel) const { return channel % loops_n_; }
+
+  /// --- fault injection / introspection (tests, failure injection) --------
+  /// Halt or resume one Linux-side service loop ("service thread wedged").
+  /// Stalling is a *fault*: the transport must detect it behaviourally via
+  /// deadlines, never by reading this flag on the submit path.
+  void inject_stall(int loop, bool stalled);
+  bool stall_injected(int loop) const { return loops_.at(loop)->stall_injected; }
+  /// Has this loop accumulated enough consecutive timeouts to be avoided?
+  bool loop_suspect(int loop) const;
+  std::uint64_t loop_served(int loop) const { return loops_.at(loop)->served; }
+  std::size_t channel_depth(int channel) const;
+  const DepthHistogram& depth_histogram(int channel) const {
+    return depth_hist_.at(channel);
+  }
+
+ private:
+  struct Request {
+    explicit Request(sim::Engine& engine) : done(engine) {}
+    enum class State { queued, claimed, done, timed_out };
+    Service service;
+    State state = State::queued;
+    Result<long> result = Errno::eagain;
+    Time enqueued_at = 0;
+    sim::Latch done;
+  };
+  using RequestPtr = std::shared_ptr<Request>;
+
+  struct Channel {
+    Channel(sim::Engine& engine, std::string abi, Dur lock_cost, std::size_t depth)
+        : lock(engine, std::move(abi), lock_cost), rings{RingBuffer<RequestPtr>(depth),
+                                                         RingBuffer<RequestPtr>(depth)} {}
+    os::SharedSpinlock lock;     // the cross-kernel ring lock (§3.3)
+    RingBuffer<RequestPtr> rings[2];  // [control, bulk]
+  };
+
+  struct Loop {
+    explicit Loop(sim::Engine& engine) : doorbell(engine), unstall(engine) {}
+    sim::Channel<int> doorbell;
+    sim::Channel<int> unstall;
+    bool sleeping = false;        // blocked on the doorbell
+    bool stall_injected = false;
+    int consecutive_timeouts = 0; // submit-side stall detector
+    std::uint64_t served = 0;
+  };
+
+  sim::Task<Result<long>> direct_offload(Service service);
+  sim::Task<Result<long>> ring_offload(Service service, Priority prio, int channel_hint);
+  sim::Task<> service_loop(int loop);
+  /// Pop up to `ikc_batch` claimable requests from this loop's channels,
+  /// control class first; pays the ring-lock cost per non-empty channel.
+  sim::Task<> collect_batch(int loop, std::vector<RequestPtr>& out);
+
+  RingBuffer<RequestPtr>& ring(int channel, Priority prio) {
+    return channels_[static_cast<std::size_t>(channel)]->rings[static_cast<int>(prio)];
+  }
+  bool has_work(int loop) const;
+  /// Channel to actually submit on: the hint unless its loop is suspect, in
+  /// which case rotate to a healthy loop's channel (or probe the suspect
+  /// one every `ikc_probe_interval`-th time). -1 → every loop suspect.
+  int pick_channel(int channel);
+  void note_depth(int channel);
+
+  sim::Engine& engine_;
+  const os::Config& cfg_;
+  sim::Resource& service_cpus_;
+  os::SyscallProfiler& prof_;
+  Samples& queueing_us_;
+  int channels_n_;
+  int loops_n_;
+  std::vector<std::unique_ptr<Channel>> channels_;
+  std::vector<std::unique_ptr<Loop>> loops_;
+  std::vector<DepthHistogram> depth_hist_;
+  /// Cached per-channel counter names so enqueue-path bumps never build
+  /// strings ("ikc.ring.depth.ch<k>.le<n>").
+  std::vector<std::unique_ptr<std::array<std::string, kDepthBuckets>>> depth_names_;
+  std::uint64_t probe_tick_ = 0;
+};
+
+}  // namespace pd::ikc

@@ -29,6 +29,23 @@ constexpr const char* to_string(OsMode m) {
   return "?";
 }
 
+/// Which transport carries offloaded syscalls across the kernel boundary
+/// (src/ikc/). `direct` is the calibrated legacy path (one proxy wakeup per
+/// offload); `ring` is the per-LWK-CPU shared-memory ring transport with
+/// batched service loops.
+enum class IkcMode {
+  direct,
+  ring,
+};
+
+constexpr const char* to_string(IkcMode m) {
+  switch (m) {
+    case IkcMode::direct: return "direct";
+    case IkcMode::ring: return "ring";
+  }
+  return "?";
+}
+
 struct Config {
   // --- node topology (OFP compute node, paper §4.1) ---------------------
   int cores_per_node = 68;
@@ -57,6 +74,21 @@ struct Config {
   // (UMT2013, Fig. 6a).
   Dur sched_thrash_per_waiter = from_us(1.5);
   int sched_thrash_cap_waiters = 20;  // degradation saturates beyond this
+
+  // --- IKC ring transport (src/ikc/, ring mode only) ----------------------
+  IkcMode ikc_mode = IkcMode::direct;  // legacy path stays the default
+  int ikc_channels = 0;                // 0 → one per app core
+  int ikc_ring_depth = 64;             // slots per priority ring
+  int ikc_batch = 8;                   // max requests drained per wakeup
+  Dur ikc_deadline = from_ms(10);      // ring-residency watchdog
+  int ikc_max_retries = 2;             // rings tried after a timeout
+  Dur ikc_retry_backoff = from_us(2);  // scaled by the attempt number
+  Dur ikc_poll_interval = from_us(5);  // service-loop poll period
+  int ikc_poll_spins = 4;              // polls before parking on doorbell
+  int ikc_stall_threshold = 3;         // consecutive timeouts → suspect loop
+  int ikc_probe_interval = 16;         // every Nth submit probes a suspect
+  Dur ikc_doorbell_cost = from_ns(200);  // cross-kernel IPI to wake a loop
+  Dur ikc_lock_cost = from_ns(60);       // ring spin-lock hand-off
 
   // --- driver fast-path work --------------------------------------------
   Dur gup_per_page = from_ns(60);         // get_user_pages, per 4 KiB page

@@ -7,13 +7,20 @@
 // so with 32–64 ranks per node and only 4 service CPUs the queueing delay —
 // not the raw IKC latency — dominates, which is exactly the effect the
 // paper measures on UMT2013/HACC/QBOX.
+//
+// The mechanics live in the `src/ikc/` transport subsystem: `Config::
+// ikc_mode` selects between the legacy direct path (the calibrated default)
+// and the per-LWK-CPU ring transport with batched service loops. `Ihk`
+// stays the stable facade the drivers and proxies call.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <string>
 
+#include "src/common/stats.hpp"
 #include "src/common/status.hpp"
+#include "src/ikc/transport.hpp"
 #include "src/os/kernel.hpp"
 
 namespace pd::os {
@@ -21,28 +28,43 @@ namespace pd::os {
 class Ihk {
  public:
   Ihk(sim::Engine& engine, const Config& cfg, LinuxKernel& linux_kernel)
-      : engine_(engine), cfg_(cfg), linux_(linux_kernel) {}
+      : engine_(engine),
+        cfg_(cfg),
+        linux_(linux_kernel),
+        transport_(engine, cfg, linux_kernel.service_cpus(), linux_kernel.profiler(),
+                   queueing_us_, linux_kernel.spinlock_abi()) {}
 
   /// Delegate one syscall to Linux. `service` runs on a Linux service CPU
   /// (the proxy process context) and typically invokes a CharDevice op.
-  sim::Task<Result<long>> offload(std::function<sim::Task<Result<long>>()> service);
+  /// `prio` picks the ring priority class (control never waits behind bulk
+  /// I/O), `channel_hint` the submitting LWK CPU's ring; both are ignored
+  /// by the direct transport.
+  sim::Task<Result<long>> offload(std::function<sim::Task<Result<long>>()> service,
+                                  ikc::Priority prio = ikc::Priority::control,
+                                  int channel_hint = 0) {
+    ++offload_count_;
+    return transport_.offload(std::move(service), prio, channel_hint);
+  }
 
   LinuxKernel& linux_kernel() { return linux_; }
+  ikc::IkcTransport& transport() { return transport_; }
 
   std::uint64_t offload_count() const { return offload_count_; }
-  /// Mean time an offload spent queued for a service CPU (µs).
-  double mean_queueing_us() const {
-    return offload_count_ == 0
-               ? 0.0
-               : to_us(queueing_total_) / static_cast<double>(offload_count_);
+  /// Distribution of the time offloads spent queued for service (µs):
+  /// service-CPU queueing on the direct path, ring residency on the ring
+  /// path. Replaces the old single `mean_queueing_us` aggregate.
+  ikc::QueueingSummary queueing_summary() const {
+    return ikc::summarize_queueing(queueing_us_);
   }
+  const Samples& queueing_samples() const { return queueing_us_; }
 
  private:
   sim::Engine& engine_;
   const Config& cfg_;
   LinuxKernel& linux_;
+  Samples queueing_us_;
+  ikc::IkcTransport transport_;
   std::uint64_t offload_count_ = 0;
-  Dur queueing_total_ = 0;
 };
 
 }  // namespace pd::os

@@ -39,12 +39,19 @@ LinuxKernel::LinuxKernel(sim::Engine& engine, const Config& cfg)
              cfg.linux_daemon_period, cfg.linux_daemon_cost) {
   service_cpus_ = std::make_unique<sim::Resource>(
       engine, static_cast<std::size_t>(cfg.linux_service_cpus));
-  // Linux owns the service CPUs (ids 0 .. linux_service_cpus-1).
+  // Linux owns the service CPUs (ids 0 .. linux_service_cpus-1). Like the
+  // LWK heap, the Linux kheap is NUMA-aware: the topology spans the whole
+  // node so service-loop allocations land on the serving CPU's socket and
+  // cross-kernel frees carry their true source socket.
   std::vector<int> cpus;
   for (int i = 0; i < cfg.linux_service_cpus; ++i) cpus.push_back(i);
-  kheap_ = std::make_unique<mem::KernelHeap>(std::move(cpus),
-                                             mem::ForeignFreePolicy::remote_queue,
-                                             /*heap_base=*/0x0000'00F8'0000'0000ull);
+  const mem::NumaTopology topo =
+      mem::NumaTopology::blocked(cfg.cores_per_node, cfg.numa_per_kind);
+  kheap_ = std::make_unique<mem::KernelHeap>(
+      std::move(cpus), mem::ForeignFreePolicy::remote_queue, topo,
+      mem::PartitionBudget{cfg.kheap_near_bytes, cfg.kheap_far_bytes},
+      mem::PlacementPolicy::numa_aware,
+      /*heap_base=*/0x0000'00F8'0000'0000ull);
 }
 
 void LinuxKernel::register_device(CharDevice& dev) { devices_[dev.dev_name()] = &dev; }

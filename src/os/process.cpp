@@ -51,7 +51,8 @@ sim::Task<Result<int>> Process::open(const std::string& dev_name) {
     // Device open is never fast-pathed: the proxy calls the Linux driver,
     // which initializes all the internal state the fast path later reuses.
     r = co_await mck_->ihk().offload(
-        [&]() -> sim::Task<Result<long>> { co_return co_await dev->open(f); });
+        [&]() -> sim::Task<Result<long>> { co_return co_await dev->open(f); },
+        ikc::Priority::control, ctxt_);
   }
   account("open", t0);
   if (!r.ok()) {
@@ -83,7 +84,8 @@ sim::Task<Result<long>> Process::writev(int fd, std::span<const IoVec> iov) {
     r = co_await fp->writev(*f, iov);
   } else {
     r = co_await mck_->ihk().offload(
-        [&]() -> sim::Task<Result<long>> { co_return co_await f->dev->writev(*f, iov); });
+        [&]() -> sim::Task<Result<long>> { co_return co_await f->dev->writev(*f, iov); },
+        ikc::Priority::bulk, ctxt_);
   }
   account("writev", t0);
   co_return r;
@@ -107,7 +109,8 @@ sim::Task<Result<long>> Process::ioctl(int fd, unsigned long cmd, void* arg) {
     r = co_await fp->ioctl(*f, cmd, arg);
   } else {
     r = co_await mck_->ihk().offload(
-        [&]() -> sim::Task<Result<long>> { co_return co_await f->dev->ioctl(*f, cmd, arg); });
+        [&]() -> sim::Task<Result<long>> { co_return co_await f->dev->ioctl(*f, cmd, arg); },
+        ikc::Priority::control, ctxt_);
   }
   account("ioctl", t0);
   co_return r;
@@ -126,7 +129,8 @@ sim::Task<Result<long>> Process::poll_fd(int fd) {
     r = co_await f->dev->poll(*f);
   } else {
     r = co_await mck_->ihk().offload(
-        [&]() -> sim::Task<Result<long>> { co_return co_await f->dev->poll(*f); });
+        [&]() -> sim::Task<Result<long>> { co_return co_await f->dev->poll(*f); },
+        ikc::Priority::control, ctxt_);
   }
   account("poll", t0);
   co_return r;
@@ -145,7 +149,8 @@ sim::Task<Result<long>> Process::read_fd(int fd, std::uint64_t len) {
     r = co_await f->dev->read(*f, len);
   } else {
     r = co_await mck_->ihk().offload(
-        [&]() -> sim::Task<Result<long>> { co_return co_await f->dev->read(*f, len); });
+        [&]() -> sim::Task<Result<long>> { co_return co_await f->dev->read(*f, len); },
+        ikc::Priority::bulk, ctxt_);
   }
   account("read", t0);
   co_return r;
@@ -163,9 +168,11 @@ sim::Task<Result<long>> Process::lseek(int fd, long offset, int whence) {
     co_await engine().delay(cfg().syscall_entry);
     r = co_await f->dev->lseek(*f, offset, whence);
   } else {
-    r = co_await mck_->ihk().offload([&]() -> sim::Task<Result<long>> {
-      co_return co_await f->dev->lseek(*f, offset, whence);
-    });
+    r = co_await mck_->ihk().offload(
+        [&]() -> sim::Task<Result<long>> {
+          co_return co_await f->dev->lseek(*f, offset, whence);
+        },
+        ikc::Priority::control, ctxt_);
   }
   account("lseek", t0);
   co_return r;
@@ -186,11 +193,13 @@ sim::Task<Result<mem::VirtAddr>> Process::mmap_dev(int fd, std::uint64_t len,
   } else {
     // Offloaded to Linux for the driver part; the LWK installs the mapping
     // into its own page tables afterwards (paper's device-mapping path).
-    Result<long> got = co_await mck_->ihk().offload([&]() -> sim::Task<Result<long>> {
-      auto r = co_await f->dev->mmap(*f, len, offset);
-      if (!r.ok()) co_return r.error();
-      co_return static_cast<long>(*r);
-    });
+    Result<long> got = co_await mck_->ihk().offload(
+        [&]() -> sim::Task<Result<long>> {
+          auto r = co_await f->dev->mmap(*f, len, offset);
+          if (!r.ok()) co_return r.error();
+          co_return static_cast<long>(*r);
+        },
+        ikc::Priority::control, ctxt_);
     if (got.ok())
       pa = static_cast<mem::PhysAddr>(*got);
     else
@@ -241,7 +250,8 @@ sim::Task<Result<long>> Process::close_fd(int fd) {
     r = co_await f->dev->close(*f);
   } else {
     r = co_await mck_->ihk().offload(
-        [&]() -> sim::Task<Result<long>> { co_return co_await f->dev->close(*f); });
+        [&]() -> sim::Task<Result<long>> { co_return co_await f->dev->close(*f); },
+        ikc::Priority::control, ctxt_);
   }
   files_.erase(fd);
   account("close", t0);

@@ -339,7 +339,7 @@ TEST(Offload, ContentionQueuesOnServiceCpus) {
   c.engine.run();
   EXPECT_EQ(opened, 32);
   // 32 opens through 4 service CPUs: queueing must be visible.
-  EXPECT_GT(c.nodes[0].ihk->mean_queueing_us(), 1.0);
+  EXPECT_GT(c.nodes[0].ihk->queueing_summary().mean_us, 1.0);
 }
 
 TEST(Writev, RepeatedBufferHitsExtentCacheAndReusesSlab) {

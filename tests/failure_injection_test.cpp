@@ -82,6 +82,61 @@ TEST(FailureInjection, EngineResetMidRunFallsBackAndRecovers) {
       << "the unmodified Linux path served exactly the fallback calls";
 }
 
+TEST(FailureInjection, StalledServiceLoopsDegradeOffloadsInsteadOfHanging) {
+  // Every IKC service loop on node 0 stalls before traffic starts: ring
+  // submissions there must walk the timeout → retry → degrade ladder and
+  // finish on the legacy direct path, while node 1's rings stay healthy.
+  // The run completing at all is the main assertion — a lost request or a
+  // missed degradation would deadlock world.run().
+  mpirt::ClusterOptions copts;
+  copts.nodes = 2;
+  copts.mode = os::OsMode::mckernel;
+  copts.mcdram_bytes = 256ull << 20;
+  copts.ddr_bytes = 1ull << 30;
+  copts.cfg.ikc_mode = os::IkcMode::ring;
+  copts.cfg.ikc_deadline = from_us(200);  // short: the ladder must resolve fast
+  copts.cfg.ikc_max_retries = 1;
+  copts.cfg.ikc_retry_backoff = from_us(1);
+  copts.cfg.ikc_stall_threshold = 1;
+  mpirt::Cluster cluster(copts);
+  auto& node0 = cluster.node(0);
+  // Stall after startup (like the engine-reset test): a stall during MPI
+  // init would leave node 0's device contexts unopened while peers already
+  // send init-barrier traffic at them, which no transport can fix.
+  cluster.engine().schedule_after(from_us(400), [&] {
+    for (int l = 0; l < node0.ihk->transport().num_loops(); ++l)
+      node0.ihk->transport().inject_stall(l, true);
+  });
+
+  mpirt::WorldOptions wopts;
+  wopts.ranks_per_node = 2;
+  mpirt::MpiWorld world(cluster, wopts);
+  int done = 0;
+  world.run([&](mpirt::Rank& rank) -> sim::Task<> {
+    co_await rank.init();
+    const int peer = (rank.id() + 2) % 4;
+    for (int i = 0; i < 4; ++i) {
+      auto r = rank.irecv(peer, 200 + i, 128ull << 10);
+      auto s = rank.isend(peer, 200 + i, 128ull << 10);
+      co_await rank.wait(std::move(s));
+      co_await rank.wait(std::move(r));
+      co_await rank.compute(from_ms(0.2));
+    }
+    co_await rank.finalize();
+    ++done;
+  });
+  EXPECT_EQ(done, 4) << "all ranks must complete despite the stalled loops";
+
+  const auto& prof0 = node0.linux_kernel->profiler();
+  EXPECT_GT(prof0.counter("ikc.ring.timeout"), 0u);
+  EXPECT_GT(prof0.counter("ikc.ring.degraded"), 0u)
+      << "node 0 offloads must fall back to the direct path";
+  // Node 1's transport never saw a stall: everything rode the rings.
+  const auto& prof1 = cluster.node(1).linux_kernel->profiler();
+  EXPECT_EQ(prof1.counter("ikc.ring.degraded"), 0u);
+  EXPECT_GT(prof1.counter("ikc.ring.enqueue"), 0u);
+}
+
 TEST(FailureInjection, BindRejectsModuleMissingAField) {
   // Ship a module whose debug info lacks a structure the PicoDriver
   // needs: bind must fail with ENOENT and install nothing.

@@ -146,7 +146,7 @@ TEST(Ihk, UncontendedOffloadIsNearNative) {
                        cfg.offload_dispatch + cfg.proxy_min_service + work;
   EXPECT_EQ(finished, expected);
   EXPECT_EQ(ihk.offload_count(), 1u);
-  EXPECT_DOUBLE_EQ(ihk.mean_queueing_us(), 0.0);
+  EXPECT_DOUBLE_EQ(ihk.queueing_summary().mean_us, 0.0);
 }
 
 TEST(Ihk, ContendedOffloadDegradesService) {
@@ -203,7 +203,11 @@ TEST(Ihk, ContentionProducesQueueingAndThrash) {
   }
   engine.run();
   EXPECT_EQ(done, 8);
-  EXPECT_GT(ihk.mean_queueing_us(), 5.0) << "serialized behind one CPU";
+  const auto q = ihk.queueing_summary();
+  EXPECT_EQ(q.count, 8u);
+  EXPECT_GT(q.mean_us, 5.0) << "serialized behind one CPU";
+  EXPECT_GE(q.p95_us, q.p50_us);
+  EXPECT_GE(q.max_us, q.p95_us);
 }
 
 // --- Process syscall surface ----------------------------------------------

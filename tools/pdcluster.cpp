@@ -106,8 +106,9 @@ int main(int argc, char** argv) {
                   ? static_cast<double>(out.sdma_bytes) / out.sdma_descriptors
                   : 0.0);
   if (out.offloads > 0)
-    std::printf("offloads        : %llu (mean queue %.1f us)\n",
-                static_cast<unsigned long long>(out.offloads), out.mean_offload_queue_us);
+    std::printf("offloads        : %llu (queue p50 %.1f / p95 %.1f / max %.1f us)\n",
+                static_cast<unsigned long long>(out.offloads), out.offload_queue.p50_us,
+                out.offload_queue.p95_us, out.offload_queue.max_us);
 
   std::printf("\nTop MPI calls (cumulative over ranks):\n");
   for (const auto& row : out.mpi.rows(5))
