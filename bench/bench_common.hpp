@@ -58,6 +58,16 @@ struct StormResult {
   std::uint64_t degraded = 0;
   std::uint64_t timeouts = 0;
   double sim_ms = 0;
+  // Wakeup accounting (§8.4): the return path's cost in cross-kernel
+  // wakeups. `doorbells` are submit-side loop wakeups, `reply_wakeups`
+  // completion-side consumer wakeups (one per request in latch mode; one
+  // per drained batch per parked channel with reply rings).
+  std::uint64_t doorbells = 0;
+  std::uint64_t reply_wakeups = 0;
+  double wakeups_per_offload = 0;  // (doorbells + reply_wakeups) / offloads
+  std::uint64_t adaptive_grow = 0;
+  std::uint64_t adaptive_shrink = 0;
+  std::uint64_t remote_drains = 0;
 };
 
 namespace detail {
@@ -93,6 +103,15 @@ inline StormResult run_offload_storm(const os::Config& cfg, int ranks, int per_r
   out.timeouts = linux_kernel.profiler().counter("ikc.ring.timeout");
   out.sim_ms = to_ms(engine.now());
   if (out.sim_ms > 0) out.offloads_per_ms = static_cast<double>(out.offloads) / out.sim_ms;
+  out.doorbells = linux_kernel.profiler().counter("ikc.ring.doorbell");
+  out.reply_wakeups = linux_kernel.profiler().counter("ikc.reply.wakeup");
+  if (out.offloads > 0)
+    out.wakeups_per_offload =
+        static_cast<double>(out.doorbells + out.reply_wakeups) /
+        static_cast<double>(out.offloads);
+  out.adaptive_grow = linux_kernel.profiler().counter("ikc.adaptive.grow");
+  out.adaptive_shrink = linux_kernel.profiler().counter("ikc.adaptive.shrink");
+  out.remote_drains = linux_kernel.profiler().counter("ikc.numa.remote_drain");
   return out;
 }
 

@@ -290,9 +290,18 @@ int main() {
   ikc_cfg.ikc_mode = pd::os::IkcMode::direct;
   const auto ikc_legacy =
       pd::bench::run_offload_storm(ikc_cfg, 64, ikc_per_rank, pd::from_us(3), pd::from_us(20));
+  // PR-4 ring shape: batched request rings, but every completion still pays
+  // its own latch wakeup. This is the baseline the reply ring must beat.
   ikc_cfg.ikc_mode = pd::os::IkcMode::ring;
+  ikc_cfg.ikc_reply_mode = pd::os::ReplyMode::latch;
   const auto ikc_ring =
       pd::bench::run_offload_storm(ikc_cfg, 64, ikc_per_rank, pd::from_us(3), pd::from_us(20));
+  // §8.4: shared-memory reply rings + adaptive batching (the defaults).
+  ikc_cfg.ikc_reply_mode = pd::os::ReplyMode::ring;
+  const auto ikc_reply =
+      pd::bench::run_offload_storm(ikc_cfg, 64, ikc_per_rank, pd::from_us(3), pd::from_us(20));
+  const double wakeups_saved =
+      ikc_ring.wakeups_per_offload - ikc_reply.wakeups_per_offload;
 
   const double speedup = fast.ops_per_sec / base.ops_per_sec;
   std::printf("  workload: %llu sends of the same pinned %llu KiB buffer\n",
@@ -339,6 +348,22 @@ int main() {
               ikc_ring.offloads_per_ms, ikc_ring.queue.p95_us,
               static_cast<unsigned long long>(ikc_ring.degraded),
               static_cast<unsigned long long>(ikc_ring.timeouts));
+  std::printf("  ikc reply ring (same squeeze, wakeups per offload round trip):\n");
+  std::printf("    latch replies  : %5.2f wakeups/op (%llu doorbells + %llu reply), "
+              "queue p95 %8.1f us\n",
+              ikc_ring.wakeups_per_offload,
+              static_cast<unsigned long long>(ikc_ring.doorbells),
+              static_cast<unsigned long long>(ikc_ring.reply_wakeups),
+              ikc_ring.queue.p95_us);
+  std::printf("    reply rings    : %5.2f wakeups/op (%llu doorbells + %llu reply), "
+              "queue p95 %8.1f us (adaptive grow %llu / shrink %llu)\n",
+              ikc_reply.wakeups_per_offload,
+              static_cast<unsigned long long>(ikc_reply.doorbells),
+              static_cast<unsigned long long>(ikc_reply.reply_wakeups),
+              ikc_reply.queue.p95_us,
+              static_cast<unsigned long long>(ikc_reply.adaptive_grow),
+              static_cast<unsigned long long>(ikc_reply.adaptive_shrink));
+  std::printf("    saved          : %5.2f wakeups per offload round trip\n", wakeups_saved);
 
   std::FILE* json = std::fopen("BENCH_fastpath.json", "w");
   if (json == nullptr) return 1;
@@ -375,6 +400,16 @@ int main() {
                "    \"legacy\": {\"offloads_per_ms\": %.1f, \"queue_p95_us\": %.1f},\n"
                "    \"ring\": {\"offloads_per_ms\": %.1f, \"queue_p95_us\": %.1f, "
                "\"degraded\": %llu, \"timeouts\": %llu}\n"
+               "  },\n"
+               "  \"reply_ring\": {\n"
+               "    \"ranks\": 64, \"service_cpus\": 4, \"offloads_per_rank\": %d,\n"
+               "    \"latch\": {\"wakeups_per_offload\": %.3f, \"doorbells\": %llu, "
+               "\"reply_wakeups\": %llu, \"queue_p95_us\": %.1f},\n"
+               "    \"ring\": {\"wakeups_per_offload\": %.3f, \"doorbells\": %llu, "
+               "\"reply_wakeups\": %llu, \"queue_p95_us\": %.1f, "
+               "\"adaptive_grow\": %llu, \"adaptive_shrink\": %llu, "
+               "\"remote_drains\": %llu},\n"
+               "    \"wakeups_saved_per_offload\": %.3f\n"
                "  }\n"
                "}\n",
                static_cast<unsigned long long>(kBufBytes),
@@ -406,7 +441,17 @@ int main() {
                ikc_per_rank, ikc_legacy.offloads_per_ms, ikc_legacy.queue.p95_us,
                ikc_ring.offloads_per_ms, ikc_ring.queue.p95_us,
                static_cast<unsigned long long>(ikc_ring.degraded),
-               static_cast<unsigned long long>(ikc_ring.timeouts));
+               static_cast<unsigned long long>(ikc_ring.timeouts), ikc_per_rank,
+               ikc_ring.wakeups_per_offload,
+               static_cast<unsigned long long>(ikc_ring.doorbells),
+               static_cast<unsigned long long>(ikc_ring.reply_wakeups),
+               ikc_ring.queue.p95_us, ikc_reply.wakeups_per_offload,
+               static_cast<unsigned long long>(ikc_reply.doorbells),
+               static_cast<unsigned long long>(ikc_reply.reply_wakeups),
+               ikc_reply.queue.p95_us,
+               static_cast<unsigned long long>(ikc_reply.adaptive_grow),
+               static_cast<unsigned long long>(ikc_reply.adaptive_shrink),
+               static_cast<unsigned long long>(ikc_reply.remote_drains), wakeups_saved);
   std::fclose(json);
   std::printf("  wrote BENCH_fastpath.json\n");
 
@@ -454,6 +499,22 @@ int main() {
   if (ikc_ring.queue.p95_us >= ikc_legacy.queue.p95_us) {
     std::printf("  FAIL: ring transport p95 queueing %.1f us >= legacy %.1f us\n",
                 ikc_ring.queue.p95_us, ikc_legacy.queue.p95_us);
+    return 1;
+  }
+  // Reply-ring acceptance (§8.4): the shared-memory reply path must shed
+  // (essentially) the whole per-request completion wakeup — one fewer
+  // cross-kernel wakeup per offload round trip than the latch shape — with
+  // tail queueing no worse.
+  if (wakeups_saved < 0.9) {
+    std::printf("  FAIL: reply ring saved only %.2f wakeups/offload vs latch "
+                "(%.2f -> %.2f)\n",
+                wakeups_saved, ikc_ring.wakeups_per_offload,
+                ikc_reply.wakeups_per_offload);
+    return 1;
+  }
+  if (ikc_reply.queue.p95_us > ikc_ring.queue.p95_us * 1.02) {
+    std::printf("  FAIL: reply ring p95 queueing %.1f us worse than latch %.1f us\n",
+                ikc_reply.queue.p95_us, ikc_ring.queue.p95_us);
     return 1;
   }
   return 0;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
+#include <stdexcept>
 #include <utility>
 
 namespace pd::ikc {
@@ -21,6 +23,12 @@ int depth_bucket(std::size_t depth) {
 constexpr const char* kBucketLabels[IkcTransport::kDepthBuckets] = {
     "le1", "le2", "le4", "le8", "le16", "le32", "gt32"};
 
+/// Why a parked consumer's wake channel was poked.
+constexpr int kWakeDoorbell = 0;
+constexpr int kWakeSelfDrain = 1;
+constexpr int kWakeDeadline = 2;
+constexpr int kWakeDeath = 3;
+
 }  // namespace
 
 QueueingSummary summarize_queueing(const Samples& samples) {
@@ -36,27 +44,119 @@ QueueingSummary summarize_queueing(const Samples& samples) {
 
 IkcTransport::IkcTransport(sim::Engine& engine, const os::Config& cfg,
                            sim::Resource& service_cpus, os::SyscallProfiler& profiler,
-                           Samples& queueing_us, std::string lock_abi)
+                           Samples& queueing_us, std::string lock_abi, mem::PhysMap* phys)
     : engine_(engine),
       cfg_(cfg),
       service_cpus_(service_cpus),
       prof_(profiler),
       queueing_us_(queueing_us),
+      phys_(phys),
+      topo_(mem::NumaTopology::blocked(std::max(cfg.cores_per_node, 1),
+                                       std::max(cfg.numa_per_kind, 1))),
       channels_n_(cfg.ikc_channels > 0 ? cfg.ikc_channels : std::max(cfg.app_cores, 1)),
       loops_n_(std::max(cfg.linux_service_cpus, 1)) {
-  assert(cfg.ikc_ring_depth > 0);
+  std::string why;
+  if (const Status valid = cfg.validate(&why); !valid.ok())
+    throw std::invalid_argument("ikc: invalid Config: " + why);
   channels_.reserve(static_cast<std::size_t>(channels_n_));
   depth_hist_.resize(static_cast<std::size_t>(channels_n_));
   depth_names_.resize(static_cast<std::size_t>(channels_n_));
   for (int c = 0; c < channels_n_; ++c)
     channels_.push_back(std::make_unique<Channel>(
-        engine_, lock_abi, cfg.ikc_lock_cost,
-        static_cast<std::size_t>(cfg.ikc_ring_depth)));
-  for (int s = 0; s < loops_n_; ++s) loops_.push_back(std::make_unique<Loop>(engine_));
+        engine_, lock_abi, cfg.ikc_lock_cost, static_cast<std::size_t>(cfg.ikc_ring_depth),
+        static_cast<std::size_t>(std::max(cfg.ikc_reply_depth, 1))));
+  for (int s = 0; s < loops_n_; ++s) {
+    loops_.push_back(std::make_unique<Loop>(engine_));
+    loops_.back()->batch_limit = std::max(cfg.ikc_batch, 1);
+  }
+  assign_channels();
   // Dedicated service loops exist only in ring mode; the direct transport
   // keeps the legacy shape where each offload is its own proxy wakeup.
   if (cfg_.ikc_mode == os::IkcMode::ring)
     for (int s = 0; s < loops_n_; ++s) sim::spawn(engine_, service_loop(s));
+}
+
+IkcTransport::~IkcTransport() {
+  if (phys_ == nullptr) return;
+  for (auto& ch : channels_)
+    if (ch->ring_phys != 0) phys_->free(ch->ring_phys, cfg_.ikc_ring_region_bytes);
+}
+
+void IkcTransport::assign_channels() {
+  channel_loop_.assign(static_cast<std::size_t>(channels_n_), 0);
+  const int sockets = std::max(topo_.sockets(), 1);
+  // Where a loop runs without pinning: its service CPU (the low ids the
+  // IHK reservation leaves to Linux — all in quadrant 0 under SNC-4).
+  for (int l = 0; l < loops_n_; ++l)
+    loops_[static_cast<std::size_t>(l)]->socket = topo_.socket_of(l);
+  // Ring memory homes: the owning LWK CPU's socket, made real through
+  // PhysMap::alloc_near when a map is supplied. alloc_near may fall back
+  // to another domain under pressure — the *achieved* domain is what the
+  // pinning below must follow, not the wish.
+  for (int c = 0; c < channels_n_; ++c) {
+    Channel& ch = *channels_[static_cast<std::size_t>(c)];
+    const int owner_cpu = cfg_.linux_service_cpus + c;
+    ch.home_socket = topo_.socket_of(owner_cpu);
+    if (phys_ != nullptr && cfg_.ikc_mode == os::IkcMode::ring) {
+      auto region = phys_->alloc_near(cfg_.ikc_ring_region_bytes,
+                                      static_cast<std::size_t>(ch.home_socket));
+      if (region.ok()) {
+        ch.ring_phys = *region;
+        if (auto dom = phys_->domain_of(*region); dom.has_value())
+          ch.home_socket = static_cast<int>(*dom % static_cast<std::size_t>(sockets));
+      } else {
+        prof_.bump("ikc.numa.ring_alloc_failed");
+      }
+    }
+  }
+  if (cfg_.ikc_mode == os::IkcMode::ring && cfg_.ikc_numa_pin && !topo_.flat()) {
+    // Pin loops across the quadrants, then shard each channel to a loop
+    // pinned on its ring's socket (least-loaded first); a channel whose
+    // socket no loop covers joins the globally least-loaded loop and is
+    // drained remotely.
+    for (int l = 0; l < loops_n_; ++l) {
+      loops_[static_cast<std::size_t>(l)]->socket = (l * sockets) / loops_n_;
+      prof_.bump("ikc.numa.pinned_loop");
+    }
+    for (int c = 0; c < channels_n_; ++c) {
+      const int home = channels_[static_cast<std::size_t>(c)]->home_socket;
+      int best = -1;
+      for (int l = 0; l < loops_n_; ++l) {
+        if (loops_[static_cast<std::size_t>(l)]->socket != home) continue;
+        if (best < 0 || loops_[static_cast<std::size_t>(l)]->channels.size() <
+                            loops_[static_cast<std::size_t>(best)]->channels.size())
+          best = l;
+      }
+      if (best < 0) {
+        for (int l = 0; l < loops_n_; ++l)
+          if (best < 0 || loops_[static_cast<std::size_t>(l)]->channels.size() <
+                              loops_[static_cast<std::size_t>(best)]->channels.size())
+            best = l;
+        prof_.bump("ikc.numa.far_channel");
+      } else {
+        prof_.bump("ikc.numa.matched_channel");
+      }
+      channel_loop_[static_cast<std::size_t>(c)] = best;
+      loops_[static_cast<std::size_t>(best)]->channels.push_back(c);
+    }
+  } else {
+    for (int c = 0; c < channels_n_; ++c) {
+      channel_loop_[static_cast<std::size_t>(c)] = c % loops_n_;
+      loops_[static_cast<std::size_t>(c % loops_n_)]->channels.push_back(c);
+    }
+  }
+}
+
+int IkcTransport::channel_socket(int channel) const {
+  return channels_.at(static_cast<std::size_t>(channel))->home_socket;
+}
+
+mem::PhysAddr IkcTransport::channel_ring_phys(int channel) const {
+  return channels_.at(static_cast<std::size_t>(channel))->ring_phys;
+}
+
+std::size_t IkcTransport::reply_ring_depth(int channel) const {
+  return channels_.at(static_cast<std::size_t>(channel))->reply.size();
 }
 
 sim::Task<Result<long>> IkcTransport::offload(Service service, Priority prio,
@@ -144,6 +244,18 @@ int IkcTransport::pick_channel(int channel) {
   return -1;  // every service loop suspect → caller degrades
 }
 
+int IkcTransport::next_foreign_channel(int channel) const {
+  // Retry target: a ring owned by a *different* service loop. Under NUMA
+  // pinning the sharding is no longer round-robin, so walk until the owner
+  // changes; with a single loop (or one channel) this degrades to +1.
+  const int owner = loop_of(channel);
+  for (int i = 1; i < channels_n_; ++i) {
+    const int cand = (channel + i) % channels_n_;
+    if (loop_of(cand) != owner) return cand;
+  }
+  return (channel + 1) % channels_n_;
+}
+
 void IkcTransport::note_depth(int channel) {
   const std::size_t depth = channel_depth(channel);
   const int bucket = depth_bucket(depth);
@@ -158,6 +270,23 @@ void IkcTransport::note_depth(int channel) {
   prof_.bump((*names)[static_cast<std::size_t>(bucket)]);
 }
 
+void IkcTransport::observe_depth(Loop& lp, std::size_t avail) {
+  if (!cfg_.ikc_adaptive_batch) return;
+  const double alpha = cfg_.ikc_adaptive_alpha;
+  lp.depth_ewma = alpha * static_cast<double>(avail) + (1.0 - alpha) * lp.depth_ewma;
+  const int clamped = static_cast<int>(std::min(
+      std::ceil(lp.depth_ewma * cfg_.ikc_adaptive_headroom),
+      static_cast<double>(cfg_.ikc_ring_depth)));
+  const int target = std::max(1, clamped);
+  if (target > lp.batch_limit)
+    prof_.bump("ikc.adaptive.grow");
+  else if (target < lp.batch_limit)
+    prof_.bump("ikc.adaptive.shrink");
+  else
+    prof_.bump("ikc.adaptive.hold");
+  lp.batch_limit = target;
+}
+
 sim::Task<Result<long>> IkcTransport::ring_offload(Service service, Priority prio,
                                                    int channel_hint) {
   // Request write into the shared-memory ring region: the bytes cross the
@@ -169,9 +298,9 @@ sim::Task<Result<long>> IkcTransport::ring_offload(Service service, Priority pri
     if (attempt > 0) {
       prof_.bump("ikc.ring.retry");
       co_await engine_.delay(static_cast<Dur>(attempt) * cfg_.ikc_retry_backoff);
-      // A different ring — channels are sharded channel % loops, so the
-      // next channel belongs to the next service loop.
-      ch = (ch + 1) % channels_n_;
+      // A ring owned by another service loop (the sharding may be
+      // socket-aware, so "next channel" is not necessarily it).
+      ch = next_foreign_channel(ch);
     }
     ch = pick_channel(ch);
     if (ch < 0) break;  // every loop suspect: straight to the direct path
@@ -179,6 +308,7 @@ sim::Task<Result<long>> IkcTransport::ring_offload(Service service, Priority pri
 
     auto req = std::make_shared<Request>(engine_);
     req->service = service;
+    req->channel = ch;
     Channel& channel = *channels_[static_cast<std::size_t>(ch)];
     co_await channel.lock.acquire();
     const bool pushed = ring(ch, prio).push(req);
@@ -188,6 +318,8 @@ sim::Task<Result<long>> IkcTransport::ring_offload(Service service, Priority pri
       continue;  // consumes one attempt, lands on another loop's ring
     }
     req->enqueued_at = engine_.now();
+    std::erase_if(channel.inflight, [](const auto& w) { return w.expired(); });
+    channel.inflight.push_back(req);
     prof_.bump("ikc.ring.enqueue");
     note_depth(ch);
 
@@ -207,12 +339,21 @@ sim::Task<Result<long>> IkcTransport::ring_offload(Service service, Priority pri
       if (req->state == Request::State::queued) {
         req->state = Request::State::timed_out;
         req->done.trigger();
+        req->wake.send(kWakeDeadline);
       }
     });
 
-    co_await req->done.wait();
+    if (cfg_.ikc_reply_mode == os::ReplyMode::ring)
+      co_await await_reply(req, ch);
+    else
+      co_await req->done.wait();
+    if (req->state == Request::State::abandoned) {
+      // The consumer was killed mid-offload (fault injection); the service
+      // side drops our completion, we report the interruption.
+      co_return Errno::eintr;
+    }
     if (req->state == Request::State::done) {
-      // IKC reply back to the LWK core.
+      // IKC reply payload back to the LWK core.
       co_await engine_.delay(cfg_.offload_oneway);
       co_return req->result;
     }
@@ -229,27 +370,130 @@ sim::Task<Result<long>> IkcTransport::ring_offload(Service service, Priority pri
   co_return co_await direct_offload(std::move(service));
 }
 
+void IkcTransport::drain_reply_ring(int channel) {
+  // The owning LWK core empties its reply ring: each entry's completion
+  // was already written into the request slot when posted, so popping is
+  // slot reclamation — the service side only sees a full ring while the
+  // consumer is parked behind a lost doorbell (or dead).
+  auto& ring = channels_[static_cast<std::size_t>(channel)]->reply;
+  while (ring.pop().has_value()) {
+  }
+}
+
+sim::Task<> IkcTransport::await_reply(RequestPtr req, int channel) {
+  Channel& ch = *channels_[static_cast<std::size_t>(channel)];
+  // Poll phase: the LWK core is dedicated to the blocked rank, so spinning
+  // on the reply slot is free — a completion lands as a shared-memory
+  // write and costs the return path zero wakeups.
+  const Time poll_until = engine_.now() + cfg_.ikc_reply_poll_budget;
+  while (true) {
+    drain_reply_ring(channel);
+    if (settled(*req)) {
+      if (req->state == Request::State::done) prof_.bump("ikc.reply.poll_hit");
+      co_return;
+    }
+    if (engine_.now() >= poll_until) break;
+    co_await engine_.delay(cfg_.ikc_reply_poll_interval);
+  }
+  // Park phase: one completion IPI per drained batch wakes every parked
+  // consumer of the channel; the self-drain watchdog bounds how long a
+  // lost doorbell can delay us (degrade, never hang).
+  while (!settled(*req)) {
+    ch.parked.push_back(req);
+    prof_.bump("ikc.reply.park");
+    // Unconditional: the case the watchdog exists for is a completion that
+    // already landed (state == done) whose doorbell was lost — a settled()
+    // guard would skip exactly that. A wake nobody is waiting for just
+    // sits in the request's queue and dies with it.
+    engine_.schedule_after(cfg_.ikc_reply_deadline,
+                           [req] { req->wake.send(kWakeSelfDrain); });
+    const int why = co_await req->wake.recv();
+    std::erase(ch.parked, req);
+    drain_reply_ring(channel);
+    if (why == kWakeSelfDrain && req->state == Request::State::done)
+      prof_.bump("ikc.reply.self_drain");
+  }
+}
+
+sim::Task<> IkcTransport::deliver_reply(const RequestPtr& req, int channel,
+                                        std::vector<int>& touched) {
+  if (req->state == Request::State::abandoned) {
+    // Completion for a dead consumer: drop it. The slot shared_ptr dies
+    // with the batch; the service loop must not wedge on it.
+    prof_.bump("ikc.reply.consumer_dead");
+    co_return;
+  }
+  if (cfg_.ikc_reply_mode == os::ReplyMode::latch) {
+    // PR-4 shape: every completion is its own cross-kernel wakeup.
+    co_await engine_.delay(cfg_.ikc_reply_wakeup_cost);
+    prof_.bump("ikc.reply.wakeup");
+    req->state = Request::State::done;
+    req->done.trigger();
+    co_return;
+  }
+  // Reply ring: write the completion into the request slot (visible to the
+  // polling consumer immediately) and post a notification entry; parked
+  // consumers are woken once per channel after the whole batch.
+  co_await engine_.delay(cfg_.ikc_reply_post_cost);
+  Channel& ch = *channels_[static_cast<std::size_t>(channel)];
+  req->state = Request::State::done;
+  prof_.bump("ikc.reply.post");
+  if (!ch.reply.push(req)) {
+    // Reply ring full (consumer parked or slow): fall back to a
+    // per-request wakeup so the completion is never lost.
+    prof_.bump("ikc.reply.ring_full");
+    co_await engine_.delay(cfg_.ikc_reply_wakeup_cost);
+    if (ch.reply_doorbell_lost) {
+      prof_.bump("ikc.reply.doorbell_lost");  // consumer recovers by self-drain
+    } else {
+      prof_.bump("ikc.reply.wakeup");
+      std::erase(ch.parked, req);
+      req->wake.send(kWakeDoorbell);
+    }
+    co_return;
+  }
+  if (std::find(touched.begin(), touched.end(), channel) == touched.end())
+    touched.push_back(channel);
+}
+
 bool IkcTransport::has_work(int loop) const {
-  for (int ch = loop; ch < channels_n_; ch += loops_n_)
+  for (int ch : loops_[static_cast<std::size_t>(loop)]->channels)
     if (channel_depth(ch) > 0) return true;
   return false;
 }
 
 sim::Task<> IkcTransport::collect_batch(int loop, std::vector<RequestPtr>& out) {
-  const auto batch_max = static_cast<std::size_t>(std::max(cfg_.ikc_batch, 1));
+  Loop& lp = *loops_[static_cast<std::size_t>(loop)];
+  // Observed depth feeds the adaptive drain limit *before* this drain, so
+  // a deepening backlog widens the very next batch.
+  std::size_t avail = 0;
+  for (int ch : lp.channels) avail += channel_depth(ch);
+  if (avail > 0) observe_depth(lp, avail);
+  const auto batch_max = static_cast<std::size_t>(
+      cfg_.ikc_adaptive_batch ? lp.batch_limit : std::max(cfg_.ikc_batch, 1));
   // Control class across all of this loop's channels first, then bulk —
   // a TID-registration ioctl never waits behind queued bulk writevs.
   for (int prio = 0; prio < 2 && out.size() < batch_max; ++prio) {
-    for (int ch = loop; ch < channels_n_ && out.size() < batch_max; ch += loops_n_) {
+    for (int ch : lp.channels) {
+      if (out.size() >= batch_max) break;
       Channel& channel = *channels_[static_cast<std::size_t>(ch)];
       auto& ring = channel.rings[prio];
       if (ring.empty()) continue;
+      if (channel.home_socket == lp.socket) {
+        prof_.bump("ikc.numa.local_drain");
+      } else {
+        // Pulling another quadrant's ring lines across the mesh.
+        prof_.bump("ikc.numa.remote_drain");
+        co_await engine_.delay(cfg_.ikc_remote_drain_cost);
+      }
       co_await channel.lock.acquire();
       while (out.size() < batch_max) {
         auto req = ring.pop();
         if (!req.has_value()) break;
         if ((*req)->state != Request::State::queued) {
-          prof_.bump("ikc.ring.stale_skip");  // timed out while queued here
+          prof_.bump((*req)->state == Request::State::abandoned
+                         ? "ikc.ring.dead_skip"    // consumer killed while queued
+                         : "ikc.ring.stale_skip");  // timed out while queued here
           continue;
         }
         (*req)->state = Request::State::claimed;
@@ -264,9 +508,11 @@ sim::Task<> IkcTransport::service_loop(int loop) {
   Loop& lp = *loops_[static_cast<std::size_t>(loop)];
   bool woke_by_doorbell = false;
   std::vector<RequestPtr> batch;
+  std::vector<int> touched;  // channels this batch posted replies to
   while (true) {
     while (lp.stall_injected) co_await lp.unstall.recv();
     batch.clear();
+    touched.clear();
     co_await collect_batch(loop, batch);
     if (batch.empty()) {
       // Poll/doorbell hybrid: spin a few short polls while traffic is
@@ -305,10 +551,24 @@ sim::Task<> IkcTransport::service_loop(int loop) {
       co_await engine_.delay(cfg_.offload_dispatch + cfg_.proxy_min_service);
       Result<long> result = co_await req->service();
       req->result = result;
-      req->state = Request::State::done;
-      req->done.trigger();
+      co_await deliver_reply(req, req->channel, touched);
       lp.consecutive_timeouts = 0;  // a served request proves liveness
       ++lp.served;
+    }
+    // Completion doorbell pass: channels whose consumers parked get one
+    // wakeup covering every reply this batch posted there — the ≥1-fewer-
+    // wakeups-per-round-trip the reply ring exists for.
+    for (int chn : touched) {
+      Channel& channel = *channels_[static_cast<std::size_t>(chn)];
+      if (channel.parked.empty()) continue;
+      co_await engine_.delay(cfg_.ikc_reply_wakeup_cost);
+      if (channel.reply_doorbell_lost) {
+        prof_.bump("ikc.reply.doorbell_lost");  // sent, then dropped by the fault
+        continue;
+      }
+      prof_.bump("ikc.reply.wakeup");
+      for (auto& waiter : channel.parked) waiter->wake.send(kWakeDoorbell);
+      channel.parked.clear();
     }
     service_cpus_.release();
   }
@@ -319,6 +579,27 @@ void IkcTransport::inject_stall(int loop, bool stalled) {
   if (lp.stall_injected == stalled) return;
   lp.stall_injected = stalled;
   if (!stalled) lp.unstall.send(1);
+}
+
+void IkcTransport::inject_consumer_death(int channel) {
+  // The LWK process owning this channel dies: every in-flight offload it
+  // had resolves to EINTR on the (dead) submitter side, queued entries
+  // turn stale, and completions still in the service pipeline are dropped
+  // at delivery (`ikc.reply.consumer_dead`).
+  Channel& ch = *channels_.at(static_cast<std::size_t>(channel));
+  for (auto& weak : ch.inflight) {
+    if (auto req = weak.lock(); req != nullptr && !settled(*req)) {
+      req->state = Request::State::abandoned;
+      req->done.trigger();
+      req->wake.send(kWakeDeath);
+    }
+  }
+  ch.inflight.clear();
+  ch.parked.clear();
+}
+
+void IkcTransport::inject_reply_doorbell_loss(int channel, bool lost) {
+  channels_.at(static_cast<std::size_t>(channel))->reply_doorbell_lost = lost;
 }
 
 }  // namespace pd::ikc

@@ -17,6 +17,24 @@
 //            Each channel carries two priority classes so fast-path control
 //            calls (TID-registration ioctls) are not stuck behind bulk I/O.
 //
+// Ring mode v2 (§8.4) adds three mechanisms on top of the PR-4 transport:
+//
+//   reply rings — completions return through a per-channel shared-memory
+//       reply ring instead of a per-request latch wakeup. The offloading
+//       coroutine polls its reply slot (the LWK core is dedicated to the
+//       blocked rank, so polling is free) and only parks after
+//       `ikc_reply_poll_budget`; a parked channel costs at most one
+//       completion IPI per drained batch instead of one per request.
+//       `ikc_reply_mode` selects `latch` (the PR-4 shape) or `ring`.
+//   adaptive batching — each service loop sizes its next drain from an
+//       EWMA of the depths it observed at drain time, clamped to
+//       [1, ikc_ring_depth], instead of the static `ikc_batch`.
+//   NUMA pinning — channel ring memory is placed on the socket of the
+//       owning LWK CPU (`PhysMap::alloc_near` when a PhysMap is supplied),
+//       channels are sharded to service loops by that socket, and each
+//       loop is pinned to the socket owning its channels' rings; draining
+//       a remote-socket ring pays `ikc_remote_drain_cost` per visit.
+//
 // Robustness (ring mode): every request carries a ring-residency deadline;
 // on expiry the submitter retries on a ring owned by a different service
 // loop (bounded backoff), and after the retry budget falls back to the
@@ -24,12 +42,18 @@
 // submissions avoid it except for periodic health probes, whose success
 // clears the mark. The ladder is: retry elsewhere → avoid the stalled loop
 // → degrade to direct; a fully stalled service side therefore slows
-// offloads down instead of hanging them.
+// offloads down instead of hanging them. The reply path has its own rungs:
+// a full reply ring falls back to a per-request wakeup, a lost completion
+// doorbell is recovered by the parked consumer's `ikc_reply_deadline`
+// self-drain, and a completion whose consumer died is dropped with a
+// counter instead of wedging the service loop.
 //
-// Observability: `ikc.ring.{enqueue,batch_drain,doorbell,poll_hit,timeout,
-// retry,degraded,...}` counters plus per-channel queue-depth histograms are
-// threaded through the Linux kernel's SyscallProfiler, and every request's
-// queueing delay lands in the shared `Samples` the owning Ihk summarizes.
+// Observability: `ikc.ring.*` submit-path counters, `ikc.reply.*` return-
+// path counters (post/poll_hit/park/wakeup/ring_full/self_drain/
+// consumer_dead/...), `ikc.adaptive.*` drain-sizing counters and
+// `ikc.numa.*` placement counters are threaded through the Linux kernel's
+// SyscallProfiler, and every request's queueing delay lands in the shared
+// `Samples` the owning Ihk summarizes.
 #pragma once
 
 #include <array>
@@ -42,6 +66,8 @@
 #include "src/common/ring_buffer.hpp"
 #include "src/common/stats.hpp"
 #include "src/common/status.hpp"
+#include "src/mem/numa_topology.hpp"
+#include "src/mem/phys.hpp"
 #include "src/os/config.hpp"
 #include "src/os/profiler.hpp"
 #include "src/os/spinlock.hpp"
@@ -78,11 +104,17 @@ class IkcTransport {
   /// `service_cpus`: the shared Linux service-CPU pool (CPU time for both
   /// transports and for IRQ bottom halves). `profiler`: where the ikc.*
   /// counters land (the Linux kernel's). `queueing_us`: per-request
-  /// queueing samples, owned by the Ihk that owns this transport.
-  /// Ring-mode service loops are spawned here and live until the engine
-  /// destroys their frames.
+  /// queueing samples, owned by the Ihk that owns this transport. `phys`:
+  /// when non-null, channel ring memory is really placed with
+  /// `PhysMap::alloc_near` and the achieved domain drives NUMA pinning;
+  /// null falls back to ideal owner-socket placement. Ring-mode service
+  /// loops are spawned here and live until the engine destroys their
+  /// frames. Throws std::invalid_argument when `cfg.validate()` fails —
+  /// a misconfigured transport must not surface as a ladder of timeouts.
   IkcTransport(sim::Engine& engine, const os::Config& cfg, sim::Resource& service_cpus,
-               os::SyscallProfiler& profiler, Samples& queueing_us, std::string lock_abi);
+               os::SyscallProfiler& profiler, Samples& queueing_us, std::string lock_abi,
+               mem::PhysMap* phys = nullptr);
+  ~IkcTransport();
   IkcTransport(const IkcTransport&) = delete;
   IkcTransport& operator=(const IkcTransport&) = delete;
 
@@ -92,7 +124,27 @@ class IkcTransport {
 
   int num_channels() const { return channels_n_; }
   int num_loops() const { return loops_n_; }
-  int loop_of(int channel) const { return channel % loops_n_; }
+  int loop_of(int channel) const {
+    return channel_loop_.at(static_cast<std::size_t>(channel));
+  }
+
+  /// --- NUMA placement introspection --------------------------------------
+  /// Socket owning `channel`'s ring memory (after any alloc_near fallback).
+  int channel_socket(int channel) const;
+  /// Socket the service loop runs on: its pinned socket under
+  /// `ikc_numa_pin`, its service CPU's socket otherwise.
+  int loop_socket(int loop) const { return loops_.at(static_cast<std::size_t>(loop))->socket; }
+  /// Physical ring region of `channel` (0 when no PhysMap was supplied).
+  mem::PhysAddr channel_ring_phys(int channel) const;
+
+  /// --- adaptive batching introspection ------------------------------------
+  /// The drain limit the loop will apply to its next batch collection.
+  int loop_batch_limit(int loop) const {
+    return loops_.at(static_cast<std::size_t>(loop))->batch_limit;
+  }
+  double loop_depth_ewma(int loop) const {
+    return loops_.at(static_cast<std::size_t>(loop))->depth_ewma;
+  }
 
   /// --- fault injection / introspection (tests, failure injection) --------
   /// Halt or resume one Linux-side service loop ("service thread wedged").
@@ -100,32 +152,52 @@ class IkcTransport {
   /// deadlines, never by reading this flag on the submit path.
   void inject_stall(int loop, bool stalled);
   bool stall_injected(int loop) const { return loops_.at(loop)->stall_injected; }
+  /// Kill every consumer currently waiting on `channel` (the owning LWK
+  /// process dies mid-offload): their offloads resolve to EINTR, queued
+  /// entries become stale, and completions the service side still produces
+  /// for them are dropped (`ikc.reply.consumer_dead`), never delivered.
+  void inject_consumer_death(int channel);
+  /// Drop completion doorbells aimed at `channel` while `lost` (a wedged
+  /// LWK-side reply IRQ): parked consumers must recover via the
+  /// `ikc_reply_deadline` self-drain instead of hanging.
+  void inject_reply_doorbell_loss(int channel, bool lost);
   /// Has this loop accumulated enough consecutive timeouts to be avoided?
   bool loop_suspect(int loop) const;
   std::uint64_t loop_served(int loop) const { return loops_.at(loop)->served; }
   std::size_t channel_depth(int channel) const;
+  std::size_t reply_ring_depth(int channel) const;
   const DepthHistogram& depth_histogram(int channel) const {
     return depth_hist_.at(channel);
   }
 
  private:
   struct Request {
-    explicit Request(sim::Engine& engine) : done(engine) {}
-    enum class State { queued, claimed, done, timed_out };
+    explicit Request(sim::Engine& engine) : done(engine), wake(engine) {}
+    enum class State { queued, claimed, done, timed_out, abandoned };
     Service service;
     State state = State::queued;
     Result<long> result = Errno::eagain;
     Time enqueued_at = 0;
-    sim::Latch done;
+    int channel = -1;  // ring the request was accepted on (reply routing)
+    sim::Latch done;         // latch reply mode: one-shot completion
+    sim::Channel<int> wake;  // ring reply mode: doorbell / watchdog pokes
   };
   using RequestPtr = std::shared_ptr<Request>;
 
   struct Channel {
-    Channel(sim::Engine& engine, std::string abi, Dur lock_cost, std::size_t depth)
-        : lock(engine, std::move(abi), lock_cost), rings{RingBuffer<RequestPtr>(depth),
-                                                         RingBuffer<RequestPtr>(depth)} {}
-    os::SharedSpinlock lock;     // the cross-kernel ring lock (§3.3)
+    Channel(sim::Engine& engine, std::string abi, Dur lock_cost, std::size_t depth,
+            std::size_t reply_depth)
+        : lock(engine, std::move(abi), lock_cost),
+          rings{RingBuffer<RequestPtr>(depth), RingBuffer<RequestPtr>(depth)},
+          reply(reply_depth) {}
+    os::SharedSpinlock lock;          // the cross-kernel ring lock (§3.3)
     RingBuffer<RequestPtr> rings[2];  // [control, bulk]
+    RingBuffer<RequestPtr> reply;     // completions awaiting the LWK core
+    std::vector<RequestPtr> parked;   // consumers blocked on the reply doorbell
+    std::vector<std::weak_ptr<Request>> inflight;  // for consumer-death injection
+    bool reply_doorbell_lost = false;  // fault injection: completion IPIs dropped
+    int home_socket = 0;               // socket owning this channel's ring memory
+    mem::PhysAddr ring_phys = 0;       // 0 → no real placement (no PhysMap)
   };
 
   struct Loop {
@@ -136,14 +208,37 @@ class IkcTransport {
     bool stall_injected = false;
     int consecutive_timeouts = 0; // submit-side stall detector
     std::uint64_t served = 0;
+    int socket = 0;               // where this loop runs (pinned or service CPU)
+    std::vector<int> channels;    // the channels this loop owns, ascending
+    // Adaptive drain sizing: EWMA of the depth observed at each drain and
+    // the clamped limit derived from it (§8.4).
+    double depth_ewma = 0.0;
+    int batch_limit = 1;
   };
+
+  static bool settled(const Request& req) {
+    return req.state == Request::State::done || req.state == Request::State::timed_out ||
+           req.state == Request::State::abandoned;
+  }
 
   sim::Task<Result<long>> direct_offload(Service service);
   sim::Task<Result<long>> ring_offload(Service service, Priority prio, int channel_hint);
   sim::Task<> service_loop(int loop);
-  /// Pop up to `ikc_batch` claimable requests from this loop's channels,
-  /// control class first; pays the ring-lock cost per non-empty channel.
+  /// Pop up to the loop's current drain limit of claimable requests from
+  /// its channels, control class first; pays the ring-lock cost (plus the
+  /// remote-socket surcharge) per non-empty channel.
   sim::Task<> collect_batch(int loop, std::vector<RequestPtr>& out);
+  /// Deliver one completed service result back to the submitter, by the
+  /// configured reply mode; reply-ring touches are recorded in `touched`
+  /// so the post-batch doorbell pass can wake parked channels once each.
+  sim::Task<> deliver_reply(const RequestPtr& req, int channel, std::vector<int>& touched);
+  /// Wait (reply-ring mode) until `req` settles: poll the reply slot for
+  /// `ikc_reply_poll_budget`, then park on the doorbell with the
+  /// self-drain watchdog armed.
+  sim::Task<> await_reply(RequestPtr req, int channel);
+  /// Pop every posted completion notification on `channel` (the owning LWK
+  /// core draining its reply ring on wake-up or poll).
+  void drain_reply_ring(int channel);
 
   RingBuffer<RequestPtr>& ring(int channel, Priority prio) {
     return channels_[static_cast<std::size_t>(channel)]->rings[static_cast<int>(prio)];
@@ -153,17 +248,29 @@ class IkcTransport {
   /// which case rotate to a healthy loop's channel (or probe the suspect
   /// one every `ikc_probe_interval`-th time). -1 → every loop suspect.
   int pick_channel(int channel);
+  /// The next channel owned by a *different* service loop (retry target);
+  /// falls back to channel+1 when every channel shares one loop.
+  int next_foreign_channel(int channel) const;
   void note_depth(int channel);
+  /// Observe `avail` requests pending at drain time and resize the loop's
+  /// drain limit from the refreshed EWMA.
+  void observe_depth(Loop& lp, std::size_t avail);
+  /// Socket→loop channel sharding + loop pinning (ikc_numa_pin) or the
+  /// legacy round-robin shard; fills channel_loop_ and Loop::{socket,channels}.
+  void assign_channels();
 
   sim::Engine& engine_;
   const os::Config& cfg_;
   sim::Resource& service_cpus_;
   os::SyscallProfiler& prof_;
   Samples& queueing_us_;
+  mem::PhysMap* phys_;
+  mem::NumaTopology topo_;
   int channels_n_;
   int loops_n_;
   std::vector<std::unique_ptr<Channel>> channels_;
   std::vector<std::unique_ptr<Loop>> loops_;
+  std::vector<int> channel_loop_;
   std::vector<DepthHistogram> depth_hist_;
   /// Cached per-channel counter names so enqueue-path bumps never build
   /// strings ("ikc.ring.depth.ch<k>.le<n>").

@@ -155,6 +155,12 @@ Result<PhysAddr> PhysMap::alloc_near(std::uint64_t bytes, std::size_t home_domai
   return Errno::enomem;
 }
 
+std::optional<std::size_t> PhysMap::domain_of(PhysAddr addr) const {
+  for (std::size_t i = 0; i < domains_.size(); ++i)
+    if (domains_[i].allocator.contains(addr)) return i;
+  return std::nullopt;
+}
+
 void PhysMap::free(PhysAddr addr, std::uint64_t bytes) {
   for (auto& dom : domains_) {
     if (dom.allocator.contains(addr)) {

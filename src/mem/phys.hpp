@@ -87,6 +87,11 @@ class PhysMap {
 
   void free(PhysAddr addr, std::uint64_t bytes);
 
+  /// Domain holding `addr` (placement introspection: which socket a block
+  /// actually landed on after alloc_near's fallback walk). nullopt for an
+  /// address outside every domain.
+  std::optional<std::size_t> domain_of(PhysAddr addr) const;
+
   std::size_t domain_count() const { return domains_.size(); }
   const NumaDomain& domain(std::size_t i) const { return domains_[i]; }
   std::uint64_t free_bytes(MemKind kind) const;

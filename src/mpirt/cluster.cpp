@@ -16,7 +16,8 @@ Cluster::Cluster(ClusterOptions opts) : opts_(std::move(opts)) {
     node.driver = std::make_unique<hfi::HfiDriver>(*node.linux_kernel, *node.device,
                                                    opts_.driver_version);
     if (opts_.mode != os::OsMode::linux) {
-      node.ihk = std::make_unique<os::Ihk>(engine_, opts_.cfg, *node.linux_kernel);
+      node.ihk = std::make_unique<os::Ihk>(engine_, opts_.cfg, *node.linux_kernel,
+                                           node.phys.get());
       node.mck = std::make_unique<os::McKernel>(engine_, opts_.cfg, *node.ihk,
                                                 opts_.mode == os::OsMode::mckernel_hfi);
       if (opts_.mode == os::OsMode::mckernel_hfi) {

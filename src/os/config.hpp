@@ -8,7 +8,9 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 
+#include "src/common/status.hpp"
 #include "src/common/time.hpp"
 
 namespace pd::os {
@@ -42,6 +44,25 @@ constexpr const char* to_string(IkcMode m) {
   switch (m) {
     case IkcMode::direct: return "direct";
     case IkcMode::ring: return "ring";
+  }
+  return "?";
+}
+
+/// How a ring-mode completion travels back to the waiting LWK coroutine.
+/// `latch` is the PR-4 shape: the service loop delivers every completion
+/// with its own cross-kernel wakeup. `ring` posts completions into a
+/// per-channel shared-memory reply ring that the LWK core polls, so the
+/// return path needs no wakeup at all when the consumer is polling and at
+/// most one doorbell per drained batch when it parked.
+enum class ReplyMode {
+  latch,
+  ring,
+};
+
+constexpr const char* to_string(ReplyMode m) {
+  switch (m) {
+    case ReplyMode::latch: return "latch";
+    case ReplyMode::ring: return "ring";
   }
   return "?";
 }
@@ -89,6 +110,25 @@ struct Config {
   int ikc_probe_interval = 16;         // every Nth submit probes a suspect
   Dur ikc_doorbell_cost = from_ns(200);  // cross-kernel IPI to wake a loop
   Dur ikc_lock_cost = from_ns(60);       // ring spin-lock hand-off
+
+  // --- IKC reply path (ring mode only) ------------------------------------
+  ReplyMode ikc_reply_mode = ReplyMode::ring;  // shared-memory reply rings
+  int ikc_reply_depth = 64;              // completion slots per channel
+  Dur ikc_reply_post_cost = from_ns(80);   // write one completion slot
+  Dur ikc_reply_wakeup_cost = from_ns(600);  // completion IPI to the LWK core
+  Dur ikc_reply_poll_interval = from_us(1);  // LWK slot-poll period
+  Dur ikc_reply_poll_budget = from_us(200);  // polling before parking
+  Dur ikc_reply_deadline = from_ms(2);   // parked consumer self-drains after
+
+  // --- IKC adaptive batching (ring mode only) -----------------------------
+  bool ikc_adaptive_batch = true;        // size drains from observed depth
+  double ikc_adaptive_alpha = 0.25;      // EWMA weight of the newest depth
+  double ikc_adaptive_headroom = 1.5;    // drain limit = ewma * headroom
+
+  // --- IKC NUMA placement (ring mode only) --------------------------------
+  bool ikc_numa_pin = true;              // pin loops to their rings' socket
+  std::uint64_t ikc_ring_region_bytes = 16384;  // per-channel ring memory
+  Dur ikc_remote_drain_cost = from_ns(300);  // cross-socket ring-line pull
 
   // --- driver fast-path work --------------------------------------------
   Dur gup_per_page = from_ns(60);         // get_user_pages, per 4 KiB page
@@ -148,6 +188,32 @@ struct Config {
   // --- hardware ----------------------------------------------------------
   std::uint64_t linux_sdma_desc_bytes = 4096;   // PAGE_SIZE cap (paper §3.4)
   std::uint64_t pico_sdma_desc_bytes = 10240;   // hardware max exploited
+
+  /// Construction-time sanity check. A Config that selects the ring
+  /// transport but reserves no Linux service CPUs used to surface only
+  /// later, as a deadline ladder full of timeouts; now it is an EINVAL
+  /// here, with `why` (when non-null) naming the offending knob.
+  Status validate(std::string* why = nullptr) const {
+    const auto fail = [&](const char* reason) -> Status {
+      if (why != nullptr) *why = reason;
+      return Errno::einval;
+    };
+    if (ikc_mode == IkcMode::ring) {
+      if (linux_service_cpus <= 0)
+        return fail("ikc_mode=ring needs linux_service_cpus > 0: the ring "
+                    "transport is drained by dedicated Linux service loops");
+      if (ikc_ring_depth <= 0) return fail("ikc_ring_depth must be > 0");
+      if (ikc_batch <= 0) return fail("ikc_batch must be > 0");
+      if (ikc_reply_mode == ReplyMode::ring && ikc_reply_depth <= 0)
+        return fail("ikc_reply_mode=ring needs ikc_reply_depth > 0");
+      if (ikc_adaptive_batch &&
+          (ikc_adaptive_alpha <= 0.0 || ikc_adaptive_alpha > 1.0))
+        return fail("ikc_adaptive_alpha must be in (0, 1]");
+      if (ikc_adaptive_batch && ikc_adaptive_headroom < 1.0)
+        return fail("ikc_adaptive_headroom must be >= 1.0");
+    }
+    return Status::success();
+  }
 };
 
 }  // namespace pd::os

@@ -27,12 +27,16 @@ namespace pd::os {
 
 class Ihk {
  public:
-  Ihk(sim::Engine& engine, const Config& cfg, LinuxKernel& linux_kernel)
+  /// `phys`, when supplied, lets the ring transport place per-channel ring
+  /// memory with PhysMap::alloc_near (NUMA pinning follows the achieved
+  /// domain); null keeps the ideal owner-socket placement.
+  Ihk(sim::Engine& engine, const Config& cfg, LinuxKernel& linux_kernel,
+      mem::PhysMap* phys = nullptr)
       : engine_(engine),
         cfg_(cfg),
         linux_(linux_kernel),
         transport_(engine, cfg, linux_kernel.service_cpus(), linux_kernel.profiler(),
-                   queueing_us_, linux_kernel.spinlock_abi()) {}
+                   queueing_us_, linux_kernel.spinlock_abi(), phys) {}
 
   /// Delegate one syscall to Linux. `service` runs on a Linux service CPU
   /// (the proxy process context) and typically invokes a CharDevice op.

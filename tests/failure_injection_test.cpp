@@ -7,6 +7,7 @@
 #include "src/dwarf/constants.hpp"
 #include "src/dwarf/writer.hpp"
 #include "src/hfi/driver.hpp"
+#include "src/ikc/transport.hpp"
 #include "src/mpirt/world.hpp"
 #include "src/pico/hfi_picodriver.hpp"
 
@@ -135,6 +136,98 @@ TEST(FailureInjection, StalledServiceLoopsDegradeOffloadsInsteadOfHanging) {
   const auto& prof1 = cluster.node(1).linux_kernel->profiler();
   EXPECT_EQ(prof1.counter("ikc.ring.degraded"), 0u);
   EXPECT_GT(prof1.counter("ikc.ring.enqueue"), 0u);
+}
+
+/// Bare ring-mode transport for the reply-path failure rungs.
+struct ReplyFaultHarness {
+  explicit ReplyFaultHarness(os::Config c) : cfg(std::move(c)) {
+    linux_kernel = std::make_unique<os::LinuxKernel>(engine, cfg);
+    transport = std::make_unique<ikc::IkcTransport>(
+        engine, cfg, linux_kernel->service_cpus(), linux_kernel->profiler(), queueing,
+        linux_kernel->spinlock_abi());
+  }
+  std::uint64_t counter(const std::string& name) const {
+    return linux_kernel->profiler().counter(name);
+  }
+  /// Offload a `work`-long no-op service; its errno lands in `errs`, its
+  /// value in `vals` (submission order).
+  void submit(long tag, Dur work, std::vector<Errno>& errs, std::vector<long>& vals) {
+    sim::spawn(engine, [](ReplyFaultHarness& h, long t, Dur w, std::vector<Errno>& es,
+                          std::vector<long>& vs) -> sim::Task<> {
+      auto r = co_await h.transport->offload(
+          [&h, t, w]() -> sim::Task<Result<long>> {
+            co_await h.engine.delay(w);
+            co_return t;
+          },
+          ikc::Priority::bulk, 0);
+      es.push_back(r.error());
+      vs.push_back(r.ok() ? *r : -1L);
+    }(*this, tag, work, errs, vals));
+  }
+
+  sim::Engine engine;
+  os::Config cfg;
+  Samples queueing;
+  std::unique_ptr<os::LinuxKernel> linux_kernel;
+  std::unique_ptr<ikc::IkcTransport> transport;
+};
+
+os::Config reply_fault_cfg() {
+  os::Config cfg;
+  cfg.ikc_mode = os::IkcMode::ring;
+  cfg.linux_service_cpus = 1;
+  cfg.ikc_channels = 1;
+  cfg.ikc_reply_poll_budget = from_us(2);  // consumers park early
+  return cfg;
+}
+
+TEST(FailureInjection, FullReplyRingFallsBackToPerRequestWakeups) {
+  // A 1-slot reply ring with every consumer parked: posts beyond the first
+  // must take the per-request wakeup fallback instead of dropping or
+  // blocking the service loop. Everything still completes.
+  auto cfg = reply_fault_cfg();
+  cfg.ikc_reply_depth = 1;
+  ReplyFaultHarness h(cfg);
+  std::vector<Errno> errs;
+  std::vector<long> vals;
+  constexpr int kOps = 6;
+  for (int i = 0; i < kOps; ++i) h.submit(i, from_us(40), errs, vals);
+  h.engine.run();
+  ASSERT_EQ(vals.size(), static_cast<std::size_t>(kOps));
+  for (int i = 0; i < kOps; ++i) EXPECT_EQ(errs[static_cast<std::size_t>(i)], Errno::ok);
+  EXPECT_GE(h.counter("ikc.reply.ring_full"), 1u)
+      << "a 1-slot ring under a parked batch must overflow";
+  EXPECT_GE(h.counter("ikc.reply.wakeup"), 1u) << "overflow must degrade to wakeups";
+  EXPECT_EQ(h.transport->reply_ring_depth(0), 0u);
+}
+
+TEST(FailureInjection, ConsumerDeathDropsCompletionsWithoutWedgingTheLoop) {
+  // The LWK process owning channel 0 dies mid-traffic: in-flight offloads
+  // resolve to EINTR, queued entries are skipped as dead, completions the
+  // loop already owes are dropped with a counter — and the loop itself
+  // keeps serving fresh traffic afterwards.
+  auto cfg = reply_fault_cfg();
+  ReplyFaultHarness h(cfg);
+  std::vector<Errno> errs;
+  std::vector<long> vals;
+  constexpr int kOps = 4;
+  for (int i = 0; i < kOps; ++i) h.submit(i, from_us(40), errs, vals);
+  h.engine.schedule_after(from_us(10), [&] { h.transport->inject_consumer_death(0); });
+  h.engine.run();
+  ASSERT_EQ(errs.size(), static_cast<std::size_t>(kOps));
+  for (int i = 0; i < kOps; ++i)
+    EXPECT_EQ(errs[static_cast<std::size_t>(i)], Errno::eintr)
+        << "op " << i << " must observe its consumer's death";
+  EXPECT_GE(h.counter("ikc.reply.consumer_dead") + h.counter("ikc.ring.dead_skip"), 1u)
+      << "the service side must account the dropped work";
+
+  // The channel is reusable: a fresh consumer's offload completes normally.
+  h.submit(99, from_us(5), errs, vals);
+  h.engine.run();
+  ASSERT_EQ(vals.size(), static_cast<std::size_t>(kOps) + 1);
+  EXPECT_EQ(errs.back(), Errno::ok);
+  EXPECT_EQ(vals.back(), 99);
+  EXPECT_GT(h.transport->loop_served(0), 0u);
 }
 
 TEST(FailureInjection, BindRejectsModuleMissingAField) {

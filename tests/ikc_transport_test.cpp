@@ -14,11 +14,11 @@ namespace {
 /// One transport wired like an Ihk would: the LinuxKernel supplies the
 /// service-CPU pool and the profiler the counters land in.
 struct Harness {
-  explicit Harness(os::Config c) : cfg(std::move(c)) {
+  explicit Harness(os::Config c, mem::PhysMap* phys = nullptr) : cfg(std::move(c)) {
     linux_kernel = std::make_unique<os::LinuxKernel>(engine, cfg);
     transport = std::make_unique<IkcTransport>(engine, cfg, linux_kernel->service_cpus(),
                                                linux_kernel->profiler(), queueing,
-                                               linux_kernel->spinlock_abi());
+                                               linux_kernel->spinlock_abi(), phys);
   }
 
   std::uint64_t counter(const std::string& name) const {
@@ -226,6 +226,195 @@ TEST(IkcTransport, DirectModeMatchesLegacyTiming) {
                        cfg.proxy_min_service;
   EXPECT_EQ(finished, expected);
   EXPECT_EQ(h.counter("ikc.ring.enqueue"), 0u) << "direct mode must not touch the rings";
+}
+
+TEST(IkcReply, PollingConsumersNeedNoCompletionWakeups) {
+  // Services finish well inside the poll budget, so every completion must
+  // be found by the polling LWK core — zero reply wakeups on the whole run.
+  auto cfg = ring_cfg();
+  Harness h(cfg);
+  std::vector<long> order, results;
+  constexpr int kOps = 12;
+  for (int i = 0; i < kOps; ++i) h.submit(i, Priority::bulk, i, order, results);
+  h.engine.run();
+  ASSERT_EQ(results.size(), static_cast<std::size_t>(kOps));
+  EXPECT_EQ(h.counter("ikc.reply.poll_hit"), static_cast<std::uint64_t>(kOps));
+  EXPECT_EQ(h.counter("ikc.reply.wakeup"), 0u);
+  EXPECT_EQ(h.counter("ikc.reply.park"), 0u);
+  for (int ch = 0; ch < h.transport->num_channels(); ++ch)
+    EXPECT_EQ(h.transport->reply_ring_depth(ch), 0u) << "notifications must be reclaimed";
+}
+
+TEST(IkcReply, LatchModePaysOneWakeupPerRequest) {
+  auto cfg = ring_cfg();
+  cfg.ikc_reply_mode = os::ReplyMode::latch;
+  Harness h(cfg);
+  std::vector<long> order, results;
+  constexpr int kOps = 12;
+  for (int i = 0; i < kOps; ++i) h.submit(i, Priority::bulk, i, order, results);
+  h.engine.run();
+  ASSERT_EQ(results.size(), static_cast<std::size_t>(kOps));
+  EXPECT_EQ(h.counter("ikc.reply.wakeup"), static_cast<std::uint64_t>(kOps));
+  EXPECT_EQ(h.counter("ikc.reply.post"), 0u) << "latch mode must not touch reply rings";
+}
+
+TEST(IkcReply, ParkedConsumerWokenByOneDoorbellPerBatch) {
+  // Exhaust the poll budget before the service finishes: the consumers
+  // must park, and the whole batch of completions must come back on a
+  // single completion doorbell (one wakeup, many requests).
+  auto cfg = ring_cfg();
+  cfg.linux_service_cpus = 1;
+  cfg.ikc_channels = 1;
+  cfg.ikc_batch = 16;
+  cfg.ikc_reply_poll_budget = from_us(2);
+  Harness h(cfg);
+  std::vector<long> results;
+  constexpr int kOps = 6;
+  for (int i = 0; i < kOps; ++i) {
+    sim::spawn(h.engine, [](Harness& hh, long t, std::vector<long>& res) -> sim::Task<> {
+      auto r = co_await hh.transport->offload(
+          [&hh, t]() -> sim::Task<Result<long>> {
+            co_await hh.engine.delay(from_us(40));  // far past the poll budget
+            co_return t;
+          },
+          Priority::bulk, 0);
+      EXPECT_TRUE(r.ok());
+      res.push_back(r.ok() ? *r : -1L);
+    }(h, i, results));
+  }
+  h.engine.run();
+  ASSERT_EQ(results.size(), static_cast<std::size_t>(kOps));
+  EXPECT_GE(h.counter("ikc.reply.park"), static_cast<std::uint64_t>(kOps));
+  EXPECT_GE(h.counter("ikc.reply.wakeup"), 1u);
+  EXPECT_LT(h.counter("ikc.reply.wakeup"), static_cast<std::uint64_t>(kOps))
+      << "a doorbell per parked request would be the latch shape again";
+}
+
+TEST(IkcReply, LostDoorbellRecoveredBySelfDrain) {
+  auto cfg = ring_cfg();
+  cfg.linux_service_cpus = 1;
+  cfg.ikc_channels = 1;
+  cfg.ikc_reply_poll_budget = from_us(2);
+  cfg.ikc_reply_deadline = from_us(200);
+  Harness h(cfg);
+  h.transport->inject_reply_doorbell_loss(0, true);
+  std::vector<long> results;
+  sim::spawn(h.engine, [](Harness& hh, std::vector<long>& res) -> sim::Task<> {
+    auto r = co_await hh.transport->offload(
+        [&hh]() -> sim::Task<Result<long>> {
+          co_await hh.engine.delay(from_us(40));
+          co_return 9L;
+        },
+        Priority::bulk, 0);
+    EXPECT_TRUE(r.ok());
+    res.push_back(r.ok() ? *r : -1L);
+  }(h, results));
+  h.engine.run();  // must terminate: the self-drain watchdog, not the doorbell
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0], 9);
+  EXPECT_GE(h.counter("ikc.reply.doorbell_lost"), 1u);
+  EXPECT_GE(h.counter("ikc.reply.self_drain"), 1u);
+  EXPECT_EQ(h.counter("ikc.reply.wakeup"), 0u);
+}
+
+TEST(IkcAdaptive, DrainLimitConvergesToOfferedDepth) {
+  // A constant offered depth of 12 must pull the drain limit up from the
+  // static floor until (nearly) the whole wave drains in one batch.
+  auto cfg = ring_cfg();
+  cfg.linux_service_cpus = 1;
+  cfg.ikc_batch = 1;  // adaptive sizing must grow past the static floor
+  Harness h(cfg);
+  constexpr int kDepth = 12;
+  std::vector<long> order, results;
+  std::uint64_t last_round_drains = 0;
+  for (int round = 0; round < 8; ++round) {
+    const std::uint64_t before = h.counter("ikc.ring.batch_drain");
+    for (int i = 0; i < kDepth; ++i)
+      h.submit(round * 100 + i, Priority::bulk, i, order, results);
+    h.engine.run();
+    last_round_drains = h.counter("ikc.ring.batch_drain") - before;
+  }
+  ASSERT_EQ(results.size(), 8u * kDepth);
+  EXPECT_GE(h.transport->loop_batch_limit(0), 9)
+      << "EWMA sizing failed to grow toward the offered depth";
+  EXPECT_LE(h.transport->loop_batch_limit(0), cfg.ikc_ring_depth);
+  // Steady state alternates one full-wave observation (12) with one
+  // leftover observation per round; the EWMA settles between the two.
+  EXPECT_GE(h.transport->loop_depth_ewma(0), 4.0);
+  EXPECT_LE(last_round_drains, 3u)
+      << "converged loop should drain a 12-deep wave in one or two batches";
+  EXPECT_GE(h.counter("ikc.adaptive.grow"), 1u);
+}
+
+TEST(IkcAdaptive, StaticBatchIgnoresObservedDepth) {
+  auto cfg = ring_cfg();
+  cfg.ikc_adaptive_batch = false;
+  cfg.linux_service_cpus = 1;
+  cfg.ikc_batch = 4;
+  Harness h(cfg);
+  std::vector<long> order, results;
+  for (int i = 0; i < 16; ++i) h.submit(i, Priority::bulk, i, order, results);
+  h.engine.run();
+  ASSERT_EQ(results.size(), 16u);
+  EXPECT_EQ(h.counter("ikc.adaptive.grow"), 0u);
+  EXPECT_EQ(h.counter("ikc.adaptive.shrink"), 0u);
+  EXPECT_GE(h.counter("ikc.ring.batch_drain"), 4u) << "16 ops at a hard cap of 4";
+}
+
+TEST(IkcNuma, PinnedLoopsOwnTheirChannelsSockets) {
+  // Default topology: 68 cores / 4 sockets, 4 service loops → one loop per
+  // socket, and every channel must land on the loop pinned to its ring's
+  // socket.
+  auto cfg = ring_cfg();
+  Harness h(cfg);
+  ASSERT_EQ(h.transport->num_loops(), 4);
+  for (int l = 0; l < 4; ++l) EXPECT_EQ(h.transport->loop_socket(l), l);
+  for (int ch = 0; ch < h.transport->num_channels(); ++ch)
+    EXPECT_EQ(h.transport->loop_socket(h.transport->loop_of(ch)),
+              h.transport->channel_socket(ch))
+        << "channel " << ch << " drained from a foreign socket";
+  EXPECT_EQ(h.counter("ikc.numa.matched_channel"),
+            static_cast<std::uint64_t>(h.transport->num_channels()));
+  EXPECT_EQ(h.counter("ikc.numa.far_channel"), 0u);
+  // And the service must then be all-local.
+  std::vector<long> order, results;
+  for (int i = 0; i < 8; ++i) h.submit(i, Priority::bulk, i, order, results);
+  h.engine.run();
+  EXPECT_GE(h.counter("ikc.numa.local_drain"), 1u);
+  EXPECT_EQ(h.counter("ikc.numa.remote_drain"), 0u);
+}
+
+TEST(IkcNuma, UnpinnedShardingIsRoundRobin) {
+  auto cfg = ring_cfg();
+  cfg.ikc_numa_pin = false;
+  Harness h(cfg);
+  for (int ch = 0; ch < h.transport->num_channels(); ++ch)
+    EXPECT_EQ(h.transport->loop_of(ch), ch % h.transport->num_loops());
+  EXPECT_EQ(h.counter("ikc.numa.pinned_loop"), 0u);
+}
+
+TEST(IkcNuma, RingMemoryPlacedNearOwnerSocket) {
+  auto cfg = ring_cfg();
+  mem::PhysMap phys = mem::PhysMap::knl(256ull << 20, 1ull << 30, cfg.numa_per_kind);
+  Harness h(cfg, &phys);
+  for (int ch = 0; ch < h.transport->num_channels(); ++ch) {
+    const mem::PhysAddr addr = h.transport->channel_ring_phys(ch);
+    ASSERT_NE(addr, 0u) << "ring memory must be really allocated with a PhysMap";
+    const auto dom = phys.domain_of(addr);
+    ASSERT_TRUE(dom.has_value());
+    EXPECT_EQ(static_cast<int>(*dom % static_cast<std::size_t>(cfg.numa_per_kind)),
+              h.transport->channel_socket(ch));
+  }
+  // The destructor must return every ring region to the map.
+  const std::uint64_t free_before =
+      phys.free_bytes(mem::MemKind::mcdram) + phys.free_bytes(mem::MemKind::ddr);
+  h.transport.reset();
+  const std::uint64_t free_after =
+      phys.free_bytes(mem::MemKind::mcdram) + phys.free_bytes(mem::MemKind::ddr);
+  EXPECT_EQ(free_after, free_before + static_cast<std::uint64_t>(h.cfg.ikc_channels == 0
+                                                                     ? h.cfg.app_cores
+                                                                     : h.cfg.ikc_channels) *
+                                          cfg.ikc_ring_region_bytes);
 }
 
 TEST(QueueingSummary, PercentilesFromSamples) {

@@ -2,6 +2,9 @@
 // routing, IHK offload queueing/costs, and Process memory syscalls.
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+#include <string>
+
 #include "src/common/units.hpp"
 #include "src/os/ihk.hpp"
 #include "src/os/process.hpp"
@@ -300,6 +303,76 @@ TEST(Process, LwkBackingIsPinnedContiguous) {
     EXPECT_GT(p.as().large_page_fraction(), 0.9);
   }(proc));
   f.engine.run();
+}
+
+TEST(ConfigValidate, DefaultsAreValidInBothTransports) {
+  Config cfg;
+  EXPECT_TRUE(cfg.validate().ok());
+  cfg.ikc_mode = IkcMode::ring;
+  EXPECT_TRUE(cfg.validate().ok());
+}
+
+TEST(ConfigValidate, RingModeWithoutServiceCpusIsEinval) {
+  Config cfg;
+  cfg.ikc_mode = IkcMode::ring;
+  cfg.linux_service_cpus = 0;
+  std::string why;
+  const Status s = cfg.validate(&why);
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.error(), Errno::einval);
+  EXPECT_NE(why.find("linux_service_cpus"), std::string::npos) << why;
+  // Direct mode has no service loops to starve; the same knob is fine there.
+  cfg.ikc_mode = IkcMode::direct;
+  EXPECT_TRUE(cfg.validate().ok());
+}
+
+TEST(ConfigValidate, RejectsDegenerateRingAndAdaptiveKnobs) {
+  Config cfg;
+  cfg.ikc_mode = IkcMode::ring;
+  cfg.ikc_ring_depth = 0;
+  EXPECT_FALSE(cfg.validate().ok());
+  cfg = Config{};
+  cfg.ikc_mode = IkcMode::ring;
+  cfg.ikc_batch = 0;
+  EXPECT_FALSE(cfg.validate().ok());
+  cfg = Config{};
+  cfg.ikc_mode = IkcMode::ring;
+  cfg.ikc_reply_depth = 0;
+  EXPECT_FALSE(cfg.validate().ok());
+  cfg.ikc_reply_mode = ReplyMode::latch;  // knob only matters for reply rings
+  EXPECT_TRUE(cfg.validate().ok());
+  cfg = Config{};
+  cfg.ikc_mode = IkcMode::ring;
+  cfg.ikc_adaptive_alpha = 0.0;
+  EXPECT_FALSE(cfg.validate().ok());
+  cfg.ikc_adaptive_batch = false;  // static batching ignores the EWMA knobs
+  EXPECT_TRUE(cfg.validate().ok());
+  cfg = Config{};
+  cfg.ikc_mode = IkcMode::ring;
+  cfg.ikc_adaptive_headroom = 0.5;
+  EXPECT_FALSE(cfg.validate().ok());
+}
+
+TEST(ConfigValidate, TransportConstructionThrowsOnInvalidConfig) {
+  sim::Engine engine;
+  Config cfg;
+  cfg.ikc_mode = IkcMode::ring;
+  cfg.linux_service_cpus = 0;
+  // LinuxKernel itself still boots (Linux runs with zero reserved service
+  // CPUs in linux mode); the *transport* is what must refuse the config.
+  LinuxKernel linux_kernel{engine, Config{}};
+  Samples queueing;
+  EXPECT_THROW(ikc::IkcTransport(engine, cfg, linux_kernel.service_cpus(),
+                                 linux_kernel.profiler(), queueing,
+                                 linux_kernel.spinlock_abi()),
+               std::invalid_argument);
+  try {
+    ikc::IkcTransport t(engine, cfg, linux_kernel.service_cpus(), linux_kernel.profiler(),
+                        queueing, linux_kernel.spinlock_abi());
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("linux_service_cpus"), std::string::npos)
+        << e.what();
+  }
 }
 
 }  // namespace

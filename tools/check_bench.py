@@ -1,0 +1,177 @@
+#!/usr/bin/env python3
+"""Bench regression gate for the fast-path cache + offload-storm harness.
+
+Reruns ``bench_fastpath_cache`` (which embeds the offload-storm harness that
+produces the ``ikc_batch`` and ``reply_ring`` rows) in a scratch directory and
+compares the fresh BENCH_fastpath.json against the committed baseline.  Any
+gated metric that regresses by more than ``--tolerance`` (default 15%) fails
+the run.
+
+Only host-speed-independent metrics are gated: simulated-time results
+(queueing p95s, offloads per simulated ms, wakeup accounting) are
+deterministic, and ratios of host-timed runs (speedup, hit rates,
+allocations per op) are robust to how fast the runner happens to be.  Raw
+``ops_per_sec`` / ``iters_per_sec`` numbers are reported but never gated —
+they measure the CI machine, not the code.
+
+Usage:
+  python3 tools/check_bench.py --bench build/bench/bench_fastpath_cache \
+      --baseline BENCH_fastpath.json [--tolerance 0.15] [--quick]
+
+Exit status: 0 if the bench binary passed its own acceptance checks and no
+gated metric regressed; 1 otherwise.  Stdlib only — no third-party imports.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+
+# Each gate: (dotted JSON path, direction, absolute epsilon).
+#
+# direction "higher" — a drop below baseline*(1-tol) fails;
+# direction "lower"  — a rise above baseline*(1+tol) fails.
+# The epsilon widens the band for near-zero baselines (15% of 0.000 is 0).
+GATES = [
+    # Fast-path cache squeeze (ratios of host-timed loops — speed-independent).
+    ("speedup", "higher", 0.0),
+    ("baseline.heap_allocs_per_op", "lower", 0.5),
+    ("optimized.heap_allocs_per_op", "lower", 0.01),
+    # Range-precise invalidation keeps the persistent window hot.
+    ("mixed_lifetime.precise.window_hit_rate", "higher", 0.01),
+    # NUMA-aware drain batching bounds cross-socket traffic.
+    ("numa_drain.numa_aware.cross_socket_drains_per_iter", "lower", 0.5),
+    # Offload storm, simulated time: ring transport vs the legacy closed form.
+    ("ikc_batch.ring.offloads_per_ms", "higher", 0.0),
+    ("ikc_batch.ring.queue_p95_us", "lower", 1.0),
+    ("ikc_batch.ring.degraded", "lower", 0.5),
+    ("ikc_batch.ring.timeouts", "lower", 0.5),
+    # Reply rings: the return path must keep saving ~1 wakeup per round trip
+    # without giving back queueing latency.
+    ("reply_ring.latch.wakeups_per_offload", "lower", 0.05),
+    ("reply_ring.ring.wakeups_per_offload", "lower", 0.05),
+    ("reply_ring.ring.queue_p95_us", "lower", 1.0),
+    ("reply_ring.wakeups_saved_per_offload", "higher", 0.05),
+]
+
+# Reported for context but never gated (host-speed dependent).
+INFORMATIONAL = [
+    "baseline.ops_per_sec",
+    "optimized.ops_per_sec",
+    "mixed_lifetime.precise.iters_per_sec",
+    "numa_drain.numa_aware.iters_per_sec",
+]
+
+
+def lookup(doc: dict, dotted: str):
+    node = doc
+    for key in dotted.split("."):
+        if not isinstance(node, dict) or key not in node:
+            return None
+        node = node[key]
+    return node
+
+
+def check(baseline: dict, fresh: dict, tolerance: float) -> list[str]:
+    failures = []
+    print(f"{'metric':56s} {'baseline':>12s} {'current':>12s}  verdict")
+    print("-" * 96)
+    for path, direction, eps in GATES:
+        base = lookup(baseline, path)
+        cur = lookup(fresh, path)
+        if base is None:
+            # Metric absent from the committed baseline (older schema): the
+            # fresh value becomes the de-facto baseline next time the JSON is
+            # committed, so just report it.
+            print(f"{path:56s} {'(new)':>12s} {cur!s:>12s}  SKIP (no baseline)")
+            continue
+        if cur is None:
+            failures.append(f"{path}: missing from fresh bench output")
+            print(f"{path:56s} {base!s:>12s} {'(gone)':>12s}  FAIL (missing)")
+            continue
+        base_f, cur_f = float(base), float(cur)
+        if direction == "higher":
+            limit = base_f * (1.0 - tolerance) - eps
+            ok = cur_f >= limit
+            bound = f">= {limit:.3f}"
+        else:
+            limit = base_f * (1.0 + tolerance) + eps
+            ok = cur_f <= limit
+            bound = f"<= {limit:.3f}"
+        verdict = "ok" if ok else f"FAIL ({bound})"
+        print(f"{path:56s} {base_f:12.3f} {cur_f:12.3f}  {verdict}")
+        if not ok:
+            failures.append(
+                f"{path}: {cur_f:.3f} vs baseline {base_f:.3f} (allowed {bound})")
+    print("-" * 96)
+    for path in INFORMATIONAL:
+        base = lookup(baseline, path)
+        cur = lookup(fresh, path)
+        print(f"{path:56s} {base!s:>12s} {cur!s:>12s}  (informational)")
+    return failures
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__,
+                                 formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("--bench", required=True,
+                    help="path to the bench_fastpath_cache binary")
+    ap.add_argument("--baseline", default="BENCH_fastpath.json",
+                    help="committed baseline JSON (default: BENCH_fastpath.json)")
+    ap.add_argument("--tolerance", type=float, default=0.15,
+                    help="allowed relative regression (default: 0.15 = 15%%)")
+    ap.add_argument("--outdir", default="bench-out",
+                    help="scratch directory the bench runs in (default: bench-out)")
+    ap.add_argument("--quick", action="store_true",
+                    help="set PD_QUICK=1 (smaller sweep; simulated metrics then "
+                         "use different workload sizes, so only compare against "
+                         "a quick-mode baseline)")
+    args = ap.parse_args()
+
+    bench = os.path.abspath(args.bench)
+    if not os.path.exists(bench):
+        print(f"error: bench binary not found: {bench}", file=sys.stderr)
+        return 1
+    with open(args.baseline) as f:
+        baseline = json.load(f)
+
+    # Run in a scratch dir so the bench's BENCH_fastpath.json output cannot
+    # clobber the committed baseline we are comparing against.
+    os.makedirs(args.outdir, exist_ok=True)
+    env = dict(os.environ)
+    if args.quick:
+        env["PD_QUICK"] = "1"
+    print(f"running {bench} (cwd={args.outdir})...")
+    proc = subprocess.run([bench], cwd=args.outdir, env=env)
+    if proc.returncode != 0:
+        print(f"error: bench binary failed its own acceptance checks "
+              f"(exit {proc.returncode})", file=sys.stderr)
+        return 1
+
+    fresh_path = os.path.join(args.outdir, "BENCH_fastpath.json")
+    with open(fresh_path) as f:
+        fresh = json.load(f)
+
+    if bool(lookup(fresh, "workload.quick_mode")) != bool(
+            lookup(baseline, "workload.quick_mode")):
+        print("warning: quick_mode differs between baseline and fresh run; "
+              "simulated metrics use different workload sizes and the gate "
+              "may misfire", file=sys.stderr)
+
+    failures = check(baseline, fresh, args.tolerance)
+    if failures:
+        print(f"\nFAIL: {len(failures)} metric(s) regressed more than "
+              f"{args.tolerance:.0%}:")
+        for msg in failures:
+            print(f"  - {msg}")
+        return 1
+    print(f"\nOK: all gated metrics within {args.tolerance:.0%} of baseline "
+          f"({args.baseline})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
