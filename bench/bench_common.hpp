@@ -64,7 +64,11 @@ struct StormResult {
   // per drained batch per parked channel with reply rings).
   std::uint64_t doorbells = 0;
   std::uint64_t reply_wakeups = 0;
-  double wakeups_per_offload = 0;  // (doorbells + reply_wakeups) / offloads
+  // Direct-mode equivalents: one proxy wakeup per submit, one LWK wakeup
+  // per reply (always zero in ring mode, and vice versa).
+  std::uint64_t direct_proxy_wakeups = 0;
+  std::uint64_t direct_reply_wakeups = 0;
+  double wakeups_per_offload = 0;  // all wakeups / offloads, either transport
   std::uint64_t adaptive_grow = 0;
   std::uint64_t adaptive_shrink = 0;
   std::uint64_t remote_drains = 0;
@@ -105,9 +109,12 @@ inline StormResult run_offload_storm(const os::Config& cfg, int ranks, int per_r
   if (out.sim_ms > 0) out.offloads_per_ms = static_cast<double>(out.offloads) / out.sim_ms;
   out.doorbells = linux_kernel.profiler().counter("ikc.ring.doorbell");
   out.reply_wakeups = linux_kernel.profiler().counter("ikc.reply.wakeup");
+  out.direct_proxy_wakeups = linux_kernel.profiler().counter("ikc.direct.proxy_wakeup");
+  out.direct_reply_wakeups = linux_kernel.profiler().counter("ikc.direct.reply_wakeup");
   if (out.offloads > 0)
     out.wakeups_per_offload =
-        static_cast<double>(out.doorbells + out.reply_wakeups) /
+        static_cast<double>(out.doorbells + out.reply_wakeups +
+                            out.direct_proxy_wakeups + out.direct_reply_wakeups) /
         static_cast<double>(out.offloads);
   out.adaptive_grow = linux_kernel.profiler().counter("ikc.adaptive.grow");
   out.adaptive_shrink = linux_kernel.profiler().counter("ikc.adaptive.shrink");

@@ -86,17 +86,35 @@ int compare_transports() {
   cfg.ikc_mode = os::IkcMode::ring;
   const auto ring = bench::run_offload_storm(cfg, 64, per_rank, from_us(3), from_us(20));
 
-  TextTable table({"Transport", "Offloads", "Offl/ms", "p50 us", "p95 us", "Max us"});
+  TextTable table({"Transport", "Offloads", "Offl/ms", "p50 us", "p95 us", "Max us", "Wake/offl"});
   for (const auto* row : {&legacy, &ring}) {
     table.add_row({row == &legacy ? "legacy direct" : "ring batched",
                    std::to_string(row->offloads), format_double(row->offloads_per_ms, 1),
                    format_double(row->queue.p50_us, 1), format_double(row->queue.p95_us, 1),
-                   format_double(row->queue.max_us, 1)});
+                   format_double(row->queue.max_us, 1),
+                   format_double(row->wakeups_per_offload, 2)});
   }
   std::printf("%s", table.to_string().c_str());
+  // The wakeup split: direct pays proxy+reply wakeups per offload; ring
+  // batches submits behind doorbells and completions behind reply rings.
+  std::printf("wakeups  direct: proxy=%llu reply=%llu   ring: doorbell=%llu reply=%llu\n",
+              static_cast<unsigned long long>(legacy.direct_proxy_wakeups),
+              static_cast<unsigned long long>(legacy.direct_reply_wakeups),
+              static_cast<unsigned long long>(ring.doorbells),
+              static_cast<unsigned long long>(ring.reply_wakeups));
   std::printf("ring degraded=%llu timeouts=%llu\n\n",
               static_cast<unsigned long long>(ring.degraded),
               static_cast<unsigned long long>(ring.timeouts));
+  if (legacy.wakeups_per_offload < 1.9) {
+    std::printf("FAIL: direct transport should pay ~2 wakeups/offload, got %.2f\n",
+                legacy.wakeups_per_offload);
+    return 1;
+  }
+  if (ring.wakeups_per_offload >= legacy.wakeups_per_offload) {
+    std::printf("FAIL: ring wakeups/offload %.2f >= direct %.2f\n", ring.wakeups_per_offload,
+                legacy.wakeups_per_offload);
+    return 1;
+  }
   if (ring.queue.p95_us >= legacy.queue.p95_us) {
     std::printf("FAIL: ring p95 %.1f us >= legacy p95 %.1f us\n", ring.queue.p95_us,
                 legacy.queue.p95_us);

@@ -22,10 +22,11 @@ int step_tag(int step, int dim, int dir) {
 }
 
 /// Neighbour in the near-cubic decomposition of the whole world. The
-/// factorization is memoized: this is called once per message.
+/// factorization is memoized (per thread — ranks run on sharded engine
+/// workers): this is called once per message.
 int rank_neighbor(mpirt::Rank& rank, int dim, int dir) {
-  static int cached_p = -1;
-  static std::array<int, 3> cached_dims;
+  thread_local int cached_p = -1;
+  thread_local std::array<int, 3> cached_dims;
   const int p = rank.world().size();
   if (p != cached_p) {
     cached_dims = cart_dims(p);

@@ -1,7 +1,9 @@
 // Fixed-capacity single-producer ring used for hardware descriptor rings
 // (SDMA engines) and IKC channels. Capacity is fixed at construction, which
 // mirrors how real descriptor rings behave: when full, the producer must
-// back off (EAGAIN / ring-full), it never grows.
+// back off (EAGAIN / ring-full), it never grows on its own. Software rings
+// may be resized explicitly via grow() — modelling a kernel reallocating a
+// shared-memory ring region — which preserves FIFO order.
 #pragma once
 
 #include <cassert>
@@ -49,6 +51,18 @@ class RingBuffer {
   void clear() {
     head_ = tail_ = 0;
     count_ = 0;
+  }
+
+  /// Reallocate to `new_capacity` (>= size, asserted), keeping queued items
+  /// in FIFO order. No-op when not actually growing.
+  void grow(std::size_t new_capacity) {
+    if (new_capacity <= slots_.size()) return;
+    std::vector<T> bigger(new_capacity);
+    for (std::size_t i = 0; i < count_; ++i)
+      bigger[i] = std::move(slots_[(head_ + i) % slots_.size()]);
+    slots_ = std::move(bigger);
+    head_ = 0;
+    tail_ = count_;
   }
 
  private:

@@ -159,6 +159,10 @@ std::size_t IkcTransport::reply_ring_depth(int channel) const {
   return channels_.at(static_cast<std::size_t>(channel))->reply.size();
 }
 
+std::size_t IkcTransport::reply_ring_capacity(int channel) const {
+  return channels_.at(static_cast<std::size_t>(channel))->reply.capacity();
+}
+
 sim::Task<Result<long>> IkcTransport::offload(Service service, Priority prio,
                                               int channel_hint) {
   if (cfg_.ikc_mode == os::IkcMode::ring)
@@ -197,6 +201,11 @@ sim::Task<Result<long>> IkcTransport::direct_offload(Service service) {
       static_cast<Dur>(load * static_cast<double>(cfg_.proxy_wakeup_cold -
                                                   cfg_.proxy_wakeup_hot));
   const Dur thrash = static_cast<Dur>(waiters) * cfg_.sched_thrash_per_waiter;
+  // Wakeup accounting, mirroring the ring path's ikc.ring.doorbell /
+  // ikc.reply.wakeup counters so Fig. 8/9 can show the per-offload wakeup
+  // split between transports: the direct path pays one proxy wakeup on
+  // submit and one LWK-side wakeup for the reply IPI — every time.
+  prof_.bump("ikc.direct.proxy_wakeup");
   co_await engine_.delay(wakeup + cfg_.offload_dispatch + cfg_.proxy_min_service + thrash);
   const Time work_start = engine_.now();
   auto work = service();
@@ -210,6 +219,7 @@ sim::Task<Result<long>> IkcTransport::direct_offload(Service service) {
   service_cpus_.release();
 
   // IKC reply back to the LWK core.
+  prof_.bump("ikc.direct.reply_wakeup");
   co_await engine_.delay(cfg_.offload_oneway);
   co_return result;
 }
@@ -442,6 +452,18 @@ sim::Task<> IkcTransport::deliver_reply(const RequestPtr& req, int channel,
     // Reply ring full (consumer parked or slow): fall back to a
     // per-request wakeup so the completion is never lost.
     prof_.bump("ikc.reply.ring_full");
+    // Autosize: a ring that keeps filling is undersized for this channel's
+    // completion burst, so double it (up to the cap) after a few strikes —
+    // the `ring_full` counter driving the resize the way depth feedback
+    // drives adaptive batching.
+    if (cfg_.ikc_reply_autosize &&
+        ++ch.reply_full_strikes >= cfg_.ikc_reply_autosize_threshold &&
+        ch.reply.capacity() < static_cast<std::size_t>(cfg_.ikc_reply_max_depth)) {
+      ch.reply.grow(std::min(ch.reply.capacity() * 2,
+                             static_cast<std::size_t>(cfg_.ikc_reply_max_depth)));
+      ch.reply_full_strikes = 0;
+      prof_.bump("ikc.reply.autosize_grow");
+    }
     co_await engine_.delay(cfg_.ikc_reply_wakeup_cost);
     if (ch.reply_doorbell_lost) {
       prof_.bump("ikc.reply.doorbell_lost");  // consumer recovers by self-drain

@@ -166,6 +166,8 @@ class IkcTransport {
   std::uint64_t loop_served(int loop) const { return loops_.at(loop)->served; }
   std::size_t channel_depth(int channel) const;
   std::size_t reply_ring_depth(int channel) const;
+  /// Current reply-ring capacity (grows under ikc_reply_autosize).
+  std::size_t reply_ring_capacity(int channel) const;
   const DepthHistogram& depth_histogram(int channel) const {
     return depth_hist_.at(channel);
   }
@@ -196,6 +198,7 @@ class IkcTransport {
     std::vector<RequestPtr> parked;   // consumers blocked on the reply doorbell
     std::vector<std::weak_ptr<Request>> inflight;  // for consumer-death injection
     bool reply_doorbell_lost = false;  // fault injection: completion IPIs dropped
+    int reply_full_strikes = 0;        // ring-full events since the last grow
     int home_socket = 0;               // socket owning this channel's ring memory
     mem::PhysAddr ring_phys = 0;       // 0 → no real placement (no PhysMap)
   };

@@ -10,6 +10,7 @@
 // per-OS-mode syscall behaviour.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -196,7 +197,8 @@ class MpiWorld {
   WorldOptions opts_;
   std::vector<std::unique_ptr<Rank>> ranks_;
   std::vector<ShmInbox> inboxes_;
-  int completed_ = 0;
+  // Atomic: rank bodies complete on their node's shard, possibly in parallel.
+  std::atomic<int> completed_{0};
 };
 
 }  // namespace pd::mpirt

@@ -119,6 +119,13 @@ struct Config {
   Dur ikc_reply_poll_interval = from_us(1);  // LWK slot-poll period
   Dur ikc_reply_poll_budget = from_us(200);  // polling before parking
   Dur ikc_reply_deadline = from_ms(2);   // parked consumer self-drains after
+  // Autosize: grow a channel's reply ring (2x, up to ikc_reply_max_depth)
+  // once it has hit ring-full `ikc_reply_autosize_threshold` times, instead
+  // of paying a per-request fallback wakeup forever. ikc_reply_depth then
+  // only sets the starting depth.
+  bool ikc_reply_autosize = true;
+  int ikc_reply_autosize_threshold = 4;
+  int ikc_reply_max_depth = 1024;
 
   // --- IKC adaptive batching (ring mode only) -----------------------------
   bool ikc_adaptive_batch = true;        // size drains from observed depth
@@ -206,6 +213,10 @@ struct Config {
       if (ikc_batch <= 0) return fail("ikc_batch must be > 0");
       if (ikc_reply_mode == ReplyMode::ring && ikc_reply_depth <= 0)
         return fail("ikc_reply_mode=ring needs ikc_reply_depth > 0");
+      if (ikc_reply_autosize && ikc_reply_autosize_threshold <= 0)
+        return fail("ikc_reply_autosize_threshold must be > 0");
+      if (ikc_reply_autosize && ikc_reply_max_depth < ikc_reply_depth)
+        return fail("ikc_reply_max_depth must be >= ikc_reply_depth");
       if (ikc_adaptive_batch &&
           (ikc_adaptive_alpha <= 0.0 || ikc_adaptive_alpha > 1.0))
         return fail("ikc_adaptive_alpha must be in (0, 1]");

@@ -34,6 +34,13 @@ struct PromiseBase {
 
   std::suspend_always initial_suspend() noexcept { return {}; }
   void unhandled_exception() { exception = std::current_exception(); }
+
+  // Coroutine frames recycle through the size-class pool instead of the
+  // host heap: per-message tasks (PSM sends, IKC offloads) churn frames at
+  // event rate, and frame_alloc keeps that off the allocator.
+  static void* operator new(std::size_t size) { return frame_alloc(size); }
+  static void operator delete(void* p, std::size_t) noexcept { frame_free(p); }
+  static void operator delete(void* p) noexcept { frame_free(p); }
 };
 
 /// At the final suspend point either resume whoever co_awaited us, or — for

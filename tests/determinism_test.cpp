@@ -115,10 +115,16 @@ TEST(Stress, RandomTaskGraphDrainsClean) {
 
 TEST(Stress, DeepTaskChainsNoStackOverflow) {
   // Symmetric transfer must not build native stack: a 50k-deep chain of
-  // awaited child tasks. ASan instrumentation defeats the tail call that
-  // symmetric transfer compiles to, so keep the chain shallow there.
-#if defined(__SANITIZE_ADDRESS__)
+  // awaited child tasks. ASan/TSan instrumentation defeats the tail call
+  // that symmetric transfer compiles to, so keep the chain shallow there.
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
   constexpr int kDepth = 1'000;
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+  constexpr int kDepth = 1'000;
+#else
+  constexpr int kDepth = 50'000;
+#endif
 #else
   constexpr int kDepth = 50'000;
 #endif

@@ -187,6 +187,7 @@ TEST(FailureInjection, FullReplyRingFallsBackToPerRequestWakeups) {
   // blocking the service loop. Everything still completes.
   auto cfg = reply_fault_cfg();
   cfg.ikc_reply_depth = 1;
+  cfg.ikc_reply_autosize = false;  // keep the ring pinned at 1 slot
   ReplyFaultHarness h(cfg);
   std::vector<Errno> errs;
   std::vector<long> vals;
@@ -199,6 +200,30 @@ TEST(FailureInjection, FullReplyRingFallsBackToPerRequestWakeups) {
       << "a 1-slot ring under a parked batch must overflow";
   EXPECT_GE(h.counter("ikc.reply.wakeup"), 1u) << "overflow must degrade to wakeups";
   EXPECT_EQ(h.transport->reply_ring_depth(0), 0u);
+  EXPECT_EQ(h.transport->reply_ring_capacity(0), 1u) << "autosize off: depth must not change";
+}
+
+TEST(FailureInjection, ReplyRingAutosizesUnderSustainedOverflow) {
+  // Same squeeze with autosizing on: repeated ring_full strikes must grow
+  // the ring (doubling, capped) so steady-state stops paying the fallback
+  // wakeup — and the traffic still completes.
+  auto cfg = reply_fault_cfg();
+  cfg.ikc_reply_depth = 1;
+  cfg.ikc_reply_autosize_threshold = 2;
+  cfg.ikc_reply_max_depth = 8;
+  ReplyFaultHarness h(cfg);
+  std::vector<Errno> errs;
+  std::vector<long> vals;
+  constexpr int kOps = 24;
+  for (int i = 0; i < kOps; ++i) h.submit(i, from_us(40), errs, vals);
+  h.engine.run();
+  ASSERT_EQ(vals.size(), static_cast<std::size_t>(kOps));
+  for (int i = 0; i < kOps; ++i) EXPECT_EQ(errs[static_cast<std::size_t>(i)], Errno::ok);
+  EXPECT_GE(h.counter("ikc.reply.autosize_grow"), 1u)
+      << "sustained overflow must trigger a grow";
+  EXPECT_GT(h.transport->reply_ring_capacity(0), 1u);
+  EXPECT_LE(h.transport->reply_ring_capacity(0), 8u) << "growth must respect the cap";
+  EXPECT_EQ(h.transport->reply_ring_depth(0), 0u) << "notifications must be reclaimed";
 }
 
 TEST(FailureInjection, ConsumerDeathDropsCompletionsWithoutWedgingTheLoop) {

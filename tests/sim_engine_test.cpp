@@ -97,5 +97,98 @@ TEST(Engine, StepReturnsFalseWhenIdle) {
   EXPECT_FALSE(e.step());
 }
 
+TEST(Engine, DrainsMoveOnlyCallbacks) {
+  // ISSUE-6 regression: the old scheduler moved callbacks out of
+  // priority_queue::top() via const_cast and required copyability. The
+  // event nodes must take (and run) move-only callables directly.
+  Engine e;
+  std::vector<int> order;
+  auto small = std::make_unique<int>(1);
+  e.schedule_after(2_ns, [&order, p = std::move(small)] { order.push_back(*p); });
+  // A payload bigger than the inline buffer exercises the boxed path.
+  struct Big {
+    std::unique_ptr<int> p;
+    char pad[200];
+  };
+  Big big{std::make_unique<int>(2), {}};
+  e.schedule_after(1_ns, [&order, b = std::move(big)] { order.push_back(*b.p); });
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{2, 1}));
+  EXPECT_EQ(e.stats().boxed_callbacks, 1u);
+}
+
+TEST(Engine, DestructorDropsUnrunPayloadsWithoutLeaking) {
+  // run_until can leave events queued; their payloads (inline and boxed)
+  // must be destroyed — not run — when the engine dies.
+  auto ran = std::make_shared<int>(0);
+  {
+    Engine e;
+    e.schedule_after(10_ns, [ran, p = std::make_unique<int>(1)] { *ran += *p; });
+    struct Big {
+      std::shared_ptr<int> ran;
+      std::unique_ptr<int> p;
+      char pad[200];
+    };
+    e.schedule_after(20_ns, [b = Big{ran, std::make_unique<int>(1), {}}] { *b.ran += *b.p; });
+    e.schedule_after(1'000'000_us, [ran] { *ran += 100; });  // parked in overflow
+    e.run_until(5_ns);
+    EXPECT_EQ(*ran, 0);
+  }
+  EXPECT_EQ(ran.use_count(), 1) << "queued payloads must be destroyed with the engine";
+  EXPECT_EQ(*ran, 0) << "dropped payloads must not run";
+}
+
+TEST(Engine, FarFutureEventsComeBackInOrder) {
+  // Events far beyond the calendar horizon detour through the overflow
+  // heap; they must still fire in (t, seq) order once the clock gets there.
+  Engine e;
+  std::vector<int> order;
+  e.schedule_at(from_ms(5'000), [&] { order.push_back(3); });
+  e.schedule_at(from_ms(50), [&] { order.push_back(2); });
+  e.schedule_at(from_ms(5'000), [&] { order.push_back(4); });  // tie with 3
+  e.schedule_after(10_ns, [&] { order.push_back(1); });
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4}));
+  EXPECT_GT(e.stats().overflow_parked, 0u);
+  EXPECT_EQ(e.now(), from_ms(5'000));
+}
+
+TEST(Engine, BackwardScheduleAfterRebaseIsAccepted) {
+  // After the calendar re-anchors on a far-future event (a run_until that
+  // merely peeks past its deadline), a new event with an earlier — but
+  // still >= now — time must be accepted and ordered first: the rebase
+  // must not strand the near end of the new year.
+  Engine e;
+  std::vector<int> order;
+  e.schedule_at(from_ms(9'000), [&] { order.push_back(2); });
+  e.run_until(1_ns);  // peeking rebases the calendar onto the far-future year
+  EXPECT_EQ(e.now(), 0);
+  e.schedule_at(5_ns, [&] { order.push_back(1); });  // far below the new base
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_EQ(e.now(), from_ms(9'000));
+}
+
+TEST(Engine, ShardedBasics) {
+  Engine e;
+  e.enable_sharding(4, 1, 10_ns);
+  EXPECT_EQ(e.num_shards(), 4);
+  EXPECT_TRUE(e.sharded());
+  std::vector<std::pair<int, Time>> fired;
+  {
+    Engine::ShardScope scope(e, 2);
+    EXPECT_EQ(e.active_shard(), 2);
+    e.schedule_after(5_ns, [&] { fired.emplace_back(e.active_shard(), e.now()); });
+    // Cross-shard: beyond the lookahead by contract.
+    e.schedule_on(3, 25_ns, [&] { fired.emplace_back(e.active_shard(), e.now()); });
+  }
+  e.run();
+  ASSERT_EQ(fired.size(), 2u);
+  EXPECT_EQ(fired[0], (std::pair<int, Time>{2, 5_ns}));
+  EXPECT_EQ(fired[1], (std::pair<int, Time>{3, 25_ns}));
+  EXPECT_TRUE(e.idle());
+  EXPECT_EQ(e.events_processed(), 2u);
+}
+
 }  // namespace
 }  // namespace pd::sim
