@@ -122,4 +122,142 @@ inline StormResult run_offload_storm(const os::Config& cfg, int ranks, int per_r
   return out;
 }
 
+/// --- multi-tenant fairness harness ----------------------------------------
+/// The overload ladder's unit of work: one tenant (job) generating a
+/// saturating offload stream until a simulated-time horizon. Unlike the
+/// storm above, submitters run open-ended so per-job completed counts over
+/// the horizon measure the *service share* each tenant actually received —
+/// the quantity Jain's index is defined over.
+
+struct JobSpec {
+  int submitters = 1;  // concurrent offload streams (≈ in-flight credit demand)
+  Dur work = from_us(3);
+  Dur gap = from_us(2);
+};
+
+struct JobOutcome {
+  ikc::JobId job = 0;
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t eagain = 0;
+  std::uint64_t credit_waits = 0;
+  ikc::QueueingSummary queue;
+};
+
+struct FairnessResult {
+  std::vector<JobOutcome> jobs;
+  double jain = 0;       // Jain's index over per-job completed counts
+  double window_ms = 0;  // measurement window the counts cover
+  std::uint64_t completed_total = 0;
+};
+
+/// Jain's fairness index: (Σx)² / (n·Σx²) — 1.0 when all tenants got the
+/// same share, → 1/n as one tenant monopolizes.
+inline double jain_index(const std::vector<double>& xs) {
+  if (xs.empty()) return 1.0;
+  double sum = 0, sumsq = 0;
+  for (const double x : xs) {
+    sum += x;
+    sumsq += x * x;
+  }
+  if (sumsq <= 0) return 1.0;
+  return (sum * sum) / (static_cast<double>(xs.size()) * sumsq);
+}
+
+namespace detail {
+// Channel hint = job id: each tenant submits from its own LWK CPUs, so its
+// requests land in "its" rings (mod the ring count when jobs outnumber
+// rings). Intra-ring order is FIFO by design; fairness is the drain
+// scheduler's choice of *which* ring head to claim next.
+inline sim::Task<> fair_rank(sim::Engine& eng, os::Ihk& ihk, ikc::JobId job, Dur work,
+                             Dur gap, const bool& stop) {
+  for (int k = 0; !stop; ++k) {
+    const auto prio = (k % 4 == 0) ? ikc::Priority::control : ikc::Priority::bulk;
+    auto r = co_await ihk.offload(
+        [&eng, work]() -> sim::Task<Result<long>> {
+          co_await eng.delay(work);
+          co_return 0L;
+        },
+        prio, static_cast<int>(job), job);
+    (void)r;
+    if (gap > from_us(0)) co_await eng.delay(gap);
+  }
+}
+
+struct JobCounters {
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t eagain = 0;
+  std::uint64_t credit_waits = 0;
+};
+
+inline void snapshot_jobs(os::Ihk& ihk, std::size_t jobs, std::vector<JobCounters>& snap) {
+  snap.assign(jobs, JobCounters{});
+  for (std::size_t j = 0; j < jobs; ++j)
+    if (const auto* s = ihk.transport().job_stats(static_cast<ikc::JobId>(j)))
+      snap[j] = {s->submitted, s->completed, s->eagain, s->credit_waits};
+}
+
+// Fairness is judged on the service shares inside the measurement window
+// [warmup, horizon): the warmup snapshot discards the uncongested startup
+// transient (while queues are still shallow, throughput follows offered
+// load — a 4-stream tenant legitimately gets 4x until backlog builds), and
+// stopping the count at the horizon excludes the backlog drain that follows
+// (a heavy tenant exits with more queued requests than a light one).
+inline sim::Task<> stop_and_snapshot(sim::Engine& eng, os::Ihk& ihk, Dur warmup,
+                                     Dur horizon, bool& stop, std::size_t jobs,
+                                     std::vector<JobCounters>& warm,
+                                     std::vector<JobCounters>& done) {
+  co_await eng.delay(warmup);
+  snapshot_jobs(ihk, jobs, warm);
+  co_await eng.delay(horizon - warmup);
+  stop = true;
+  snapshot_jobs(ihk, jobs, done);
+}
+}  // namespace detail
+
+/// Run one overload-ladder rung: `specs[j]` describes tenant j. Per-job
+/// weights/credits come from `cfg` (ikc_job_weights / ikc_job_credits).
+inline FairnessResult run_fairness_storm(const os::Config& cfg,
+                                         const std::vector<JobSpec>& specs, Dur horizon) {
+  sim::Engine engine;
+  os::LinuxKernel linux_kernel(engine, cfg);
+  os::Ihk ihk(engine, cfg, linux_kernel);
+  bool stop = false;
+  std::vector<detail::JobCounters> warm, done;
+  for (std::size_t j = 0; j < specs.size(); ++j)
+    for (int s = 0; s < specs[j].submitters; ++s)
+      sim::spawn(engine, detail::fair_rank(engine, ihk, static_cast<ikc::JobId>(j),
+                                           specs[j].work, specs[j].gap, stop));
+  sim::spawn(engine, detail::stop_and_snapshot(engine, ihk, horizon / 4, horizon, stop,
+                                               specs.size(), warm, done));
+  engine.run();
+
+  FairnessResult out;
+  // Not engine.now(): pending one-shot timers (the ring-residency watchdog)
+  // keep the engine alive well past the horizon, and the per-job counts are
+  // window deltas anyway.
+  out.window_ms = to_ms(horizon - horizon / 4);
+  std::vector<double> shares;
+  for (std::size_t j = 0; j < specs.size(); ++j) {
+    JobOutcome o;
+    o.job = static_cast<ikc::JobId>(j);
+    if (j < done.size()) {
+      o.submitted = done[j].submitted - warm[j].submitted;
+      o.completed = done[j].completed - warm[j].completed;
+      o.eagain = done[j].eagain - warm[j].eagain;
+      o.credit_waits = done[j].credit_waits - warm[j].credit_waits;
+    }
+    // Queueing percentiles stay whole-run: the drained tail's waits are
+    // real waits, and percentile estimates want every sample they can get.
+    if (const auto* s = ihk.transport().job_stats(o.job))
+      o.queue = ikc::summarize_queueing(s->queueing_us);
+    out.completed_total += o.completed;
+    shares.push_back(static_cast<double>(o.completed));
+    out.jobs.push_back(o);
+  }
+  out.jain = jain_index(shares);
+  return out;
+}
+
 }  // namespace pd::bench

@@ -227,13 +227,29 @@ sim::Task<Result<long>> HfiDriver::ioctl(os::OpenFile& f, unsigned long cmd, voi
       auto pinned = as.get_user_pages(args->vaddr, args->length);
       if (!pinned.ok()) co_return pinned.error();
 
-      // Quota check against the context's RcvArray share.
+      // Quota check against the context's RcvArray share. With
+      // `hfi_tid_quota_evict` the context reclaims its *own* LRU entries to
+      // make room (registration-cache semantics); it can never touch a
+      // neighbour context's share, and a request that would not fit even
+      // into an empty share still fails outright.
       StructImage cd = image(ctx->ctxtdata, "hfi1_ctxtdata");
       StructImage fd = image(ctx->filedata, "hfi1_filedata");
       const std::uint64_t quota = cd.read<std::uint32_t>("expected_count");
-      if (fd.read<std::uint64_t>("tid_used") + pages > quota) {
+      if (pages > quota) {
         as.put_user_pages(*pinned);
         co_return Errno::enospc;
+      }
+      while (fd.read<std::uint64_t>("tid_used") + pages > quota) {
+        if (!cfg.hfi_tid_quota_evict || ctx->tid_order.empty()) {
+          as.put_user_pages(*pinned);
+          co_return Errno::enospc;
+        }
+        co_await linux_.engine().delay(cfg.tid_program_per_entry);
+        auto freed = evict_lru_tid(f);
+        if (!freed.ok()) {
+          as.put_user_pages(*pinned);
+          co_return Errno::enospc;
+        }
       }
 
       // Linux path: one RcvArray entry per 4 KiB page (no contiguity or
@@ -247,6 +263,7 @@ sim::Task<Result<long>> HfiDriver::ioctl(os::OpenFile& f, unsigned long cmd, voi
           for (const std::uint32_t t : args->tids) {
             (void)device_.rcv_array().unprogram(ctx->hw_ctxt, t);
             ctx->tid_pins.erase(t);
+            std::erase(ctx->tid_order, t);
           }
           as.put_user_pages(*pinned);
           args->tids.clear();
@@ -258,6 +275,7 @@ sim::Task<Result<long>> HfiDriver::ioctl(os::OpenFile& f, unsigned long cmd, voi
         mem::PinnedPages single;
         single.frames.push_back(frame);
         ctx->tid_pins[*tid] = std::move(single);
+        ctx->tid_order.push_back(*tid);
         ++tid_programs_;
       }
       fd.write<std::uint64_t>("tid_used", fd.read<std::uint64_t>("tid_used") + pages);
@@ -281,6 +299,7 @@ sim::Task<Result<long>> HfiDriver::ioctl(os::OpenFile& f, unsigned long cmd, voi
           as.put_user_pages(it->second);
           ctx->tid_pins.erase(it);
         }
+        std::erase(ctx->tid_order, tid);
       }
       fd.write<std::uint64_t>("tid_used",
                               fd.read<std::uint64_t>("tid_used") - released_pages);
@@ -359,6 +378,7 @@ Status HfiDriver::account_tid_pin(os::OpenFile& f, std::uint32_t tid, mem::Pinne
   FileCtx* ctx = fctx(f);
   if (ctx == nullptr) return Errno::einval;
   ctx->tid_pins[tid] = std::move(pins);
+  ctx->tid_order.push_back(tid);
   ++tid_programs_;
   return Status::success();
 }
@@ -370,7 +390,30 @@ Result<mem::PinnedPages> HfiDriver::release_tid_pin(os::OpenFile& f, std::uint32
   if (it == ctx->tid_pins.end()) return Errno::enoent;
   mem::PinnedPages pins = std::move(it->second);
   ctx->tid_pins.erase(it);
+  std::erase(ctx->tid_order, tid);
   return pins;
+}
+
+Result<std::uint64_t> HfiDriver::evict_lru_tid(os::OpenFile& f) {
+  FileCtx* ctx = fctx(f);
+  if (ctx == nullptr) return Errno::einval;
+  if (ctx->tid_order.empty()) return Errno::enoent;
+  const std::uint32_t tid = ctx->tid_order.front();
+  ctx->tid_order.erase(ctx->tid_order.begin());
+  (void)device_.rcv_array().unprogram(ctx->hw_ctxt, tid);
+  std::uint64_t freed = 1;
+  auto it = ctx->tid_pins.find(tid);
+  if (it != ctx->tid_pins.end()) {
+    if (!it->second.frames.empty()) {
+      freed = it->second.frames.size();
+      f.proc->as().put_user_pages(it->second);
+    }
+    ctx->tid_pins.erase(it);
+  }
+  StructImage fd = image(ctx->filedata, "hfi1_filedata");
+  fd.write<std::uint64_t>("tid_used", fd.read<std::uint64_t>("tid_used") - freed);
+  linux_.profiler().bump("hfi.tid.quota_evict");
+  return freed;
 }
 
 }  // namespace pd::hfi

@@ -70,6 +70,14 @@ class HfiDriver final : public os::CharDevice {
   Status account_tid_pin(os::OpenFile& f, std::uint32_t tid, mem::PinnedPages pins);
   Result<mem::PinnedPages> release_tid_pin(os::OpenFile& f, std::uint32_t tid);
 
+  /// Quota reclamation (`Config::hfi_tid_quota_evict`): unprogram and unpin
+  /// this context's least-recently-registered TID entry. Strictly per-tenant
+  /// — only entries the context itself owns are eligible, so a neighbour at
+  /// quota can never push out this context's registrations. Returns the
+  /// number of RcvArray accounting units freed (pages on the Linux path,
+  /// extents on the pico path), or ENOENT when the context owns nothing.
+  Result<std::uint64_t> evict_lru_tid(os::OpenFile& f);
+
   /// --- instrumentation (drives the §4.3 descriptor-size verification) ----
   std::uint64_t writev_calls() const { return writev_calls_; }
   std::uint64_t sdma_requests() const { return sdma_requests_; }
@@ -85,6 +93,8 @@ class HfiDriver final : public os::CharDevice {
     mem::PhysAddr ctxtdata = 0;
     int hw_ctxt = -1;
     std::map<std::uint32_t, mem::PinnedPages> tid_pins;
+    // Registration order (front = oldest) driving per-tenant LRU eviction.
+    std::vector<std::uint32_t> tid_order;
   };
 
   FileCtx* fctx(const os::OpenFile& f) const { return static_cast<FileCtx*>(f.driver_ctx); }

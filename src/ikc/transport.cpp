@@ -1,5 +1,6 @@
 #include "src/ikc/transport.hpp"
 
+#include <cstdlib>
 #include <algorithm>
 #include <cassert>
 #include <cmath>
@@ -163,25 +164,80 @@ std::size_t IkcTransport::reply_ring_capacity(int channel) const {
   return channels_.at(static_cast<std::size_t>(channel))->reply.capacity();
 }
 
+const IkcTransport::JobStats* IkcTransport::job_stats(JobId job) const {
+  auto it = jobs_.find(job);
+  return it == jobs_.end() ? nullptr : &it->second.stats;
+}
+
+std::vector<JobId> IkcTransport::jobs_seen() const {
+  std::vector<JobId> ids;
+  ids.reserve(jobs_.size());
+  for (const auto& [id, state] : jobs_) ids.push_back(id);
+  return ids;
+}
+
+double IkcTransport::job_weight(JobId job) const {
+  if (static_cast<std::size_t>(job) < cfg_.ikc_job_weights.size())
+    return cfg_.ikc_job_weights[static_cast<std::size_t>(job)];
+  return 1.0;
+}
+
+int IkcTransport::credit_cap(JobId job_id) const {
+  if (cfg_.ikc_job_credits <= 0) return 0;  // unlimited
+  const double scaled = static_cast<double>(cfg_.ikc_job_credits) * job_weight(job_id);
+  return std::max(1, static_cast<int>(scaled));
+}
+
+sim::Task<bool> IkcTransport::admit(JobId job_id) {
+  const int cap = credit_cap(job_id);
+  if (cap == 0) co_return true;
+  JobState& js = job(job_id);
+  for (int attempt = 0; js.stats.inflight >= cap; ++attempt) {
+    if (attempt >= cfg_.ikc_credit_retries) {
+      // Credits spent and the backoff budget too: the job is saturating
+      // its share, so push the failure back to the submitter instead of
+      // letting its queue depth grow without bound.
+      ++js.stats.eagain;
+      prof_.bump("ikc.job.eagain");
+      co_return false;
+    }
+    ++js.stats.credit_waits;
+    prof_.bump("ikc.job.credit_wait");
+    co_await engine_.delay(static_cast<Dur>(attempt + 1) * cfg_.ikc_credit_backoff);
+  }
+  co_return true;
+}
+
 sim::Task<Result<long>> IkcTransport::offload(Service service, Priority prio,
-                                              int channel_hint) {
+                                              int channel_hint, JobId job_id) {
+  JobState& js = job(job_id);
+  ++js.stats.submitted;
+  if (!co_await admit(job_id)) co_return Errno::eagain;
+  ++js.stats.inflight;
+  Result<long> r = Errno::eagain;
   if (cfg_.ikc_mode == os::IkcMode::ring)
-    co_return co_await ring_offload(std::move(service), prio, channel_hint);
-  co_return co_await direct_offload(std::move(service));
+    r = co_await ring_offload(std::move(service), prio, channel_hint, job_id);
+  else
+    r = co_await direct_offload(std::move(service), job_id);
+  --js.stats.inflight;
+  if (r.ok()) ++js.stats.completed;
+  co_return r;
 }
 
 /// The legacy path, timing-identical to the pre-subsystem `Ihk::offload`:
 /// IKC message, FIFO squeeze on the service-CPU pool, load-dependent proxy
 /// wakeup, per-waiter scheduler thrash, and the proxy-run service
 /// multiplier (the paper's multi-node collapse mechanism).
-sim::Task<Result<long>> IkcTransport::direct_offload(Service service) {
+sim::Task<Result<long>> IkcTransport::direct_offload(Service service, JobId job_id) {
   // IKC request: message write + IPI + proxy wakeup on the Linux side.
   co_await engine_.delay(cfg_.offload_oneway);
 
   // The proxy must get a service CPU; this is the contention point.
   const Time queued_at = engine_.now();
   co_await service_cpus_.acquire();
-  queueing_us_.add(to_us(engine_.now() - queued_at));
+  const double queued_us = to_us(engine_.now() - queued_at);
+  queueing_us_.add(queued_us);
+  job(job_id).stats.queueing_us.add(queued_us);
 
   // Proxy thread schedule-in + request demultiplex, then the actual Linux
   // service. An idle, cache-hot proxy serves close to native speed; under
@@ -298,7 +354,7 @@ void IkcTransport::observe_depth(Loop& lp, std::size_t avail) {
 }
 
 sim::Task<Result<long>> IkcTransport::ring_offload(Service service, Priority prio,
-                                                   int channel_hint) {
+                                                   int channel_hint, JobId job_id) {
   // Request write into the shared-memory ring region: the bytes cross the
   // kernel boundary exactly as the legacy IKC message did.
   co_await engine_.delay(cfg_.offload_oneway);
@@ -319,6 +375,7 @@ sim::Task<Result<long>> IkcTransport::ring_offload(Service service, Priority pri
     auto req = std::make_shared<Request>(engine_);
     req->service = service;
     req->channel = ch;
+    req->job = job_id;
     Channel& channel = *channels_[static_cast<std::size_t>(ch)];
     co_await channel.lock.acquire();
     const bool pushed = ring(ch, prio).push(req);
@@ -377,7 +434,7 @@ sim::Task<Result<long>> IkcTransport::ring_offload(Service service, Priority pri
   // Degradation floor: the legacy direct path still works even with every
   // service loop wedged — offloads get slower, never stuck.
   prof_.bump("ikc.ring.degraded");
-  co_return co_await direct_offload(std::move(service));
+  co_return co_await direct_offload(std::move(service), job_id);
 }
 
 void IkcTransport::drain_reply_ring(int channel) {
@@ -493,6 +550,15 @@ sim::Task<> IkcTransport::collect_batch(int loop, std::vector<RequestPtr>& out) 
   if (avail > 0) observe_depth(lp, avail);
   const auto batch_max = static_cast<std::size_t>(
       cfg_.ikc_adaptive_batch ? lp.batch_limit : std::max(cfg_.ikc_batch, 1));
+  if (cfg_.ikc_fair_drain)
+    co_await collect_batch_fair(loop, out, batch_max);
+  else
+    co_await collect_batch_strict(loop, out, batch_max);
+}
+
+sim::Task<> IkcTransport::collect_batch_strict(int loop, std::vector<RequestPtr>& out,
+                                               std::size_t batch_max) {
+  Loop& lp = *loops_[static_cast<std::size_t>(loop)];
   // Control class across all of this loop's channels first, then bulk —
   // a TID-registration ioctl never waits behind queued bulk writevs.
   for (int prio = 0; prio < 2 && out.size() < batch_max; ++prio) {
@@ -523,6 +589,101 @@ sim::Task<> IkcTransport::collect_batch(int loop, std::vector<RequestPtr>& out) 
       }
       channel.lock.release();
     }
+  }
+}
+
+sim::Task<> IkcTransport::collect_batch_fair(int loop, std::vector<RequestPtr>& out,
+                                             std::size_t batch_max) {
+  Loop& lp = *loops_[static_cast<std::size_t>(loop)];
+  // Weighted-fair claim: repeatedly pick, among the *heads* of this loop's
+  // rings, the request whose job has the smallest virtual time, and pop
+  // exactly that head. Head-only claiming keeps per-channel-per-class FIFO
+  // intact; vtime (advanced 1/weight per claim) is what splits a loop's
+  // drain capacity across *jobs* by weight when the batch limit binds —
+  // per job, not per queued request, so a tenant keeping 4 requests in
+  // flight gets the same share as one keeping 1.
+  // The claim order is lexicographic (vtime, class, age):
+  //   * vtime first — class priority is scoped to a tenant's own share. A
+  //     global control-first pass would let an offload-heavy tenant (whose
+  //     rings nearly always show a control head) ride the control lane
+  //     past its vtime budget while an at-floor neighbour's bulk waits.
+  //   * class next — within a vtime tie (the common state: every job that
+  //     sat out an epoch is clamped up to the floor), control beats bulk,
+  //     so a TID-registration ioctl still never waits behind bulk writevs
+  //     of tenants at the same virtual time.
+  //   * oldest head last — the head's queueing time is exactly the deficit
+  //     the floor clamp erased, so a tenant the scan passed over surfaces
+  //     at the front of the tie instead of losing to whoever owns the
+  //     lowest channel index forever (at hundreds of channels per loop, an
+  //     index tie-break turns into persistent low-channel favoritism).
+  // A single-job workload ties everywhere, so it claims control-first then
+  // FIFO, visits the same rings, and pays the same costs as the strict
+  // drain — the degenerate case the equivalence property pins. One benign
+  // asymmetry: the per-claim re-scan sees a control request that arrives
+  // *during* this batch's lock/remote-cost awaits and claims it now, where
+  // the strict drain's control pass is already over and parks it for a
+  // batch — FIFO and completion sets are unchanged, control latency wins.
+  //
+  // Cost model: the lock hand-off and the remote-socket surcharge are paid
+  // on the first touch of each (channel, class) ring per batch — the same
+  // once-per-visited-ring accounting as the strict drain.
+  auto touched = std::vector<std::array<bool, 2>>(lp.channels.size(), {false, false});
+  auto touch = [&](std::size_t idx, int prio) -> sim::Task<> {
+    if (touched[idx][static_cast<std::size_t>(prio)]) co_return;
+    touched[idx][static_cast<std::size_t>(prio)] = true;
+    Channel& channel = *channels_[static_cast<std::size_t>(lp.channels[idx])];
+    if (channel.home_socket == lp.socket) {
+      prof_.bump("ikc.numa.local_drain");
+    } else {
+      prof_.bump("ikc.numa.remote_drain");
+      co_await engine_.delay(cfg_.ikc_remote_drain_cost);
+    }
+    co_await channel.lock.acquire();
+    channel.lock.release();
+  };
+  while (out.size() < batch_max) {
+    int best_idx = -1;
+    int best_prio = 0;
+    double best_vt = 0.0;
+    Time best_age = 0;
+    for (int prio = 0; prio < 2; ++prio) {
+      for (std::size_t idx = 0; idx < lp.channels.size(); ++idx) {
+        auto& ring = channels_[static_cast<std::size_t>(lp.channels[idx])]->rings[prio];
+        // Scrub settled heads so a timed-out or abandoned entry neither
+        // blocks the ring nor votes with its (dead) job's vtime.
+        while (!ring.empty() && (*ring.front()).state != Request::State::queued) {
+          co_await touch(idx, prio);
+          auto req = ring.pop();
+          prof_.bump((*req)->state == Request::State::abandoned ? "ikc.ring.dead_skip"
+                                                                : "ikc.ring.stale_skip");
+        }
+        if (ring.empty()) continue;
+        const Request& head = *ring.front();
+        const double vt = std::max(job(head.job).vtime, vtime_floor_);
+        // Lexicographic (vt, prio, age); control is scanned first, so an
+        // equal-vt bulk head never displaces a control best.
+        if (best_idx < 0 || vt < best_vt ||
+            (vt == best_vt && prio == best_prio && head.enqueued_at < best_age)) {
+          best_idx = static_cast<int>(idx);
+          best_prio = prio;
+          best_vt = vt;
+          best_age = head.enqueued_at;
+        }
+      }
+    }
+    if (best_idx < 0) break;  // every ring empty
+    co_await touch(static_cast<std::size_t>(best_idx), best_prio);
+    auto& ring =
+        channels_[static_cast<std::size_t>(lp.channels[static_cast<std::size_t>(best_idx)])]
+            ->rings[best_prio];
+    auto req = ring.pop();
+    JobState& js = job((*req)->job);
+    // An idle job rejoins at the floor instead of replaying its unused
+    // past share as a burst (standard WFQ re-arrival rule).
+    vtime_floor_ = std::max(js.vtime, vtime_floor_);
+    js.vtime = vtime_floor_ + 1.0 / job_weight((*req)->job);
+    (*req)->state = Request::State::claimed;
+    out.push_back(std::move(*req));
   }
 }
 
@@ -569,7 +730,9 @@ sim::Task<> IkcTransport::service_loop(int loop) {
       woke_by_doorbell = false;
     }
     for (auto& req : batch) {
-      queueing_us_.add(to_us(engine_.now() - req->enqueued_at));
+      const double queued_us = to_us(engine_.now() - req->enqueued_at);
+      queueing_us_.add(queued_us);
+      job(req->job).stats.queueing_us.add(queued_us);
       co_await engine_.delay(cfg_.offload_dispatch + cfg_.proxy_min_service);
       Result<long> result = co_await req->service();
       req->result = result;

@@ -35,6 +35,20 @@
 //       loop is pinned to the socket owning its channels' rings; draining
 //       a remote-socket ring pays `ikc_remote_drain_cost` per visit.
 //
+// Multi-tenant QoS (§8.6): every request is tagged with the submitting
+// job's `JobId`. Service loops drain weighted-fair across jobs: they claim
+// ring *heads* in lexicographic (vtime, class, age) order — vtime advances
+// 1/weight per claim, control beats bulk within a vtime tie, and equal
+// ties serve the oldest head first — so N jobs sharing a loop split its
+// capacity by weight while per-channel FIFO order is preserved; a single
+// job degenerates to the PR-4 strict two-class drain exactly
+// (`ikc_fair_drain` = false keeps that scheduler as the reference the
+// property harness compares against). Admission control bounds each job's
+// in-flight offloads to `ikc_job_credits × weight` credits: an exhausted
+// job backs off and retries, then fails with EAGAIN (`ikc.job.eagain`)
+// instead of queueing without bound — a flooding tenant throttles itself
+// rather than monopolizing the rings.
+//
 // Robustness (ring mode): every request carries a ring-residency deadline;
 // on expiry the submitter retries on a ring owned by a different service
 // loop (bounded backoff), and after the retry budget falls back to the
@@ -59,6 +73,7 @@
 #include <array>
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -83,6 +98,12 @@ using Service = std::function<sim::Task<Result<long>>()>;
 /// Per-channel priority classes: `control` for fast-path-critical admin
 /// calls (TID registration, open/close), `bulk` for data-path I/O.
 enum class Priority { control = 0, bulk = 1 };
+
+/// Tenant identity of an offload. Job 0 is the single-tenant default every
+/// legacy caller gets; a multi-tenant node tags each process's offloads
+/// with its job so the service loops can drain weighted-fair across jobs
+/// and the admission-control path can bound each job's in-flight share.
+using JobId = std::uint32_t;
 
 /// Percentile summary of offload queueing delays (µs).
 struct QueueingSummary {
@@ -119,8 +140,13 @@ class IkcTransport {
   IkcTransport& operator=(const IkcTransport&) = delete;
 
   /// Delegate one syscall. Ring mode enqueues on the hinted channel and
-  /// follows the degradation ladder; direct mode is the legacy path.
-  sim::Task<Result<long>> offload(Service service, Priority prio, int channel_hint);
+  /// follows the degradation ladder; direct mode is the legacy path. `job`
+  /// tags the request with its tenant: the fair drain schedules across
+  /// jobs by weight and the per-job credit gate may fail the call with
+  /// EAGAIN (after bounded backoff) when the job's in-flight share of the
+  /// transport is exhausted.
+  sim::Task<Result<long>> offload(Service service, Priority prio, int channel_hint,
+                                  JobId job = 0);
 
   int num_channels() const { return channels_n_; }
   int num_loops() const { return loops_n_; }
@@ -136,6 +162,26 @@ class IkcTransport {
   int loop_socket(int loop) const { return loops_.at(static_cast<std::size_t>(loop))->socket; }
   /// Physical ring region of `channel` (0 when no PhysMap was supplied).
   mem::PhysAddr channel_ring_phys(int channel) const;
+
+  /// --- per-job QoS introspection ------------------------------------------
+  /// Aggregated view of one job's interaction with the transport. Everything
+  /// here is observable from outside (tests, the overload-ladder bench):
+  /// how much work the job completed, how hard the credit gate pushed back,
+  /// and the job's own queueing distribution.
+  struct JobStats {
+    std::uint64_t submitted = 0;   // offloads tagged with this job
+    std::uint64_t completed = 0;   // offloads that returned a result
+    std::uint64_t eagain = 0;      // failed at the credit gate (throttled)
+    std::uint64_t credit_waits = 0;  // backoff rounds spent waiting for credit
+    int inflight = 0;              // accepted, not yet returned
+    Samples queueing_us;           // this job's queueing delays
+  };
+  /// Stats for `job`, or nullptr when the job never submitted.
+  const JobStats* job_stats(JobId job) const;
+  /// Every job id the transport has seen, ascending.
+  std::vector<JobId> jobs_seen() const;
+  /// The drain weight `job` resolves to (ikc_job_weights, default 1.0).
+  double job_weight(JobId job) const;
 
   /// --- adaptive batching introspection ------------------------------------
   /// The drain limit the loop will apply to its next batch collection.
@@ -181,6 +227,7 @@ class IkcTransport {
     Result<long> result = Errno::eagain;
     Time enqueued_at = 0;
     int channel = -1;  // ring the request was accepted on (reply routing)
+    JobId job = 0;           // tenant the fair drain schedules by
     sim::Latch done;         // latch reply mode: one-shot completion
     sim::Channel<int> wake;  // ring reply mode: doorbell / watchdog pokes
   };
@@ -224,13 +271,28 @@ class IkcTransport {
            req.state == Request::State::abandoned;
   }
 
-  sim::Task<Result<long>> direct_offload(Service service);
-  sim::Task<Result<long>> ring_offload(Service service, Priority prio, int channel_hint);
+  sim::Task<Result<long>> direct_offload(Service service, JobId job);
+  sim::Task<Result<long>> ring_offload(Service service, Priority prio, int channel_hint,
+                                       JobId job);
+  /// Credit gate: wait (bounded backoff) for the job's in-flight count to
+  /// drop below its credit cap. Returns false when the retries are spent —
+  /// the caller must fail the offload with EAGAIN instead of queueing.
+  sim::Task<bool> admit(JobId job);
   sim::Task<> service_loop(int loop);
   /// Pop up to the loop's current drain limit of claimable requests from
-  /// its channels, control class first; pays the ring-lock cost (plus the
-  /// remote-socket surcharge) per non-empty channel.
+  /// its channels, control class strictly first. Inside a class the claim
+  /// order is weighted-fair across jobs (per-job virtual time, head-only so
+  /// per-channel FIFO is preserved); with `ikc_fair_drain` off it is the
+  /// PR-4 strict order (each channel drained fully, in channel order).
+  /// Either way the ring-lock cost (plus the remote-socket surcharge) is
+  /// paid once per non-empty (channel, class) ring visited.
   sim::Task<> collect_batch(int loop, std::vector<RequestPtr>& out);
+  /// The PR-4 reference drain, kept verbatim for the fairness equivalence
+  /// harness (ikc_fair_drain = false).
+  sim::Task<> collect_batch_strict(int loop, std::vector<RequestPtr>& out,
+                                   std::size_t batch_max);
+  sim::Task<> collect_batch_fair(int loop, std::vector<RequestPtr>& out,
+                                 std::size_t batch_max);
   /// Deliver one completed service result back to the submitter, by the
   /// configured reply mode; reply-ring touches are recorded in `touched`
   /// so the post-batch doorbell pass can wake parked channels once each.
@@ -279,6 +341,22 @@ class IkcTransport {
   /// strings ("ikc.ring.depth.ch<k>.le<n>").
   std::vector<std::unique_ptr<std::array<std::string, kDepthBuckets>>> depth_names_;
   std::uint64_t probe_tick_ = 0;
+
+  /// Per-job scheduling state. `vtime` is the weighted-fair virtual finish
+  /// time: claiming one request advances it by 1/weight, and a job waking
+  /// from idle rejoins at the scheduler's current floor instead of burning
+  /// a backlog of "unused" past share as a burst. Jobs clamped up to the
+  /// floor tie; the tie is served oldest-head-first (see
+  /// collect_batch_fair), which re-encodes the deficit the clamp erased.
+  struct JobState {
+    JobStats stats;
+    double vtime = 0.0;
+  };
+  JobState& job(JobId job_id) { return jobs_[job_id]; }
+  /// In-flight credit cap for `job` (0 = unlimited).
+  int credit_cap(JobId job_id) const;
+  std::map<JobId, JobState> jobs_;  // ordered so jobs_seen() is ascending
+  double vtime_floor_ = 0.0;        // virtual now: idle jobs rejoin here
 };
 
 }  // namespace pd::ikc

@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "src/common/status.hpp"
 #include "src/common/time.hpp"
@@ -137,6 +138,30 @@ struct Config {
   std::uint64_t ikc_ring_region_bytes = 16384;  // per-channel ring memory
   Dur ikc_remote_drain_cost = from_ns(300);  // cross-socket ring-line pull
 
+  // --- IKC multi-tenant QoS (ring mode only) ------------------------------
+  // Weighted-fair drain: service loops claim ring heads in per-job
+  // virtual-time order (vtime advances 1/weight per claimed request) inside
+  // each priority class, so N jobs sharing a loop split its drain capacity
+  // by weight instead of by who queued deepest. `false` keeps the PR-4
+  // strict two-class drain (all control across channels, then bulk) as the
+  // reference scheduler for the fairness equivalence harness; with a single
+  // job (or one job per channel) the two orders are identical by
+  // construction — the degenerate case the property test pins.
+  bool ikc_fair_drain = true;
+  // Per-job drain weight, indexed by JobId; jobs past the end (and an empty
+  // vector) weigh 1.0. Weights must be > 0.
+  std::vector<double> ikc_job_weights;
+  // Admission control: bound each job's in-flight offloads (accepted but
+  // not yet completed) to `ikc_job_credits × weight`, rounded up to >= 1.
+  // On exhaustion the submitter backs off `ikc_credit_backoff × attempt`
+  // up to `ikc_credit_retries` times waiting for a credit, then fails the
+  // offload with EAGAIN instead of queueing without bound — a flooding
+  // tenant throttles itself, it does not grow every ring. 0 = unlimited
+  // (the single-tenant default).
+  int ikc_job_credits = 0;
+  int ikc_credit_retries = 3;
+  Dur ikc_credit_backoff = from_us(5);
+
   // --- driver fast-path work --------------------------------------------
   Dur gup_per_page = from_ns(60);         // get_user_pages, per 4 KiB page
   Dur ptw_per_page = from_ns(18);          // LWK page-table walk, per page
@@ -161,6 +186,23 @@ struct Config {
   int pico_ring_backoff_attempts = 8;
   Dur pico_ring_backoff_base = from_ns(500);
   Dur pico_ring_backoff_cap = from_us(8);
+
+  // --- per-tenant driver quotas ------------------------------------------
+  // TID/RcvArray quota behaviour when a context is at its expected_count
+  // share: evict the context's *own* least-recently-registered TID entry
+  // (unprogram + unpin, never a neighbour context's) to make room, instead
+  // of failing the registration with ENOSPC. A request that cannot fit
+  // even after evicting everything the context owns still gets ENOSPC.
+  // Off by default: PSM's window grants treat ENOSPC as "retry after the
+  // lazy frees drain" and must not have in-flight windows recycled under
+  // them; a tenant using TID entries as a pure registration cache opts in.
+  bool hfi_tid_quota_evict = false;
+  // Per-tenant extent-cache footprint: how many per-open-file extent
+  // caches one process may keep live in the PicoDriver. Opening a file
+  // past the quota drops the same process's least-recently-used file
+  // cache (pico.extent_cache.quota_file_evicted) — never another
+  // tenant's. 0 = unlimited (the single-tenant default).
+  int pico_extent_quota_files = 0;
 
   // --- kheap NUMA partitions (per SNC quadrant/"socket") ------------------
   // Byte budgets for each socket's near (MCDRAM-like) and far (DDR-like)
@@ -222,7 +264,18 @@ struct Config {
         return fail("ikc_adaptive_alpha must be in (0, 1]");
       if (ikc_adaptive_batch && ikc_adaptive_headroom < 1.0)
         return fail("ikc_adaptive_headroom must be >= 1.0");
+      for (const double w : ikc_job_weights)
+        if (!(w > 0.0))
+          return fail("ikc_job_weights entries must be > 0: a zero-weight "
+                      "job would never be drained");
+      if (ikc_job_credits < 0) return fail("ikc_job_credits must be >= 0");
+      if (ikc_job_credits > 0 && ikc_credit_retries < 0)
+        return fail("ikc_credit_retries must be >= 0");
+      if (ikc_job_credits > 0 && ikc_credit_backoff < 0)
+        return fail("ikc_credit_backoff must be >= 0");
     }
+    if (pico_extent_quota_files < 0)
+      return fail("pico_extent_quota_files must be >= 0 (0 = unlimited)");
     return Status::success();
   }
 };

@@ -42,12 +42,14 @@ class Ihk {
   /// (the proxy process context) and typically invokes a CharDevice op.
   /// `prio` picks the ring priority class (control never waits behind bulk
   /// I/O), `channel_hint` the submitting LWK CPU's ring; both are ignored
-  /// by the direct transport.
+  /// by the direct transport. `job` is the submitting tenant: the ring
+  /// transport drains weighted-fair across jobs and may throttle a job
+  /// that exhausted its in-flight credits with EAGAIN (see ikc/transport).
   sim::Task<Result<long>> offload(std::function<sim::Task<Result<long>>()> service,
                                   ikc::Priority prio = ikc::Priority::control,
-                                  int channel_hint = 0) {
+                                  int channel_hint = 0, ikc::JobId job = 0) {
     ++offload_count_;
-    return transport_.offload(std::move(service), prio, channel_hint);
+    return transport_.offload(std::move(service), prio, channel_hint, job);
   }
 
   LinuxKernel& linux_kernel() { return linux_; }

@@ -52,7 +52,7 @@ sim::Task<Result<int>> Process::open(const std::string& dev_name) {
     // which initializes all the internal state the fast path later reuses.
     r = co_await mck_->ihk().offload(
         [&]() -> sim::Task<Result<long>> { co_return co_await dev->open(f); },
-        ikc::Priority::control, ctxt_);
+        ikc::Priority::control, ctxt_, job_);
   }
   account("open", t0);
   if (!r.ok()) {
@@ -85,7 +85,7 @@ sim::Task<Result<long>> Process::writev(int fd, std::span<const IoVec> iov) {
   } else {
     r = co_await mck_->ihk().offload(
         [&]() -> sim::Task<Result<long>> { co_return co_await f->dev->writev(*f, iov); },
-        ikc::Priority::bulk, ctxt_);
+        ikc::Priority::bulk, ctxt_, job_);
   }
   account("writev", t0);
   co_return r;
@@ -110,7 +110,7 @@ sim::Task<Result<long>> Process::ioctl(int fd, unsigned long cmd, void* arg) {
   } else {
     r = co_await mck_->ihk().offload(
         [&]() -> sim::Task<Result<long>> { co_return co_await f->dev->ioctl(*f, cmd, arg); },
-        ikc::Priority::control, ctxt_);
+        ikc::Priority::control, ctxt_, job_);
   }
   account("ioctl", t0);
   co_return r;
@@ -130,7 +130,7 @@ sim::Task<Result<long>> Process::poll_fd(int fd) {
   } else {
     r = co_await mck_->ihk().offload(
         [&]() -> sim::Task<Result<long>> { co_return co_await f->dev->poll(*f); },
-        ikc::Priority::control, ctxt_);
+        ikc::Priority::control, ctxt_, job_);
   }
   account("poll", t0);
   co_return r;
@@ -150,7 +150,7 @@ sim::Task<Result<long>> Process::read_fd(int fd, std::uint64_t len) {
   } else {
     r = co_await mck_->ihk().offload(
         [&]() -> sim::Task<Result<long>> { co_return co_await f->dev->read(*f, len); },
-        ikc::Priority::bulk, ctxt_);
+        ikc::Priority::bulk, ctxt_, job_);
   }
   account("read", t0);
   co_return r;
@@ -172,7 +172,7 @@ sim::Task<Result<long>> Process::lseek(int fd, long offset, int whence) {
         [&]() -> sim::Task<Result<long>> {
           co_return co_await f->dev->lseek(*f, offset, whence);
         },
-        ikc::Priority::control, ctxt_);
+        ikc::Priority::control, ctxt_, job_);
   }
   account("lseek", t0);
   co_return r;
@@ -199,7 +199,7 @@ sim::Task<Result<mem::VirtAddr>> Process::mmap_dev(int fd, std::uint64_t len,
           if (!r.ok()) co_return r.error();
           co_return static_cast<long>(*r);
         },
-        ikc::Priority::control, ctxt_);
+        ikc::Priority::control, ctxt_, job_);
     if (got.ok())
       pa = static_cast<mem::PhysAddr>(*got);
     else
@@ -251,7 +251,7 @@ sim::Task<Result<long>> Process::close_fd(int fd) {
   } else {
     r = co_await mck_->ihk().offload(
         [&]() -> sim::Task<Result<long>> { co_return co_await f->dev->close(*f); },
-        ikc::Priority::control, ctxt_);
+        ikc::Priority::control, ctxt_, job_);
   }
   files_.erase(fd);
   account("close", t0);

@@ -44,6 +44,12 @@ class Process {
   int ctxt() const { return ctxt_; }
   Rng& rng() { return rng_; }
 
+  /// Tenant identity every offload this process submits is tagged with.
+  /// Defaults to job 0 (single tenant); a multi-job harness assigns each
+  /// process its job before generating traffic.
+  ikc::JobId job() const { return job_; }
+  void set_job(ikc::JobId job) { job_ = job; }
+
   /// --- syscalls -----------------------------------------------------------
   sim::Task<Result<int>> open(const std::string& dev_name);
   sim::Task<Result<long>> writev(int fd, std::vector<IoVec> iov);
@@ -75,6 +81,7 @@ class Process {
   std::unique_ptr<mem::AddressSpace> as_;
   int node_;
   int ctxt_;
+  ikc::JobId job_ = 0;
   Rng rng_;
   std::map<int, OpenFile> files_;
   int next_fd_ = 3;

@@ -76,7 +76,35 @@ int HfiPicoDriver::lwk_cpu_for(const os::Process& proc) const {
 }
 
 mem::ExtentCache& HfiPicoDriver::extent_cache_for(const os::OpenFile& f) {
-  return file_caches_[{static_cast<const void*>(f.proc), f.fd}];
+  const std::pair<const void*, int> key{static_cast<const void*>(f.proc), f.fd};
+  auto it = file_caches_.find(key);
+  if (it == file_caches_.end()) {
+    // `pico_extent_quota_files` caps how many per-file caches one process
+    // may hold; at the cap its *own* coldest file cache is dropped. Other
+    // processes' caches are never candidates, so a cache-hungry tenant
+    // cannot flush a neighbour's translations.
+    const int cap = mck_.config().pico_extent_quota_files;
+    if (cap > 0) {
+      auto owned = [&](const std::pair<const void*, int>& k) { return k.first == key.first; };
+      auto count =
+          std::count_if(file_cache_order_.begin(), file_cache_order_.end(), owned);
+      while (count >= cap) {
+        auto victim = std::find_if(file_cache_order_.begin(), file_cache_order_.end(), owned);
+        file_caches_.erase(*victim);
+        file_cache_order_.erase(victim);
+        ++cache_file_quota_evictions_;
+        mck_.profiler().bump("pico.extent_cache.quota_file_evicted");
+        --count;
+      }
+    }
+    it = file_caches_.emplace(key, mem::ExtentCache{}).first;
+    file_cache_order_.push_back(key);
+  } else {
+    // Refresh recency: move the touched key to the back.
+    auto pos = std::find(file_cache_order_.begin(), file_cache_order_.end(), key);
+    std::rotate(pos, pos + 1, file_cache_order_.end());
+  }
+  return it->second;
 }
 
 void HfiPicoDriver::note_cache_outcome(mem::ExtentCache::Outcome outcome) {
@@ -322,8 +350,18 @@ sim::Task<Result<long>> HfiPicoDriver::fast_ioctl(os::OpenFile& f, unsigned long
       auto fd_bytes = driver_.linux_kernel().kheap().data(driver_.filedata_image(f));
       auto cd_bytes = driver_.linux_kernel().kheap().data(driver_.ctxtdata_image(f));
       const std::uint64_t quota = cd_expected_count_.read(cd_bytes.data());
-      if (fd_tid_used_.read(fd_bytes.data()) + extents.size() > quota)
-        co_return Errno::enospc;
+      if (extents.size() > quota) co_return Errno::enospc;
+      // Same per-tenant reclamation policy as the Linux path: at quota the
+      // context recycles its own LRU registrations (shared FileCtx
+      // bookkeeping, so fast- and slow-path entries age in one list) and
+      // never reaches into a neighbour context's RcvArray share.
+      while (fd_tid_used_.read(fd_bytes.data()) + extents.size() > quota) {
+        if (!cfg.hfi_tid_quota_evict) co_return Errno::enospc;
+        co_await mck_.engine().delay(cfg.tid_program_per_entry);
+        auto freed = driver_.evict_lru_tid(f);
+        if (!freed.ok()) co_return Errno::enospc;
+        mck_.profiler().bump("pico.tid.quota_evict");
+      }
 
       co_await mck_.engine().delay(cfg.tid_program_base +
                                    static_cast<Dur>(extents.size()) *

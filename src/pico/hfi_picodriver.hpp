@@ -75,6 +75,11 @@ class HfiPicoDriver {
   std::uint64_t extent_cache_range_invalidations() const { return cache_range_invalidations_; }
   std::uint64_t extent_cache_generation_overflows() const { return cache_generation_overflows_; }
   std::uint64_t extent_cache_small_evictions() const { return cache_small_evictions_; }
+  /// Whole file caches dropped to keep a process inside
+  /// `Config::pico_extent_quota_files` (own-LRU only; see extent_cache_for).
+  std::uint64_t extent_cache_file_quota_evictions() const {
+    return cache_file_quota_evictions_;
+  }
   /// All re-walks of a known key, whatever proved it stale.
   std::uint64_t extent_cache_invalidations() const {
     return cache_range_invalidations_ + cache_generation_overflows_;
@@ -110,6 +115,8 @@ class HfiPicoDriver {
   dwarf::FieldAccessor<std::uint32_t> cd_expected_count_;
 
   std::map<std::pair<const void*, int>, mem::ExtentCache> file_caches_;
+  // Touch order (front = coldest) for the per-process file-cache quota.
+  std::vector<std::pair<const void*, int>> file_cache_order_;
   std::vector<std::vector<hw::SdmaDescriptor>> desc_arena_;
 
   std::uint64_t fast_writevs_ = 0;
@@ -123,6 +130,7 @@ class HfiPicoDriver {
   std::uint64_t cache_range_invalidations_ = 0;
   std::uint64_t cache_generation_overflows_ = 0;
   std::uint64_t cache_small_evictions_ = 0;
+  std::uint64_t cache_file_quota_evictions_ = 0;
 };
 
 }  // namespace pd::pico

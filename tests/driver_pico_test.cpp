@@ -41,12 +41,17 @@ struct MiniCluster {
   std::unique_ptr<hw::Fabric> fabric;
   std::vector<MiniNode> nodes;
 
-  explicit MiniCluster(int n, os::OsMode mode, const std::string& version = "10.8-0") {
+  explicit MiniCluster(int n, os::OsMode mode, const std::string& version = "10.8-0")
+      : MiniCluster(n, mode, os::Config{}, hw::HfiConfig{}, version) {}
+
+  MiniCluster(int n, os::OsMode mode, os::Config base, hw::HfiConfig hw_cfg,
+              const std::string& version = "10.8-0")
+      : cfg(std::move(base)) {
     fabric = std::make_unique<hw::Fabric>(engine, n);
     for (int i = 0; i < n; ++i) {
       MiniNode node;
       node.phys = std::make_unique<mem::PhysMap>(mem::PhysMap::knl(1_GiB, 4_GiB, 2));
-      node.device = std::make_unique<hw::HfiDevice>(engine, *fabric, i);
+      node.device = std::make_unique<hw::HfiDevice>(engine, *fabric, i, hw_cfg);
       node.linux_kernel = std::make_unique<os::LinuxKernel>(engine, cfg);
       node.driver =
           std::make_unique<hfi::HfiDriver>(*node.linux_kernel, *node.device, version);
@@ -306,6 +311,112 @@ TEST(Tid, PicoProgramsPerExtentEntries) {
     CO_ASSERT_TRUE((co_await p.ioctl(*fd, hfi::kTidFree, &free_args)).ok());
     EXPECT_EQ(cl.nodes[0].device->rcv_array().in_use(), 0u);
   }(c, *proc));
+  c.engine.run();
+}
+
+TEST(Tid, PicoQuotaEvictionRecyclesOwnShareOnly) {
+  // Fast-path registrations share the per-context RcvArray quota and its
+  // reclamation policy with the Linux path: at quota the tenant's own LRU
+  // entry is recycled (pico.tid.quota_evict), a neighbour context's
+  // entries are never candidates. 256 RcvArray entries / 64 contexts = a
+  // 4-entry quota, reachable with single-page registrations.
+  os::Config cfg;
+  cfg.hfi_tid_quota_evict = true;
+  hw::HfiConfig hc;
+  hc.rcv_array_entries = 256;
+  MiniCluster c(1, os::OsMode::mckernel_hfi, cfg, hc);
+  auto tenant = c.make_process(0, 0, os::OsMode::mckernel_hfi);
+  auto neighbour = c.make_process(0, 1, os::OsMode::mckernel_hfi);
+  sim::spawn(c.engine, [](MiniCluster& cl, os::Process& a, os::Process& b) -> sim::Task<> {
+    auto fda = co_await a.open(hfi::kDeviceName);
+    CO_ASSERT_TRUE(fda.ok());
+    auto fdb = co_await b.open(hfi::kDeviceName);
+    CO_ASSERT_TRUE(fdb.ok());
+    auto reg = [](os::Process& p, int fd) -> sim::Task<Result<std::uint32_t>> {
+      auto buf = co_await p.mmap_anon(4_KiB);
+      if (!buf.ok()) co_return buf.error();
+      hfi::TidUpdateArgs args;
+      args.vaddr = *buf;
+      args.length = 4_KiB;
+      auto r = co_await p.ioctl(fd, hfi::kTidUpdate, &args);
+      if (!r.ok()) co_return r.error();
+      if (args.tids.size() != 1) co_return Errno::eio;
+      co_return args.tids[0];
+    };
+    auto btid = co_await reg(b, *fdb);
+    CO_ASSERT_TRUE(btid.ok());
+    std::vector<std::uint32_t> atids;
+    for (int i = 0; i < 4; ++i) {  // fill the tenant's quota exactly
+      auto t = co_await reg(a, *fda);
+      CO_ASSERT_TRUE(t.ok());
+      atids.push_back(*t);
+    }
+    EXPECT_EQ(cl.nodes[0].device->rcv_array().in_use(), 5u);
+
+    auto extra = co_await reg(a, *fda);  // one entry over quota
+    CO_ASSERT_TRUE(extra.ok());
+    EXPECT_EQ(cl.nodes[0].mck->profiler().counter("pico.tid.quota_evict"), 1u);
+    EXPECT_EQ(cl.nodes[0].device->rcv_array().in_use(), 5u)
+        << "net share unchanged: own LRU out, new entry in";
+    EXPECT_EQ(cl.nodes[0].device->rcv_array().entry(atids[0]), nullptr)
+        << "the tenant's oldest registration is the victim";
+    const auto* be = cl.nodes[0].device->rcv_array().entry(*btid);
+    CO_ASSERT_TRUE(be != nullptr);
+    EXPECT_EQ(be->owner_ctxt, 1) << "neighbour entry must never be evicted";
+  }(c, *tenant, *neighbour));
+  c.engine.run();
+}
+
+TEST(Tid, ExtentCacheFileQuotaEvictsOwnColdestCacheOnly) {
+  // `pico_extent_quota_files` caps per-file extent caches per process: a
+  // process opening file after file drops its *own* coldest cache at the
+  // cap, while another process's cache survives (proved by its re-lookup
+  // still hitting).
+  os::Config cfg;
+  cfg.pico_extent_quota_files = 2;
+  MiniCluster c(1, os::OsMode::mckernel_hfi, cfg, hw::HfiConfig{});
+  auto hungry = c.make_process(0, 0, os::OsMode::mckernel_hfi);
+  auto other = c.make_process(0, 1, os::OsMode::mckernel_hfi);
+  sim::spawn(c.engine, [](MiniCluster& cl, os::Process& a, os::Process& b) -> sim::Task<> {
+    auto reg = [](os::Process& p, int fd, mem::VirtAddr va) -> sim::Task<Status> {
+      hfi::TidUpdateArgs args;
+      args.vaddr = va;
+      args.length = 4_KiB;
+      auto r = co_await p.ioctl(fd, hfi::kTidUpdate, &args);
+      if (!r.ok()) co_return r.error();
+      hfi::TidFreeArgs free_args;  // keep the RcvArray empty; only caches matter
+      free_args.tids = args.tids;
+      auto fr = co_await p.ioctl(fd, hfi::kTidFree, &free_args);
+      co_return fr.ok() ? Status::success() : Status(fr.error());
+    };
+    // The other process warms its one cache first.
+    auto fdb = co_await b.open(hfi::kDeviceName);
+    CO_ASSERT_TRUE(fdb.ok());
+    auto bbuf = co_await b.mmap_anon(4_KiB);
+    CO_ASSERT_TRUE(bbuf.ok());
+    CO_ASSERT_TRUE((co_await reg(b, *fdb, *bbuf)).ok());
+
+    // The hungry process churns through three files (fds): the third cache
+    // creation is over its 2-cache quota and must drop its own coldest.
+    auto abuf = co_await a.mmap_anon(4_KiB);
+    CO_ASSERT_TRUE(abuf.ok());
+    for (int i = 0; i < 3; ++i) {
+      auto fda = co_await a.open(hfi::kDeviceName);
+      CO_ASSERT_TRUE(fda.ok());
+      CO_ASSERT_TRUE((co_await reg(a, *fda, *abuf)).ok());
+      CO_ASSERT_TRUE((co_await a.close_fd(*fda)).ok());
+    }
+    EXPECT_EQ(cl.nodes[0].pico->extent_cache_file_quota_evictions(), 1u);
+    EXPECT_EQ(cl.nodes[0].mck->profiler().counter("pico.extent_cache.quota_file_evicted"),
+              1u);
+
+    // The other process's cache must have survived the neighbour's churn:
+    // re-registering the same window is still a cache hit.
+    const auto hits_before = cl.nodes[0].pico->extent_cache_hits();
+    CO_ASSERT_TRUE((co_await reg(b, *fdb, *bbuf)).ok());
+    EXPECT_EQ(cl.nodes[0].pico->extent_cache_hits(), hits_before + 1)
+        << "neighbour's extent cache must never be a quota victim";
+  }(c, *hungry, *other));
   c.engine.run();
 }
 

@@ -3,6 +3,7 @@
 // failures — the unhappy paths the architecture must survive.
 #include <gtest/gtest.h>
 
+#include "bench/bench_common.hpp"
 #include "src/common/units.hpp"
 #include "src/dwarf/constants.hpp"
 #include "src/dwarf/writer.hpp"
@@ -152,17 +153,22 @@ struct ReplyFaultHarness {
   /// Offload a `work`-long no-op service; its errno lands in `errs`, its
   /// value in `vals` (submission order).
   void submit(long tag, Dur work, std::vector<Errno>& errs, std::vector<long>& vals) {
-    sim::spawn(engine, [](ReplyFaultHarness& h, long t, Dur w, std::vector<Errno>& es,
-                          std::vector<long>& vs) -> sim::Task<> {
+    submit_on(0, 0, tag, work, errs, vals);
+  }
+  /// Same, but on an explicit channel under an explicit tenant identity.
+  void submit_on(int channel, ikc::JobId job, long tag, Dur work,
+                 std::vector<Errno>& errs, std::vector<long>& vals) {
+    sim::spawn(engine, [](ReplyFaultHarness& h, int ch, ikc::JobId j, long t, Dur w,
+                          std::vector<Errno>& es, std::vector<long>& vs) -> sim::Task<> {
       auto r = co_await h.transport->offload(
           [&h, t, w]() -> sim::Task<Result<long>> {
             co_await h.engine.delay(w);
             co_return t;
           },
-          ikc::Priority::bulk, 0);
+          ikc::Priority::bulk, ch, j);
       es.push_back(r.error());
       vs.push_back(r.ok() ? *r : -1L);
-    }(*this, tag, work, errs, vals));
+    }(*this, channel, job, tag, work, errs, vals));
   }
 
   sim::Engine engine;
@@ -253,6 +259,107 @@ TEST(FailureInjection, ConsumerDeathDropsCompletionsWithoutWedgingTheLoop) {
   EXPECT_EQ(errs.back(), Errno::ok);
   EXPECT_EQ(vals.back(), 99);
   EXPECT_GT(h.transport->loop_served(0), 0u);
+}
+
+TEST(FailureInjection, FloodingTenantIsThrottledAloneVictimsStayBounded) {
+  // Misbehaving-tenant rung: job 0 floods its channel with 12 saturating
+  // streams while 7 victims run a normal backlogged profile. With per-job
+  // in-flight credits (2/job) and the weighted-fair drain, the flooder —
+  // and only the flooder — must be throttled (EAGAIN / credit waits), and
+  // the victims' tail queueing must stay within 2x of the same run with no
+  // flooder present at all.
+  constexpr int kJobs = 8;
+  pd::os::Config cfg;
+  cfg.ikc_mode = pd::os::IkcMode::ring;
+  cfg.ikc_channels = kJobs;
+  cfg.ikc_numa_pin = false;
+  cfg.ikc_job_credits = 2;
+  cfg.ikc_deadline = from_ms(500.0);  // saturation queueing is the point
+  auto specs = [&](bool with_flooder) {
+    std::vector<bench::JobSpec> s(kJobs);
+    for (int j = 0; j < kJobs; ++j) {
+      s[static_cast<std::size_t>(j)].submitters = (j == 0) ? (with_flooder ? 12 : 0) : 2;
+      if (j == 0) s[static_cast<std::size_t>(j)].gap = from_us(0);
+    }
+    return s;
+  };
+  const Dur horizon = from_ms(3.0);
+  const auto base = bench::run_fairness_storm(cfg, specs(false), horizon);
+  const auto flood = bench::run_fairness_storm(cfg, specs(true), horizon);
+
+  auto victim_worst_p95 = [](const bench::FairnessResult& r) {
+    double worst = 0;
+    for (const auto& o : r.jobs)
+      if (o.job != 0 && o.queue.p95_us > worst) worst = o.queue.p95_us;
+    return worst;
+  };
+  const double base_p95 = victim_worst_p95(base);
+  const double flood_p95 = victim_worst_p95(flood);
+  ASSERT_GT(base_p95, 0.0) << "baseline victims must be queueing at all";
+  EXPECT_LE(flood_p95, 2.0 * base_p95)
+      << "victim tail queueing must stay bounded under the flood";
+
+  const auto& flooder = flood.jobs[0];
+  EXPECT_GT(flooder.eagain + flooder.credit_waits, 0u)
+      << "the credit gate must throttle the flooder";
+  EXPECT_GT(flooder.completed, 0u) << "throttled, not starved";
+  for (const auto& o : flood.jobs) {
+    if (o.job == 0) continue;
+    EXPECT_EQ(o.eagain, 0u) << "victim " << o.job << " must never see EAGAIN";
+    EXPECT_EQ(o.credit_waits, 0u)
+        << "victim " << o.job << " fits inside its own credit cap";
+    EXPECT_GT(o.completed, 0u) << "victim " << o.job << " must keep completing";
+  }
+}
+
+TEST(FailureInjection, TenantNeverDrainingRepliesOnlyHurtsItself) {
+  // A tenant that never drains its replies (its completion doorbells are
+  // dropped, so notifications pile up in its reply ring): its own offloads
+  // must recover through the self-drain watchdog instead of hanging, the
+  // neighbour sharing the loop must complete undisturbed on plain
+  // doorbells, and the service loop must stay healthy.
+  auto cfg = reply_fault_cfg();
+  cfg.ikc_channels = 2;
+  cfg.ikc_reply_deadline = from_us(300);  // bound the self-drain delay
+  ReplyFaultHarness h(cfg);
+  h.transport->inject_reply_doorbell_loss(0, true);
+
+  std::vector<Errno> bad_errs, good_errs;
+  std::vector<long> bad_vals, good_vals;
+  constexpr int kOps = 6;
+  // work > reply_poll_budget (2us): consumers park, so completion depends
+  // on the doorbell — the exact signal the misbehaving tenant loses.
+  for (int i = 0; i < kOps; ++i) {
+    h.submit_on(0, /*job=*/7, i, from_us(40), bad_errs, bad_vals);
+    h.submit_on(1, /*job=*/8, 100 + i, from_us(40), good_errs, good_vals);
+  }
+  h.engine.run();
+
+  ASSERT_EQ(bad_errs.size(), static_cast<std::size_t>(kOps));
+  ASSERT_EQ(good_errs.size(), static_cast<std::size_t>(kOps));
+  for (int i = 0; i < kOps; ++i) {
+    EXPECT_EQ(bad_errs[static_cast<std::size_t>(i)], Errno::ok)
+        << "lost doorbells must degrade to self-drain, never lose op " << i;
+    EXPECT_EQ(good_errs[static_cast<std::size_t>(i)], Errno::ok);
+  }
+  EXPECT_GE(h.counter("ikc.reply.doorbell_lost"), 1u)
+      << "the fault must actually have fired";
+  EXPECT_GE(h.counter("ikc.reply.self_drain"), 1u)
+      << "parked consumers behind lost doorbells recover via the watchdog";
+  for (int l = 0; l < h.transport->num_loops(); ++l)
+    EXPECT_FALSE(h.transport->loop_suspect(l)) << "loop " << l << " stays healthy";
+
+  // The misbehaving tenant repaired (doorbells restored): traffic on its
+  // channel goes back to the normal wakeup path.
+  h.transport->inject_reply_doorbell_loss(0, false);
+  const auto self_drains = h.counter("ikc.reply.self_drain");
+  h.submit_on(0, /*job=*/7, 999, from_us(40), bad_errs, bad_vals);
+  h.engine.run();
+  ASSERT_EQ(bad_vals.size(), static_cast<std::size_t>(kOps) + 1);
+  EXPECT_EQ(bad_errs.back(), Errno::ok);
+  EXPECT_EQ(bad_vals.back(), 999);
+  EXPECT_EQ(h.counter("ikc.reply.self_drain"), self_drains)
+      << "with doorbells back no watchdog recovery is needed";
 }
 
 TEST(FailureInjection, BindRejectsModuleMissingAField) {

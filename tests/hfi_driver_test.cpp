@@ -69,6 +69,115 @@ TEST(HfiDriverOps, CloseReleasesContextAndTids) {
   f.engine.run();
 }
 
+/// Like DriverFixture, but with a caller-supplied Config and an RcvArray
+/// small enough (256 entries / 64 contexts = 4 per context) that the
+/// per-context TID quota is reachable with a handful of pages.
+struct QuotaFixture {
+  explicit QuotaFixture(os::Config c) : cfg(std::move(c)) {}
+  static hw::HfiConfig small_rcv() {
+    hw::HfiConfig hc;
+    hc.rcv_array_entries = 256;
+    return hc;
+  }
+  sim::Engine engine;
+  os::Config cfg;
+  hw::Fabric fabric{engine, 1};
+  mem::PhysMap phys = mem::PhysMap::knl(256_MiB, 1ull << 30, 2);
+  hw::HfiDevice device{engine, fabric, 0, small_rcv()};
+  os::LinuxKernel linux_kernel{engine, cfg};
+  HfiDriver driver{linux_kernel, device, "10.8-0"};
+};
+
+TEST(HfiDriverOps, TidQuotaEvictionRecyclesOwnShareOnly) {
+  // Registration-cache semantics (hfi_tid_quota_evict): a tenant context
+  // at its RcvArray quota makes room by unprogramming its *own* LRU entry.
+  // A neighbour context's entries and pins must be completely untouched.
+  os::Config cfg;
+  cfg.hfi_tid_quota_evict = true;
+  QuotaFixture f(cfg);
+  os::Process tenant(f.linux_kernel, f.phys, 0, /*ctxt=*/0, 1);
+  os::Process neighbour(f.linux_kernel, f.phys, 0, /*ctxt=*/1, 2);
+  sim::spawn(f.engine, [](QuotaFixture& fx, os::Process& a, os::Process& b) -> sim::Task<> {
+    auto fda = co_await a.open(kDeviceName);
+    CO_ASSERT_TRUE(fda.ok());
+    auto fdb = co_await b.open(kDeviceName);
+    CO_ASSERT_TRUE(fdb.ok());
+
+    auto bbuf = co_await b.mmap_anon(8_KiB);
+    CO_ASSERT_TRUE(bbuf.ok());
+    TidUpdateArgs bargs;
+    bargs.vaddr = *bbuf;
+    bargs.length = 8_KiB;
+    CO_ASSERT_TRUE((co_await b.ioctl(*fdb, kTidUpdate, &bargs)).ok());
+    CO_ASSERT_TRUE(bargs.tids.size() == 2u);
+
+    auto abuf = co_await a.mmap_anon(16_KiB);  // exactly the 4-entry quota
+    CO_ASSERT_TRUE(abuf.ok());
+    TidUpdateArgs aargs;
+    aargs.vaddr = *abuf;
+    aargs.length = 16_KiB;
+    CO_ASSERT_TRUE((co_await a.ioctl(*fda, kTidUpdate, &aargs)).ok());
+    CO_ASSERT_TRUE(aargs.tids.size() == 4u);
+    EXPECT_EQ(fx.device.rcv_array().in_use(), 6u);
+
+    // One page over quota: the tenant's own oldest entry must make room.
+    auto abuf2 = co_await a.mmap_anon(4_KiB);
+    CO_ASSERT_TRUE(abuf2.ok());
+    TidUpdateArgs aargs2;
+    aargs2.vaddr = *abuf2;
+    aargs2.length = 4_KiB;
+    CO_ASSERT_TRUE((co_await a.ioctl(*fda, kTidUpdate, &aargs2)).ok());
+
+    EXPECT_EQ(fx.linux_kernel.profiler().counter("hfi.tid.quota_evict"), 1u);
+    EXPECT_EQ(fx.device.rcv_array().in_use(), 6u) << "net share unchanged: -1 LRU, +1 new";
+    EXPECT_EQ(fx.device.rcv_array().entry(aargs.tids[0]), nullptr)
+        << "the tenant's oldest entry is the eviction victim";
+    for (std::size_t i = 1; i < aargs.tids.size(); ++i) {
+      const auto* e = fx.device.rcv_array().entry(aargs.tids[i]);
+      CO_ASSERT_TRUE(e != nullptr);
+      EXPECT_TRUE(e->valid && e->owner_ctxt == 0) << "younger own entry " << i << " survives";
+    }
+    for (const auto tid : bargs.tids) {
+      const auto* e = fx.device.rcv_array().entry(tid);
+      CO_ASSERT_TRUE(e != nullptr);
+      EXPECT_TRUE(e->valid && e->owner_ctxt == 1)
+          << "neighbour entry " << tid << " must never be an eviction candidate";
+    }
+    EXPECT_EQ(a.as().pinned_frame_count(), 4u) << "evicted page unpinned, new page pinned";
+    EXPECT_EQ(b.as().pinned_frame_count(), 2u) << "neighbour pins untouched";
+  }(f, tenant, neighbour));
+  f.engine.run();
+}
+
+TEST(HfiDriverOps, TidQuotaWithoutEvictionStaysEnospc) {
+  // Default policy (hfi_tid_quota_evict off): at quota the registration
+  // fails with the transient ENOSPC PSM's TID backoff depends on — no
+  // eviction, no leaked pins from the failed call.
+  QuotaFixture f(os::Config{});
+  os::Process proc(f.linux_kernel, f.phys, 0, 0, 1);
+  sim::spawn(f.engine, [](QuotaFixture& fx, os::Process& p) -> sim::Task<> {
+    auto fd = co_await p.open(kDeviceName);
+    CO_ASSERT_TRUE(fd.ok());
+    auto buf = co_await p.mmap_anon(16_KiB);
+    CO_ASSERT_TRUE(buf.ok());
+    TidUpdateArgs args;
+    args.vaddr = *buf;
+    args.length = 16_KiB;
+    CO_ASSERT_TRUE((co_await p.ioctl(*fd, kTidUpdate, &args)).ok());
+    auto buf2 = co_await p.mmap_anon(4_KiB);
+    CO_ASSERT_TRUE(buf2.ok());
+    TidUpdateArgs args2;
+    args2.vaddr = *buf2;
+    args2.length = 4_KiB;
+    auto r = co_await p.ioctl(*fd, kTidUpdate, &args2);
+    EXPECT_EQ(r.error(), Errno::enospc);
+    EXPECT_EQ(fx.linux_kernel.profiler().counter("hfi.tid.quota_evict"), 0u);
+    EXPECT_EQ(fx.device.rcv_array().in_use(), 4u);
+    EXPECT_EQ(p.as().pinned_frame_count(), 4u) << "the rejected call must unpin its pages";
+  }(f, proc));
+  f.engine.run();
+}
+
 TEST(HfiDriverOps, MmapBoundsChecked) {
   DriverFixture f;
   os::Process proc(f.linux_kernel, f.phys, 0, 0, 4);

@@ -228,6 +228,54 @@ TEST(IkcTransport, DirectModeMatchesLegacyTiming) {
   EXPECT_EQ(h.counter("ikc.ring.enqueue"), 0u) << "direct mode must not touch the rings";
 }
 
+TEST(IkcTransport, DirectCountersPinnedInBothModes) {
+  // Regression pin on the ikc.direct.* wakeup accounting the benches
+  // compare transports with: direct mode pays exactly one proxy wakeup and
+  // one reply wakeup per offload; healthy ring mode pays zero of either;
+  // and a fully degraded ring run pays them only for the offloads that
+  // actually fell back to the direct path.
+  constexpr int kOps = 8;
+  {
+    os::Config cfg;  // defaults: direct
+    Harness h(cfg);
+    std::vector<long> order, results;
+    for (int i = 0; i < kOps; ++i) h.submit(i, Priority::bulk, i, order, results);
+    h.engine.run();
+    ASSERT_EQ(results.size(), static_cast<std::size_t>(kOps));
+    EXPECT_EQ(h.counter("ikc.direct.proxy_wakeup"), static_cast<std::uint64_t>(kOps));
+    EXPECT_EQ(h.counter("ikc.direct.reply_wakeup"), static_cast<std::uint64_t>(kOps));
+    EXPECT_EQ(h.counter("ikc.ring.enqueue"), 0u);
+    EXPECT_EQ(h.counter("ikc.ring.doorbell"), 0u);
+  }
+  {
+    Harness h(ring_cfg());
+    std::vector<long> order, results;
+    for (int i = 0; i < kOps; ++i) h.submit(i, Priority::bulk, i, order, results);
+    h.engine.run();
+    ASSERT_EQ(results.size(), static_cast<std::size_t>(kOps));
+    EXPECT_EQ(h.counter("ikc.direct.proxy_wakeup"), 0u)
+        << "healthy ring traffic must never touch the proxy path";
+    EXPECT_EQ(h.counter("ikc.direct.reply_wakeup"), 0u);
+    EXPECT_EQ(h.counter("ikc.ring.enqueue"), static_cast<std::uint64_t>(kOps));
+  }
+  {
+    auto cfg = ring_cfg();
+    cfg.ikc_deadline = from_us(50);
+    cfg.ikc_retry_backoff = from_us(1);
+    Harness h(cfg);
+    for (int l = 0; l < h.transport->num_loops(); ++l) h.transport->inject_stall(l, true);
+    std::vector<long> order, results;
+    for (int i = 0; i < kOps; ++i) h.submit(i, Priority::bulk, i, order, results);
+    h.engine.run();
+    ASSERT_EQ(results.size(), static_cast<std::size_t>(kOps));
+    const auto degraded = h.counter("ikc.ring.degraded");
+    EXPECT_GE(degraded, 1u);
+    EXPECT_EQ(h.counter("ikc.direct.proxy_wakeup"), degraded)
+        << "each degraded offload pays exactly one proxy wakeup";
+    EXPECT_EQ(h.counter("ikc.direct.reply_wakeup"), degraded);
+  }
+}
+
 TEST(IkcReply, PollingConsumersNeedNoCompletionWakeups) {
   // Services finish well inside the poll budget, so every completion must
   // be found by the polling LWK core — zero reply wakeups on the whole run.

@@ -353,6 +353,35 @@ TEST(ConfigValidate, RejectsDegenerateRingAndAdaptiveKnobs) {
   EXPECT_FALSE(cfg.validate().ok());
 }
 
+TEST(ConfigValidate, RejectsDegenerateQosKnobs) {
+  Config cfg;
+  cfg.ikc_mode = IkcMode::ring;
+  cfg.ikc_job_weights = {1.0, 0.0};  // a zero-weight job would never drain
+  EXPECT_FALSE(cfg.validate().ok());
+  cfg.ikc_job_weights = {1.0, -2.0};
+  EXPECT_FALSE(cfg.validate().ok());
+  cfg.ikc_job_weights = {2.0, 1.0};
+  EXPECT_TRUE(cfg.validate().ok());
+
+  cfg = Config{};
+  cfg.ikc_mode = IkcMode::ring;
+  cfg.ikc_job_credits = -1;
+  EXPECT_FALSE(cfg.validate().ok());
+  cfg.ikc_job_credits = 2;
+  cfg.ikc_credit_retries = -1;
+  EXPECT_FALSE(cfg.validate().ok());
+  cfg.ikc_credit_retries = 0;  // 0 retries is a valid hard-fail policy
+  EXPECT_TRUE(cfg.validate().ok());
+  cfg.ikc_credit_backoff = from_us(-1);
+  EXPECT_FALSE(cfg.validate().ok());
+
+  cfg = Config{};
+  cfg.pico_extent_quota_files = -1;  // checked in every transport mode
+  EXPECT_FALSE(cfg.validate().ok());
+  cfg.pico_extent_quota_files = 0;
+  EXPECT_TRUE(cfg.validate().ok());
+}
+
 TEST(ConfigValidate, TransportConstructionThrowsOnInvalidConfig) {
   sim::Engine engine;
   Config cfg;

@@ -1,0 +1,335 @@
+// Weighted-fair drain equivalence + share properties (ISSUE 7).
+//
+// The fair drain changes *which ring head* a service loop claims next
+// (per-job virtual time instead of class-then-channel sweeps) but must not
+// change *what* the transport does:
+//
+//   (a) Degenerate-weights equivalence — the same seeded multi-tenant
+//       stream driven through the strict PR-4 drain and through the fair
+//       drain with every weight equal must produce identical per-rank
+//       return values, identical errno streams, execute every service
+//       exactly once, and preserve the per-(channel, priority) FIFO
+//       contract. For a single tenant on one shared channel the claim
+//       ORDER itself must be identical — there the fair drain's (vtime,
+//       class, age) key collapses to class-then-FIFO, which is exactly
+//       the strict order.
+//   (b) Identical per-job completion sets — fair and strict drains may
+//       interleave tenants differently, but the set of (job, rank, op)
+//       completions and each job's completed count must match exactly.
+//
+// A third property pins the weighted share itself: two saturating tenants
+// with weights 2:1 on one service loop must complete claims in ~2:1.
+//
+// Determinism: fixed default seed, overridable with PD_PROPERTY_SEED; a
+// failure prints the seed. Run with `ctest -L qos` (also `property`, `ikc`).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <set>
+#include <tuple>
+#include <vector>
+
+#include "src/common/rng.hpp"
+#include "src/ikc/transport.hpp"
+#include "src/os/kernel.hpp"
+
+namespace pd::ikc {
+namespace {
+
+std::uint64_t harness_seed() {
+  if (const char* env = std::getenv("PD_PROPERTY_SEED"); env != nullptr && *env != '\0')
+    return std::strtoull(env, nullptr, 0);
+  return 0xFA137EA5ull;
+}
+
+constexpr int kJobs = 6;
+constexpr int kRanksPerJob = 2;
+constexpr int kOpsPerRank = 25;
+
+struct Op {
+  Priority prio = Priority::bulk;
+  Dur work = 0;
+  Dur gap = 0;
+  long payload = 0;
+  bool fail = false;
+};
+
+struct ExecutionRecord {
+  int job;
+  int rank;  // global rank id (also the channel hint)
+  int op_index;
+  Priority prio;
+};
+
+struct RunResult {
+  // results[rank][op] — what the submitter got back.
+  std::vector<std::vector<long>> results;
+  std::vector<std::vector<Errno>> errors;
+  std::vector<ExecutionRecord> executed;  // service-side, in execution order
+  std::vector<std::uint64_t> completed_per_job;
+  std::uint64_t timeouts = 0;
+  std::uint64_t degraded = 0;
+};
+
+sim::Task<> drive_rank(sim::Engine& engine, IkcTransport& transport,
+                       const std::vector<Op>& script, int job, int rank, int channel,
+                       RunResult& out) {
+  for (int k = 0; k < static_cast<int>(script.size()); ++k) {
+    const Op& op = script[static_cast<std::size_t>(k)];
+    auto r = co_await transport.offload(
+        [&engine, &op, &out, job, rank, k]() -> sim::Task<Result<long>> {
+          co_await engine.delay(op.work);
+          out.executed.push_back({job, rank, k, op.prio});
+          if (op.fail) co_return Errno::eio;
+          co_return op.payload;
+        },
+        op.prio, channel, static_cast<JobId>(job));
+    out.results[static_cast<std::size_t>(rank)].push_back(r.ok() ? *r : -1);
+    out.errors[static_cast<std::size_t>(rank)].push_back(r.error());
+    co_await engine.delay(op.gap);
+  }
+}
+
+constexpr int kRanks = kJobs * kRanksPerJob;
+
+/// Drive the same scripted stream through one drain flavour.
+/// `shared_channel` >= 0 funnels every rank onto that one ring;
+/// `single_job` tags every rank with job 0 (the degenerate single-tenant
+/// case — with multiple tenants the fair drain may legitimately serve a
+/// lower-vtime tenant's bulk before another tenant's control, so exact
+/// claim-order equivalence is only pinned for one tenant).
+/// `atomic_collect` zeroes the lock hand-off and cross-socket drain costs
+/// so batch collection takes no simulated time. With nonzero costs a
+/// control request can *arrive mid-collection*: the fair drain's per-claim
+/// re-scan claims it in the current batch (control beats queued bulk at
+/// equal vtime), while the strict drain's control pass is already over, so
+/// it waits a full batch. That race changes claim order only — FIFO and
+/// completion sets stay identical (the equivalence test runs with the
+/// default costs) — so the order property is pinned where it is exact.
+RunResult run_stream(const std::vector<std::vector<Op>>& scripts, bool fair_drain,
+                     int shared_channel = -1, bool single_job = false,
+                     bool atomic_collect = false) {
+  os::Config cfg;
+  cfg.ikc_mode = os::IkcMode::ring;
+  cfg.ikc_fair_drain = fair_drain;
+  if (atomic_collect) {
+    cfg.ikc_lock_cost = 0;
+    cfg.ikc_remote_drain_cost = 0;
+  }
+  sim::Engine engine;
+  os::LinuxKernel linux_kernel(engine, cfg);
+  Samples queueing;
+  IkcTransport transport(engine, cfg, linux_kernel.service_cpus(),
+                         linux_kernel.profiler(), queueing, linux_kernel.spinlock_abi());
+
+  RunResult out;
+  out.results.resize(kRanks);
+  out.errors.resize(kRanks);
+  for (int rank = 0; rank < kRanks; ++rank) {
+    const int job = single_job ? 0 : rank / kRanksPerJob;
+    const int channel = shared_channel >= 0 ? shared_channel : rank;
+    sim::spawn(engine, drive_rank(engine, transport,
+                                  scripts[static_cast<std::size_t>(rank)], job, rank,
+                                  channel, out));
+  }
+  engine.run();
+  out.timeouts = linux_kernel.profiler().counter("ikc.ring.timeout");
+  out.degraded = linux_kernel.profiler().counter("ikc.ring.degraded");
+  out.completed_per_job.resize(kJobs, 0);
+  for (int j = 0; j < kJobs; ++j)
+    if (const auto* s = transport.job_stats(static_cast<JobId>(j)))
+      out.completed_per_job[static_cast<std::size_t>(j)] = s->completed;
+  return out;
+}
+
+std::vector<std::vector<Op>> make_scripts(std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::vector<Op>> scripts(kRanks);
+  for (int r = 0; r < kRanks; ++r) {
+    Rng stream = rng.fork();
+    for (int k = 0; k < kOpsPerRank; ++k) {
+      Op op;
+      op.prio = stream.next_below(4) == 0 ? Priority::control : Priority::bulk;
+      op.work = from_us(stream.uniform(0.5, 5.0));
+      op.gap = from_us(stream.uniform(1.0, 30.0));
+      op.payload = static_cast<long>(r) * 1000 + k;
+      op.fail = stream.next_below(16) == 0;
+      scripts[static_cast<std::size_t>(r)].push_back(op);
+    }
+  }
+  return scripts;
+}
+
+void expect_semantic_equivalence(const RunResult& strict, const RunResult& fair) {
+  // Happy path on both sides: a timeout would re-route through the direct
+  // fallback and muddy every ordering claim below.
+  EXPECT_EQ(strict.timeouts, 0u);
+  EXPECT_EQ(fair.timeouts, 0u);
+  EXPECT_EQ(strict.degraded, 0u);
+  EXPECT_EQ(fair.degraded, 0u);
+
+  // Identical return values and errno streams, op by op.
+  for (int r = 0; r < kRanks; ++r) {
+    ASSERT_EQ(strict.results[r].size(), static_cast<std::size_t>(kOpsPerRank));
+    ASSERT_EQ(fair.results[r].size(), static_cast<std::size_t>(kOpsPerRank));
+    for (int k = 0; k < kOpsPerRank; ++k) {
+      EXPECT_EQ(strict.results[r][k], fair.results[r][k])
+          << "rank " << r << " op " << k << " diverged";
+      EXPECT_EQ(strict.errors[r][k], fair.errors[r][k])
+          << "rank " << r << " op " << k << " errno diverged";
+    }
+  }
+
+  // Every scripted service ran exactly once under both drains.
+  ASSERT_EQ(strict.executed.size(), static_cast<std::size_t>(kRanks * kOpsPerRank));
+  ASSERT_EQ(fair.executed.size(), static_cast<std::size_t>(kRanks * kOpsPerRank));
+  std::vector<std::vector<int>> seen(kRanks, std::vector<int>(kOpsPerRank, 0));
+  for (const auto& e : fair.executed) ++seen[e.rank][e.op_index];
+  for (int r = 0; r < kRanks; ++r)
+    for (int k = 0; k < kOpsPerRank; ++k)
+      EXPECT_EQ(seen[r][k], 1) << "rank " << r << " op " << k << " executed "
+                               << seen[r][k] << " times under the fair drain";
+
+  // FIFO within one (channel, priority): each rank submits on one channel
+  // in increasing op order, so per (rank, class) the execution log must be
+  // increasing under both drains.
+  for (const RunResult* run : {&strict, &fair}) {
+    std::vector<int> last_control(kRanks, -1), last_bulk(kRanks, -1);
+    for (const auto& e : run->executed) {
+      auto& last = e.prio == Priority::control ? last_control : last_bulk;
+      EXPECT_LT(last[e.rank], e.op_index)
+          << "FIFO violated for rank " << e.rank << " ("
+          << (e.prio == Priority::control ? "control" : "bulk") << ")";
+      last[e.rank] = e.op_index;
+    }
+  }
+}
+
+TEST(IkcFairnessProperty, EqualWeightsEquivalentToStrictDrain) {
+  const std::uint64_t seed = harness_seed();
+  SCOPED_TRACE(::testing::Message() << "PD_PROPERTY_SEED=" << seed);
+  const auto scripts = make_scripts(seed);
+
+  const RunResult strict = run_stream(scripts, /*fair_drain=*/false);
+  const RunResult fair = run_stream(scripts, /*fair_drain=*/true);
+  expect_semantic_equivalence(strict, fair);
+}
+
+TEST(IkcFairnessProperty, SingleTenantClaimOrderIsIdentical) {
+  // One tenant funneled onto one ring: every head carries the same job, so
+  // head-only claiming in (vtime, class, age) order collapses to
+  // class-then-FIFO — byte-identical to the strict drain's claim order,
+  // the degenerate case the scheduler comments pin. Compare the execution
+  // logs entry by entry. Collection must be atomic (zero lock / remote
+  // costs) for exact order equality: see run_stream's doc comment for the
+  // mid-collection control-arrival race the fair drain wins by one batch.
+  const std::uint64_t seed = harness_seed() ^ 0x51;
+  SCOPED_TRACE(::testing::Message() << "PD_PROPERTY_SEED=" << seed);
+  const auto scripts = make_scripts(seed);
+
+  const RunResult strict =
+      run_stream(scripts, /*fair_drain=*/false, /*shared_channel=*/0, /*single_job=*/true,
+                 /*atomic_collect=*/true);
+  const RunResult fair =
+      run_stream(scripts, /*fair_drain=*/true, /*shared_channel=*/0, /*single_job=*/true,
+                 /*atomic_collect=*/true);
+  expect_semantic_equivalence(strict, fair);
+
+  ASSERT_EQ(strict.executed.size(), fair.executed.size());
+  for (std::size_t i = 0; i < strict.executed.size(); ++i) {
+    const auto& s = strict.executed[i];
+    const auto& f = fair.executed[i];
+    EXPECT_TRUE(s.rank == f.rank && s.op_index == f.op_index && s.prio == f.prio)
+        << "claim order diverged at position " << i << ": strict (rank " << s.rank
+        << ", op " << s.op_index << ") vs fair (rank " << f.rank << ", op "
+        << f.op_index << ")";
+  }
+}
+
+TEST(IkcFairnessProperty, FairAndStrictCompleteIdenticalPerJobSets) {
+  const std::uint64_t seed = harness_seed() ^ 0xB2;
+  SCOPED_TRACE(::testing::Message() << "PD_PROPERTY_SEED=" << seed);
+  const auto scripts = make_scripts(seed);
+
+  const RunResult strict = run_stream(scripts, /*fair_drain=*/false);
+  const RunResult fair = run_stream(scripts, /*fair_drain=*/true);
+
+  std::set<std::tuple<int, int, int>> strict_set, fair_set;
+  for (const auto& e : strict.executed) strict_set.insert({e.job, e.rank, e.op_index});
+  for (const auto& e : fair.executed) fair_set.insert({e.job, e.rank, e.op_index});
+  EXPECT_EQ(strict_set, fair_set);
+
+  ASSERT_EQ(strict.completed_per_job.size(), fair.completed_per_job.size());
+  for (int j = 0; j < kJobs; ++j)
+    EXPECT_EQ(strict.completed_per_job[j], fair.completed_per_job[j])
+        << "job " << j << " completed count diverged";
+}
+
+// --- weighted share under saturation ---------------------------------------
+
+sim::Task<> saturating_rank(sim::Engine& eng, IkcTransport& transport, JobId job,
+                            int channel, const bool& stop) {
+  for (int k = 0; !stop; ++k) {
+    const auto prio = (k % 4 == 0) ? Priority::control : Priority::bulk;
+    auto r = co_await transport.offload(
+        [&eng]() -> sim::Task<Result<long>> {
+          co_await eng.delay(from_us(2));
+          co_return 0L;
+        },
+        prio, channel, job);
+    (void)r;
+  }
+}
+
+sim::Task<> stop_after(sim::Engine& eng, Dur horizon, bool& stop) {
+  co_await eng.delay(horizon);
+  stop = true;
+}
+
+TEST(IkcFairnessProperty, WeightsSplitOneLoopsCapacityProportionally) {
+  // Two tenants, both saturating (8 streams each) one service loop, with
+  // drain weights 2:1: the completed-claim ratio must track the weights,
+  // not the (equal) offered load. The batch limit must bind for the claim
+  // *order* to matter at all — an adaptive batch large enough to claim
+  // every queued head each round makes the split demand-bound — so pin a
+  // small static batch and keep both tenants' backlogs deeper than it.
+  os::Config cfg;
+  cfg.ikc_mode = os::IkcMode::ring;
+  cfg.linux_service_cpus = 1;  // one loop owns every channel
+  cfg.ikc_channels = 2;
+  cfg.ikc_job_weights = {2.0, 1.0};
+  cfg.ikc_adaptive_batch = false;
+  cfg.ikc_batch = 4;
+  cfg.ikc_deadline = from_ms(100.0);  // saturation queueing is the point
+  sim::Engine engine;
+  os::LinuxKernel linux_kernel(engine, cfg);
+  Samples queueing;
+  IkcTransport transport(engine, cfg, linux_kernel.service_cpus(),
+                         linux_kernel.profiler(), queueing, linux_kernel.spinlock_abi());
+
+  bool stop = false;
+  for (int j = 0; j < 2; ++j)
+    for (int s = 0; s < 4; ++s)
+      sim::spawn(engine,
+                 saturating_rank(engine, transport, static_cast<JobId>(j), j, stop));
+  sim::spawn(engine, stop_after(engine, from_ms(4.0), stop));
+  engine.run();
+
+  const auto* heavy = transport.job_stats(0);
+  const auto* light = transport.job_stats(1);
+  ASSERT_NE(heavy, nullptr);
+  ASSERT_NE(light, nullptr);
+  ASSERT_GT(light->completed, 50u) << "not saturated enough to measure shares";
+  const double ratio = static_cast<double>(heavy->completed) /
+                       static_cast<double>(light->completed);
+  EXPECT_GT(ratio, 1.6) << "weight-2 tenant got " << heavy->completed
+                        << " vs weight-1 tenant " << light->completed;
+  EXPECT_LT(ratio, 2.4) << "weight-2 tenant got " << heavy->completed
+                        << " vs weight-1 tenant " << light->completed;
+}
+
+}  // namespace
+}  // namespace pd::ikc

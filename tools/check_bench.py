@@ -8,6 +8,10 @@ more than ``--tolerance`` (default 15%) fails the run.  Two suites:
   fastpath  — bench_fastpath_cache / BENCH_fastpath.json: the fast-path
               cache squeeze plus the offload-storm (``ikc_batch`` /
               ``reply_ring``) rows.
+  overload  — bench_fastpath_cache / BENCH_fastpath.json, ``overload``
+              rows only: the multi-tenant overload ladder.  Gates Jain's
+              fairness index per rung and the misbehaving-tenant rung's
+              victim-p95 ratio (all simulated-time, deterministic).
   sim_scale — bench_sim_scale / BENCH_sim_scale.json: the calendar-queue
               DES engine at paper scale (raw events/sec, allocation-free
               event path, >= 256-node sharded UMT sweep).
@@ -74,6 +78,32 @@ INFORMATIONAL_FASTPATH = [
     "numa_drain.numa_aware.iters_per_sec",
 ]
 
+# Multi-tenant overload ladder (all simulated-time, deterministic). The
+# rung names gated here exist in both quick and full sweeps.
+GATES_OVERLOAD = [
+    # Equal-weight rungs must divide the loops' capacity evenly: Jain's
+    # index over per-job completed counts (1.0 = perfectly fair).
+    ("overload.n16.jain", "higher", 0.0),
+    ("overload.n256.jain", "higher", 0.0),
+    ("overload.n1024.jain", "higher", 0.0),
+    ("overload.n1024.queue_p95_us_worst", "lower", 1.0),
+    # PR-4 degenerate case: the strict two-class drain's fairness must not
+    # drift either (the weighted-fair scheduler reduces to it).
+    ("overload.n64_strict.jain", "higher", 0.0),
+    # Misbehaving tenant: victims' worst p95 vs the no-flooder baseline
+    # stays bounded, and the fair drain keeps the victims even.
+    ("overload.flood.victim_p95_ratio", "lower", 0.05),
+    ("overload.flood.victim_jain", "higher", 0.0),
+]
+
+INFORMATIONAL_OVERLOAD = [
+    "overload.n1024.completed",
+    "overload.n1024.eagain",
+    "overload.flood.flooder_completed",
+    "overload.flood.flooder_eagain",
+    "overload.flood.flooder_credit_waits",
+]
+
 GATES_SIM_SCALE = [
     # Allocation-free event path: the scheduler's core contract. The raw
     # loop counts real operator-new calls; the sweep point counts
@@ -108,6 +138,11 @@ SUITES = {
     "fastpath": {
         "gates": GATES_FASTPATH,
         "informational": INFORMATIONAL_FASTPATH,
+        "json": "BENCH_fastpath.json",
+    },
+    "overload": {
+        "gates": GATES_OVERLOAD,
+        "informational": INFORMATIONAL_OVERLOAD,
         "json": "BENCH_fastpath.json",
     },
     "sim_scale": {
@@ -185,6 +220,10 @@ def main() -> int:
                     help="set PD_QUICK=1 (smaller sweep; simulated metrics then "
                          "use different workload sizes, so only compare against "
                          "a quick-mode baseline)")
+    ap.add_argument("--reuse-outdir", action="store_true",
+                    help="skip rerunning the bench when the suite's JSON already "
+                         "exists in --outdir (for gating a second suite against "
+                         "the same binary's output, e.g. fastpath then overload)")
     args = ap.parse_args()
 
     suite = SUITES[args.suite]
@@ -200,17 +239,20 @@ def main() -> int:
     # Run in a scratch dir so the bench's JSON output cannot clobber the
     # committed baseline we are comparing against.
     os.makedirs(args.outdir, exist_ok=True)
-    env = dict(os.environ)
-    if args.quick:
-        env["PD_QUICK"] = "1"
-    print(f"running {bench} (cwd={args.outdir})...")
-    proc = subprocess.run([bench], cwd=args.outdir, env=env)
-    if proc.returncode != 0:
-        print(f"error: bench binary failed its own acceptance checks "
-              f"(exit {proc.returncode})", file=sys.stderr)
-        return 1
-
     fresh_path = os.path.join(args.outdir, suite["json"])
+    if args.reuse_outdir and os.path.exists(fresh_path):
+        print(f"reusing existing {fresh_path} (--reuse-outdir)")
+    else:
+        env = dict(os.environ)
+        if args.quick:
+            env["PD_QUICK"] = "1"
+        print(f"running {bench} (cwd={args.outdir})...")
+        proc = subprocess.run([bench], cwd=args.outdir, env=env)
+        if proc.returncode != 0:
+            print(f"error: bench binary failed its own acceptance checks "
+                  f"(exit {proc.returncode})", file=sys.stderr)
+            return 1
+
     with open(fresh_path) as f:
         fresh = json.load(f)
 
