@@ -152,7 +152,9 @@ struct FairnessResult {
 };
 
 /// Jain's fairness index: (Σx)² / (n·Σx²) — 1.0 when all tenants got the
-/// same share, → 1/n as one tenant monopolizes.
+/// same share, → 1/n as one tenant monopolizes. All-zero shares are
+/// universal starvation, not fairness: a rung in which no tenant completed
+/// anything scores 0.0 so it can never pass the check_bench jain gates.
 inline double jain_index(const std::vector<double>& xs) {
   if (xs.empty()) return 1.0;
   double sum = 0, sumsq = 0;
@@ -160,7 +162,7 @@ inline double jain_index(const std::vector<double>& xs) {
     sum += x;
     sumsq += x * x;
   }
-  if (sumsq <= 0) return 1.0;
+  if (sumsq <= 0) return 0.0;
   return (sum * sum) / (static_cast<double>(xs.size()) * sumsq);
 }
 

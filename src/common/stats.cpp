@@ -1,6 +1,8 @@
 #include "src/common/stats.hpp"
 
 #include <algorithm>
+
+#include "src/common/rng.hpp"
 #include <cmath>
 #include <cstdio>
 #include <sstream>
@@ -41,11 +43,36 @@ void RunningStats::merge(const RunningStats& other) {
   max_ = std::max(max_, other.max_);
 }
 
-double Samples::mean() const {
-  if (xs_.empty()) return 0.0;
-  double s = 0.0;
-  for (double x : xs_) s += x;
-  return s / static_cast<double>(xs_.size());
+void Samples::add(double x) {
+  ++seen_;
+  sum_ += x;
+  if (seen_ == 1 || x > max_) max_ = x;
+  if (cap_ == 0 || xs_.size() < cap_) {
+    xs_.push_back(x);
+    return;
+  }
+  // Algorithm R: the i-th sample replaces a uniformly random reservoir slot
+  // with probability cap/i, leaving every sample seen so far equally likely
+  // to be retained.
+  const std::uint64_t j = splitmix64(rng_) % static_cast<std::uint64_t>(seen_);
+  if (j < static_cast<std::uint64_t>(cap_)) xs_[static_cast<std::size_t>(j)] = x;
+}
+
+void Samples::merge(const Samples& other) {
+  if (other.seen_ == 0) return;
+  if (seen_ == 0 || other.max_ > max_) max_ = other.max_;
+  sum_ += other.sum_;
+  for (const double x : other.xs_) {
+    ++seen_;
+    if (cap_ == 0 || xs_.size() < cap_) {
+      xs_.push_back(x);
+      continue;
+    }
+    const std::uint64_t j = splitmix64(rng_) % static_cast<std::uint64_t>(seen_);
+    if (j < static_cast<std::uint64_t>(cap_)) xs_[static_cast<std::size_t>(j)] = x;
+  }
+  // Samples the other side itself evicted still count toward the total.
+  seen_ += other.seen_ - other.xs_.size();
 }
 
 double Samples::percentile(double p) const {

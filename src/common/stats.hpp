@@ -35,19 +35,35 @@ class RunningStats {
 };
 
 /// Sample container with percentile queries; used for latency distributions
-/// in the micro-benches. Stores all samples — fine at bench scale.
+/// in the micro-benches. Unbounded by default (every sample retained, exact
+/// percentiles). An explicit capacity turns the container into a uniform
+/// reservoir (Vitter's algorithm R, deterministically seeded): count, mean
+/// and max stay exact while percentiles are estimated over at most `cap`
+/// retained samples — O(cap) memory no matter how long the run, which is
+/// what per-job queueing needs at the 4096-job overload ladder.
 class Samples {
  public:
-  void add(double x) { xs_.push_back(x); }
+  Samples() = default;
+  explicit Samples(std::size_t cap) : cap_(cap) {}
+  void add(double x);
   /// Pool another node's samples (cluster-wide percentile summaries).
-  void merge(const Samples& other) { xs_.insert(xs_.end(), other.xs_.begin(), other.xs_.end()); }
-  std::size_t count() const { return xs_.size(); }
-  double mean() const;
-  /// p in [0,100]; nearest-rank on the sorted copy.
+  /// Count/mean/max merge exactly; the retained set is appended, or
+  /// reservoir-inserted when this side is bounded.
+  void merge(const Samples& other);
+  std::size_t count() const { return seen_; }
+  double mean() const { return seen_ ? sum_ / static_cast<double>(seen_) : 0.0; }
+  /// Exact maximum over everything added — survives reservoir eviction.
+  double max() const { return seen_ ? max_ : 0.0; }
+  /// p in [0,100]; nearest-rank on the sorted retained set.
   double percentile(double p) const;
 
  private:
-  std::vector<double> xs_;
+  std::vector<double> xs_;  // everything (cap_ == 0) or the reservoir
+  std::size_t cap_ = 0;     // 0 = retain every sample
+  std::size_t seen_ = 0;
+  double sum_ = 0.0;
+  double max_ = 0.0;
+  std::uint64_t rng_ = 0x9E3779B97F4A7C15ull;  // SplitMix64 state
 };
 
 /// Fixed-width text table writer for bench output (paper-style rows).

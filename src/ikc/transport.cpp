@@ -39,7 +39,9 @@ QueueingSummary summarize_queueing(const Samples& samples) {
   s.mean_us = samples.mean();
   s.p50_us = samples.percentile(50);
   s.p95_us = samples.percentile(95);
-  s.max_us = samples.percentile(100);
+  // Exact max, not percentile(100): per-job samples are a bounded reservoir
+  // and the true maximum must survive eviction.
+  s.max_us = samples.max();
   return s;
 }
 
@@ -650,9 +652,12 @@ sim::Task<> IkcTransport::collect_batch_fair(int loop, std::vector<RequestPtr>& 
       for (std::size_t idx = 0; idx < lp.channels.size(); ++idx) {
         auto& ring = channels_[static_cast<std::size_t>(lp.channels[idx])]->rings[prio];
         // Scrub settled heads so a timed-out or abandoned entry neither
-        // blocks the ring nor votes with its (dead) job's vtime.
+        // blocks the ring nor votes with its (dead) job's vtime. The first
+        // touch of a ring awaits (lock hand-off, remote surcharge), so the
+        // head must be re-checked after it before popping.
         while (!ring.empty() && (*ring.front()).state != Request::State::queued) {
           co_await touch(idx, prio);
+          if (ring.empty() || (*ring.front()).state == Request::State::queued) break;
           auto req = ring.pop();
           prof_.bump((*req)->state == Request::State::abandoned ? "ikc.ring.dead_skip"
                                                                 : "ikc.ring.stale_skip");
@@ -677,6 +682,18 @@ sim::Task<> IkcTransport::collect_batch_fair(int loop, std::vector<RequestPtr>& 
         channels_[static_cast<std::size_t>(lp.channels[static_cast<std::size_t>(best_idx)])]
             ->rings[best_prio];
     auto req = ring.pop();
+    // The touch's awaits advance simulated time: the head the scan chose may
+    // have hit its ring-residency deadline (submitter already retrying on
+    // another ring) or been abandoned by consumer death in that window, and
+    // a concurrent drain may even have emptied the ring. Claiming blindly
+    // would overwrite the settled state and execute the service twice, so
+    // re-check before claiming — mirroring collect_batch_strict.
+    if (!req.has_value()) continue;
+    if ((*req)->state != Request::State::queued) {
+      prof_.bump((*req)->state == Request::State::abandoned ? "ikc.ring.dead_skip"
+                                                            : "ikc.ring.stale_skip");
+      continue;
+    }
     JobState& js = job((*req)->job);
     // An idle job rejoins at the floor instead of replaying its unused
     // past share as a burst (standard WFQ re-arrival rule).

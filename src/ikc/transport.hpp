@@ -174,7 +174,13 @@ class IkcTransport {
     std::uint64_t eagain = 0;      // failed at the credit gate (throttled)
     std::uint64_t credit_waits = 0;  // backoff rounds spent waiting for credit
     int inflight = 0;              // accepted, not yet returned
-    Samples queueing_us;           // this job's queueing delays
+    /// Per-job queueing delays: a bounded reservoir, not a full sample
+    /// vector — every sample already lands in the transport-wide `Samples`,
+    /// and at the 4096-job overload ladder an unbounded second copy per job
+    /// would double queueing-sample memory without bound. Count, mean and
+    /// max stay exact; p50/p95 are reservoir estimates over `kQueueingCap`.
+    static constexpr std::size_t kQueueingCap = 2048;
+    Samples queueing_us{kQueueingCap};
   };
   /// Stats for `job`, or nullptr when the job never submitted.
   const JobStats* job_stats(JobId job) const;

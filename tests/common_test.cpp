@@ -149,6 +149,32 @@ TEST(Samples, Percentile) {
   EXPECT_DOUBLE_EQ(s.percentile(99), 99.0);
   EXPECT_DOUBLE_EQ(s.percentile(100), 100.0);
   EXPECT_DOUBLE_EQ(s.percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), s.percentile(100));
+}
+
+TEST(Samples, BoundedReservoirKeepsExactAggregates) {
+  Samples s(64);
+  for (int i = 1; i <= 10000; ++i) s.add(static_cast<double>(i));
+  EXPECT_EQ(s.count(), 10000u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5000.5);
+  EXPECT_DOUBLE_EQ(s.max(), 10000.0) << "the true max must survive eviction";
+  // Percentiles are estimates over the 64-slot reservoir; the estimate must
+  // at least land inside the sampled range and be ordered.
+  const double p50 = s.percentile(50);
+  EXPECT_GT(p50, 1000.0);
+  EXPECT_LT(p50, 9000.0);
+  EXPECT_LE(s.percentile(95), s.max());
+  EXPECT_LE(p50, s.percentile(95));
+}
+
+TEST(Samples, MergeSumsCountsAndTracksMax) {
+  Samples a, b;
+  for (int i = 0; i < 10; ++i) a.add(1.0);
+  for (int i = 0; i < 5; ++i) b.add(3.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 15u);
+  EXPECT_DOUBLE_EQ(a.mean(), 25.0 / 15.0);
+  EXPECT_DOUBLE_EQ(a.max(), 3.0);
 }
 
 TEST(RingBuffer, PushPopFifo) {

@@ -261,6 +261,15 @@ TEST(FailureInjection, ConsumerDeathDropsCompletionsWithoutWedgingTheLoop) {
   EXPECT_GT(h.transport->loop_served(0), 0u);
 }
 
+TEST(FairnessHarness, JainIndexScoresAllZeroSharesAsStarvation) {
+  // A window in which no tenant completed anything is universal starvation,
+  // not perfect fairness: it must score 0.0, never slip past a jain gate.
+  EXPECT_DOUBLE_EQ(bench::jain_index({}), 1.0);
+  EXPECT_DOUBLE_EQ(bench::jain_index({0.0, 0.0, 0.0}), 0.0);
+  EXPECT_DOUBLE_EQ(bench::jain_index({5.0, 5.0}), 1.0);
+  EXPECT_NEAR(bench::jain_index({1.0, 0.0, 0.0, 0.0}), 0.25, 1e-12);
+}
+
 TEST(FailureInjection, FloodingTenantIsThrottledAloneVictimsStayBounded) {
   // Misbehaving-tenant rung: job 0 floods its channel with 12 saturating
   // streams while 7 victims run a normal backlogged profile. With per-job

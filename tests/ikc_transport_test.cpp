@@ -3,6 +3,7 @@
 // FIFO order, ring-full handling, and depth-histogram accounting.
 #include <gtest/gtest.h>
 
+#include <map>
 #include <vector>
 
 #include "src/ikc/transport.hpp"
@@ -172,6 +173,39 @@ TEST(IkcTransport, SuspectLoopRecoversThroughProbe) {
   EXPECT_FALSE(h.transport->loop_suspect(0));
   EXPECT_GE(h.counter("ikc.ring.probe"), 1u);
   EXPECT_EQ(results.size(), 12u);
+}
+
+TEST(IkcTransport, FairDrainNeverClaimsHeadsThatSettledMidCollect) {
+  // Regression: collect_batch_fair's scan sees a queued head, but the
+  // touch's awaits (lock hand-off, remote-drain surcharge) advance
+  // simulated time before the pop. A head whose ring-residency deadline
+  // fires inside that window is already being retried by its submitter on
+  // another ring — claiming it anyway executes the service twice. Widen
+  // the window (fat lock cost) and tighten the deadline so backlogged
+  // heads routinely settle mid-collect, then assert no service ran twice.
+  auto cfg = ring_cfg();
+  cfg.linux_service_cpus = 2;
+  cfg.ikc_channels = 4;
+  cfg.ikc_fair_drain = true;
+  cfg.ikc_lock_cost = from_us(5);  // widen the scan → pop window
+  cfg.ikc_deadline = from_us(40);  // heads settle while batches collect
+  cfg.ikc_retry_backoff = from_us(1);
+  Harness h(cfg);
+  std::vector<long> order, results;
+  constexpr int kOps = 64;
+  for (int i = 0; i < kOps; ++i)
+    h.submit(i, i % 4 == 0 ? Priority::control : Priority::bulk, i % 4, order, results);
+  h.engine.run();
+  ASSERT_EQ(results.size(), static_cast<std::size_t>(kOps));
+  // The scenario must actually flood heads into the settle window ...
+  EXPECT_GT(h.counter("ikc.ring.timeout"), 0u);
+  EXPECT_GT(h.counter("ikc.ring.stale_skip"), 0u);
+  // ... and every service must run at most once: a timed-out attempt is
+  // the submitter's to retry, never the drain's to claim.
+  std::map<long, int> runs;
+  for (long tag : order) ++runs[tag];
+  for (const auto& [tag, n] : runs)
+    EXPECT_LE(n, 1) << "service for op " << tag << " executed " << n << " times";
 }
 
 TEST(IkcTransport, RingFullRetriesAndCompletesEverything) {
