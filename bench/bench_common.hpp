@@ -5,6 +5,7 @@
 // the full figure.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -259,6 +260,125 @@ inline FairnessResult run_fairness_storm(const os::Config& cfg,
     out.jobs.push_back(o);
   }
   out.jain = jain_index(shares);
+  return out;
+}
+
+/// --- elastic repartition storm (§8.7) --------------------------------------
+/// A sustained offload storm across a scripted shrink → steady → grow
+/// schedule: boot shape, retire down to `shrink_to` loops mid-flood, run a
+/// steady window, attach back up to the boot shape. Round-trip latency is
+/// collected per window so the bench reports tail latency *during* each
+/// transition (the handover cost) and *after* it (the new steady state),
+/// plus the time-to-quiesce each transition paid. All simulated time —
+/// deterministic, gateable.
+
+struct ElasticStormResult {
+  double pre_p95_us = 0;            // boot-shape steady state
+  double shrink_during_p95_us = 0;  // window containing the retires
+  double shrink_after_p95_us = 0;   // shrunken steady state
+  double grow_during_p95_us = 0;    // window containing the attaches
+  double grow_after_p95_us = 0;     // restored steady state
+  double quiesce_us = 0;            // drain + handover time of the retires
+  double attach_us = 0;             // time to bring the loops back
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t lost = 0;  // submitted - completed - failed: must be 0
+  std::uint64_t failed = 0;
+  std::uint64_t timeouts = 0;
+  std::uint64_t degraded = 0;
+  std::uint64_t stale_skips = 0;
+  std::uint64_t dead_skips = 0;
+  std::uint64_t retired = 0;
+  std::uint64_t attached = 0;
+};
+
+namespace detail {
+
+inline sim::Task<> elastic_submitter(sim::Engine& engine, ikc::IkcTransport& transport,
+                                     int channel, Dur work, Dur gap, const bool& halt,
+                                     const int& phase, std::array<Samples, 5>& windows,
+                                     ElasticStormResult& out) {
+  while (!halt) {
+    const Time t0 = engine.now();
+    ++out.submitted;
+    auto r = co_await transport.offload(
+        [&engine, work]() -> sim::Task<Result<long>> {
+          co_await engine.delay(work);
+          co_return 1;
+        },
+        ikc::Priority::bulk, channel);
+    if (r.ok()) {
+      ++out.completed;
+      windows[static_cast<std::size_t>(phase)].add(to_us(engine.now() - t0));
+    } else {
+      ++out.failed;
+    }
+    co_await engine.delay(gap);
+  }
+}
+
+inline sim::Task<> elastic_schedule(sim::Engine& engine, ikc::IkcTransport& transport,
+                                    int shrink_by, Dur window, int& phase, bool& halt,
+                                    ElasticStormResult& out) {
+  co_await engine.delay(window);  // phase 0: boot-shape steady state
+  phase = 1;
+  Time t0 = engine.now();
+  for (int i = 0; i < shrink_by; ++i) {
+    const Status s = co_await transport.retire_loop();
+    if (!s.ok()) break;
+  }
+  out.quiesce_us = to_us(engine.now() - t0);
+  co_await engine.delay(window);  // phase 1 window includes the quiesce
+  phase = 2;
+  co_await engine.delay(window);  // shrunken steady state
+  phase = 3;
+  t0 = engine.now();
+  for (int i = 0; i < shrink_by; ++i) {
+    const Status s = co_await transport.attach_loop();
+    if (!s.ok()) break;
+  }
+  out.attach_us = to_us(engine.now() - t0);
+  co_await engine.delay(window);
+  phase = 4;
+  co_await engine.delay(window);  // restored steady state
+  halt = true;
+}
+
+}  // namespace detail
+
+inline ElasticStormResult run_elastic_storm(const os::Config& cfg, int streams, Dur work,
+                                            Dur gap, Dur window, int shrink_by) {
+  sim::Engine engine;
+  os::LinuxKernel linux_kernel(engine, cfg);
+  Samples queueing;
+  ikc::IkcTransport transport(engine, cfg, linux_kernel.service_cpus(),
+                              linux_kernel.profiler(), queueing,
+                              linux_kernel.spinlock_abi());
+  ElasticStormResult out;
+  std::array<Samples, 5> windows;
+  int phase = 0;
+  bool halt = false;
+  for (int s = 0; s < streams; ++s)
+    sim::spawn(engine,
+               detail::elastic_submitter(engine, transport, s % cfg.ikc_channels, work,
+                                         gap, halt, phase, windows, out));
+  sim::spawn(engine, detail::elastic_schedule(engine, transport, shrink_by, window, phase,
+                                              halt, out));
+  engine.run();
+
+  out.pre_p95_us = windows[0].percentile(95);
+  out.shrink_during_p95_us = windows[1].percentile(95);
+  out.shrink_after_p95_us = windows[2].percentile(95);
+  out.grow_during_p95_us = windows[3].percentile(95);
+  out.grow_after_p95_us = windows[4].percentile(95);
+  out.lost = out.submitted - out.completed - out.failed;
+  const auto& prof = linux_kernel.profiler();
+  out.timeouts = prof.counter("ikc.ring.timeout");
+  out.degraded = prof.counter("ikc.ring.degraded");
+  out.stale_skips = prof.counter("ikc.ring.stale_skip");
+  out.dead_skips = prof.counter("ikc.ring.dead_skip");
+  out.retired = prof.counter("ikc.elastic.loop_retired");
+  out.attached = prof.counter("ikc.elastic.loop_attached");
   return out;
 }
 

@@ -413,6 +413,21 @@ int main() {
       base_victim_p95 > 0 ? flood_victim_p95 / base_victim_p95 : 0.0;
   const auto& flooder = flood_run.jobs[0];
 
+  // Elastic repartitioning (§8.7): 64 streams over 4 service loops, then a
+  // live shrink to 2 (both retires back to back), a shrunken steady-state
+  // window, a grow back to 4, and a restored window. Per-window round-trip
+  // p95 shows the handover cost in-band; the skip counters prove the
+  // quiesce lost nothing (a stale/dead skip would mean a queued request was
+  // dropped on the floor during the handover instead of drained).
+  pd::os::Config elastic_cfg;
+  elastic_cfg.ikc_mode = pd::os::IkcMode::ring;
+  elastic_cfg.ikc_channels = 32;
+  elastic_cfg.ikc_numa_pin = false;
+  elastic_cfg.ikc_deadline = pd::from_ms(500.0);
+  const pd::Dur elastic_window = quick_mode() ? pd::from_us(400) : pd::from_ms(1.0);
+  const auto elastic = pd::bench::run_elastic_storm(
+      elastic_cfg, 64, pd::from_us(3), pd::from_us(2), elastic_window, /*shrink_by=*/2);
+
   const double speedup = fast.ops_per_sec / base.ops_per_sec;
   std::printf("  workload: %llu sends of the same pinned %llu KiB buffer\n",
               static_cast<unsigned long long>(iters),
@@ -563,6 +578,22 @@ int main() {
               static_cast<unsigned long long>(flooder.eagain),
               static_cast<unsigned long long>(flooder.credit_waits),
               victim_jain(flood_run));
+  std::printf("  elastic repartition (64 streams, 4 -> 2 -> 4 service loops):\n");
+  std::printf("    p95 us: pre %7.1f | shrink-during %7.1f | shrink-after %7.1f | "
+              "grow-during %7.1f | grow-after %7.1f\n",
+              elastic.pre_p95_us, elastic.shrink_during_p95_us,
+              elastic.shrink_after_p95_us, elastic.grow_during_p95_us,
+              elastic.grow_after_p95_us);
+  std::printf("    quiesce %.1f us (2 retires), attach %.1f us; "
+              "%llu submitted, %llu completed, %llu lost; "
+              "timeouts %llu, stale skips %llu, dead skips %llu\n",
+              elastic.quiesce_us, elastic.attach_us,
+              static_cast<unsigned long long>(elastic.submitted),
+              static_cast<unsigned long long>(elastic.completed),
+              static_cast<unsigned long long>(elastic.lost),
+              static_cast<unsigned long long>(elastic.timeouts),
+              static_cast<unsigned long long>(elastic.stale_skips),
+              static_cast<unsigned long long>(elastic.dead_skips));
 
   std::FILE* json = std::fopen("BENCH_fastpath.json", "w");
   if (json == nullptr) return 1;
@@ -676,13 +707,38 @@ int main() {
                "\"victim_p95_ratio\": %.3f, \"victim_jain\": %.4f, "
                "\"flooder_completed\": %llu, \"flooder_eagain\": %llu, "
                "\"flooder_credit_waits\": %llu}\n"
-               "  }\n"
-               "}\n",
+               "  },\n",
                strict64.jain, flood_victim_p95, base_victim_p95, victim_p95_ratio,
                victim_jain(flood_run),
                static_cast<unsigned long long>(flooder.completed),
                static_cast<unsigned long long>(flooder.eagain),
                static_cast<unsigned long long>(flooder.credit_waits));
+  std::fprintf(json,
+               "  \"elastic\": {\n"
+               "    \"streams\": 64, \"service_cpus\": 4, \"shrink_by\": 2,\n"
+               "    \"pre_p95_us\": %.1f, \"shrink_during_p95_us\": %.1f, "
+               "\"shrink_after_p95_us\": %.1f, \"grow_during_p95_us\": %.1f, "
+               "\"grow_after_p95_us\": %.1f,\n"
+               "    \"quiesce_us\": %.1f, \"attach_us\": %.1f,\n"
+               "    \"submitted\": %llu, \"completed\": %llu, \"lost\": %llu, "
+               "\"failed\": %llu,\n"
+               "    \"timeouts\": %llu, \"degraded\": %llu, \"stale_skips\": %llu, "
+               "\"dead_skips\": %llu, \"retired\": %llu, \"attached\": %llu\n"
+               "  }\n"
+               "}\n",
+               elastic.pre_p95_us, elastic.shrink_during_p95_us,
+               elastic.shrink_after_p95_us, elastic.grow_during_p95_us,
+               elastic.grow_after_p95_us, elastic.quiesce_us, elastic.attach_us,
+               static_cast<unsigned long long>(elastic.submitted),
+               static_cast<unsigned long long>(elastic.completed),
+               static_cast<unsigned long long>(elastic.lost),
+               static_cast<unsigned long long>(elastic.failed),
+               static_cast<unsigned long long>(elastic.timeouts),
+               static_cast<unsigned long long>(elastic.degraded),
+               static_cast<unsigned long long>(elastic.stale_skips),
+               static_cast<unsigned long long>(elastic.dead_skips),
+               static_cast<unsigned long long>(elastic.retired),
+               static_cast<unsigned long long>(elastic.attached));
   std::fclose(json);
   std::printf("  wrote BENCH_fastpath.json\n");
 
@@ -764,6 +820,36 @@ int main() {
   }
   if (flooder.eagain == 0) {
     std::printf("  FAIL: flooder was never throttled (expected EAGAIN > 0)\n");
+    return 1;
+  }
+  // Elastic acceptance (§8.7): the live shrink/grow cycle must be lossless —
+  // every submitted offload completes (no stranded entries, no timeouts, no
+  // stale/dead skips during the handover), both retires and both attaches
+  // land, and the restored pool's tail returns to the boot-shape ballpark.
+  if (elastic.lost != 0 || elastic.failed != 0) {
+    std::printf("  FAIL: elastic repartition lost %llu / failed %llu offloads\n",
+                static_cast<unsigned long long>(elastic.lost),
+                static_cast<unsigned long long>(elastic.failed));
+    return 1;
+  }
+  if (elastic.timeouts != 0 || elastic.stale_skips != 0 || elastic.dead_skips != 0) {
+    std::printf("  FAIL: elastic repartition tripped the robustness ladder "
+                "(timeouts %llu, stale %llu, dead %llu)\n",
+                static_cast<unsigned long long>(elastic.timeouts),
+                static_cast<unsigned long long>(elastic.stale_skips),
+                static_cast<unsigned long long>(elastic.dead_skips));
+    return 1;
+  }
+  if (elastic.retired != 2 || elastic.attached != 2) {
+    std::printf("  FAIL: expected 2 retires + 2 attaches, got %llu/%llu\n",
+                static_cast<unsigned long long>(elastic.retired),
+                static_cast<unsigned long long>(elastic.attached));
+    return 1;
+  }
+  if (elastic.grow_after_p95_us > elastic.pre_p95_us * 3.0 + 5.0) {
+    std::printf("  FAIL: restored pool p95 %.1f us never recovered toward "
+                "boot-shape %.1f us\n",
+                elastic.grow_after_p95_us, elastic.pre_p95_us);
     return 1;
   }
   return 0;

@@ -61,6 +61,7 @@ IkcTransport::IkcTransport(sim::Engine& engine, const os::Config& cfg,
   std::string why;
   if (const Status valid = cfg.validate(&why); !valid.ok())
     throw std::invalid_argument("ikc: invalid Config: " + why);
+  active_loops_ = loops_n_;
   channels_.reserve(static_cast<std::size_t>(channels_n_));
   depth_hist_.resize(static_cast<std::size_t>(channels_n_));
   depth_names_.resize(static_cast<std::size_t>(channels_n_));
@@ -68,15 +69,19 @@ IkcTransport::IkcTransport(sim::Engine& engine, const os::Config& cfg,
     channels_.push_back(std::make_unique<Channel>(
         engine_, lock_abi, cfg.ikc_lock_cost, static_cast<std::size_t>(cfg.ikc_ring_depth),
         static_cast<std::size_t>(std::max(cfg.ikc_reply_depth, 1))));
-  for (int s = 0; s < loops_n_; ++s) {
+  // Provision loop slots for the elastic ceiling too: attach_loop() revives
+  // a slot, it never invents one. Only the boot prefix is spawned.
+  const int slots = std::max(loops_n_, cfg.elastic_max_service_cpus);
+  for (int s = 0; s < slots; ++s) {
     loops_.push_back(std::make_unique<Loop>(engine_));
     loops_.back()->batch_limit = std::max(cfg.ikc_batch, 1);
   }
-  assign_channels();
+  place_rings();
+  shard_channels();
   // Dedicated service loops exist only in ring mode; the direct transport
   // keeps the legacy shape where each offload is its own proxy wakeup.
   if (cfg_.ikc_mode == os::IkcMode::ring)
-    for (int s = 0; s < loops_n_; ++s) sim::spawn(engine_, service_loop(s));
+    for (int s = 0; s < active_loops_; ++s) sim::spawn(engine_, service_loop(s));
 }
 
 IkcTransport::~IkcTransport() {
@@ -85,17 +90,13 @@ IkcTransport::~IkcTransport() {
     if (ch->ring_phys != 0) phys_->free(ch->ring_phys, cfg_.ikc_ring_region_bytes);
 }
 
-void IkcTransport::assign_channels() {
-  channel_loop_.assign(static_cast<std::size_t>(channels_n_), 0);
+void IkcTransport::place_rings() {
   const int sockets = std::max(topo_.sockets(), 1);
-  // Where a loop runs without pinning: its service CPU (the low ids the
-  // IHK reservation leaves to Linux — all in quadrant 0 under SNC-4).
-  for (int l = 0; l < loops_n_; ++l)
-    loops_[static_cast<std::size_t>(l)]->socket = topo_.socket_of(l);
   // Ring memory homes: the owning LWK CPU's socket, made real through
   // PhysMap::alloc_near when a map is supplied. alloc_near may fall back
   // to another domain under pressure — the *achieved* domain is what the
-  // pinning below must follow, not the wish.
+  // pinning below must follow, not the wish. Placement happens once: a
+  // repartition moves loops, never a channel's ring lines.
   for (int c = 0; c < channels_n_; ++c) {
     Channel& ch = *channels_[static_cast<std::size_t>(c)];
     const int owner_cpu = cfg_.linux_service_cpus + c;
@@ -112,26 +113,39 @@ void IkcTransport::assign_channels() {
       }
     }
   }
+}
+
+void IkcTransport::shard_channels() {
+  const int n = active_loops_;
+  channel_loop_.assign(static_cast<std::size_t>(channels_n_), 0);
+  for (auto& lp : loops_) lp->channels.clear();
+  const int sockets = std::max(topo_.sockets(), 1);
+  // Where a loop runs without pinning: its service CPU (the low ids the
+  // IHK reservation leaves to Linux — all in quadrant 0 under SNC-4).
+  for (int l = 0; l < n; ++l)
+    loops_[static_cast<std::size_t>(l)]->socket = topo_.socket_of(l);
   if (cfg_.ikc_mode == os::IkcMode::ring && cfg_.ikc_numa_pin && !topo_.flat()) {
     // Pin loops across the quadrants, then shard each channel to a loop
     // pinned on its ring's socket (least-loaded first); a channel whose
     // socket no loop covers joins the globally least-loaded loop and is
-    // drained remotely.
-    for (int l = 0; l < loops_n_; ++l) {
-      loops_[static_cast<std::size_t>(l)]->socket = (l * sockets) / loops_n_;
+    // drained remotely. Everything is computed over the *active* prefix,
+    // so a repartitioned transport shards exactly like a fresh static one
+    // with `n` service CPUs.
+    for (int l = 0; l < n; ++l) {
+      loops_[static_cast<std::size_t>(l)]->socket = (l * sockets) / n;
       prof_.bump("ikc.numa.pinned_loop");
     }
     for (int c = 0; c < channels_n_; ++c) {
       const int home = channels_[static_cast<std::size_t>(c)]->home_socket;
       int best = -1;
-      for (int l = 0; l < loops_n_; ++l) {
+      for (int l = 0; l < n; ++l) {
         if (loops_[static_cast<std::size_t>(l)]->socket != home) continue;
         if (best < 0 || loops_[static_cast<std::size_t>(l)]->channels.size() <
                             loops_[static_cast<std::size_t>(best)]->channels.size())
           best = l;
       }
       if (best < 0) {
-        for (int l = 0; l < loops_n_; ++l)
+        for (int l = 0; l < n; ++l)
           if (best < 0 || loops_[static_cast<std::size_t>(l)]->channels.size() <
                               loops_[static_cast<std::size_t>(best)]->channels.size())
             best = l;
@@ -144,10 +158,94 @@ void IkcTransport::assign_channels() {
     }
   } else {
     for (int c = 0; c < channels_n_; ++c) {
-      channel_loop_[static_cast<std::size_t>(c)] = c % loops_n_;
-      loops_[static_cast<std::size_t>(c % loops_n_)]->channels.push_back(c);
+      channel_loop_[static_cast<std::size_t>(c)] = c % n;
+      loops_[static_cast<std::size_t>(c % n)]->channels.push_back(c);
     }
   }
+}
+
+void IkcTransport::reset_loop_health(Loop& lp) {
+  lp.consecutive_timeouts = 0;
+  lp.depth_ewma = 0.0;
+  lp.batch_limit = std::max(cfg_.ikc_batch, 1);
+  prof_.bump("ikc.elastic.health_reset");
+}
+
+void IkcTransport::reshard_and_reset() {
+  std::vector<std::vector<int>> before;
+  before.reserve(loops_.size());
+  for (const auto& lp : loops_) before.push_back(lp->channels);
+  shard_channels();
+  prof_.bump("ikc.elastic.reshard");
+  // A suspect verdict, a probe countdown or a depth EWMA was calibrated
+  // against a loop's old channel set; once the set changes the state is
+  // about a shape that no longer exists, so it must not carry over.
+  for (int l = 0; l < active_loops_; ++l)
+    if (loops_[static_cast<std::size_t>(l)]->channels != before[static_cast<std::size_t>(l)])
+      reset_loop_health(*loops_[static_cast<std::size_t>(l)]);
+}
+
+sim::Task<> IkcTransport::wake_loops_with_work() {
+  for (int l = 0; l < active_loops_; ++l) {
+    Loop& lp = *loops_[static_cast<std::size_t>(l)];
+    if (!lp.sleeping || !has_work(l)) continue;
+    lp.sleeping = false;
+    prof_.bump("ikc.ring.doorbell");
+    co_await engine_.delay(cfg_.ikc_doorbell_cost);
+    lp.doorbell.send(1);
+  }
+}
+
+sim::Task<Status> IkcTransport::retire_loop() {
+  if (active_loops_ <= 1) co_return Errno::einval;
+  const int l = active_loops_ - 1;
+  Loop& lp = *loops_[static_cast<std::size_t>(l)];
+  --active_loops_;
+  if (cfg_.ikc_mode != os::IkcMode::ring) {
+    // No loops run in direct mode; the retire is pure bookkeeping.
+    co_return Status::success();
+  }
+  prof_.bump("ikc.elastic.loop_retired");
+  lp.retiring = true;
+  // Hand the loop's channels to the survivors immediately: new submissions
+  // route past the retiring loop from this instant, and the backlog its
+  // rings held is now the new owners' to drain.
+  reshard_and_reset();
+  reset_loop_health(lp);  // a retired slot must not report a stale verdict
+  // Kick the loop out of whatever wait it is parked in so it can observe
+  // `retiring`: the doorbell when it sleeps, the unstall channel when a
+  // stall injection holds it.
+  if (lp.sleeping) {
+    lp.sleeping = false;
+    co_await engine_.delay(cfg_.ikc_doorbell_cost);
+    lp.doorbell.send(1);
+  }
+  if (lp.stall_injected) lp.unstall.send(1);
+  // Quiesce: the loop finishes any batch it already claimed (replies are
+  // delivered through the normal reply path) and exits.
+  co_await lp.retired.recv();
+  // The orphaned queue depth now belongs to loops that may be asleep.
+  co_await wake_loops_with_work();
+  co_return Status::success();
+}
+
+sim::Task<Status> IkcTransport::attach_loop() {
+  if (active_loops_ >= max_loops()) co_return Errno::enospc;
+  const int l = active_loops_;
+  // A fresh Loop, not a recycled one: clean doorbell/unstall channels and
+  // clean suspect/probe/EWMA state, exactly like a boot-time loop.
+  loops_[static_cast<std::size_t>(l)] = std::make_unique<Loop>(engine_);
+  loops_[static_cast<std::size_t>(l)]->batch_limit = std::max(cfg_.ikc_batch, 1);
+  ++active_loops_;
+  if (cfg_.ikc_mode != os::IkcMode::ring) co_return Status::success();
+  prof_.bump("ikc.elastic.loop_attached");
+  reshard_and_reset();
+  sim::spawn(engine_, service_loop(l));
+  // Loops that lost channels already know their remaining work; the new
+  // loop collects on entry. The pass covers survivors that *gained* a
+  // channel mid-sleep.
+  co_await wake_loops_with_work();
+  co_return Status::success();
 }
 
 int IkcTransport::channel_socket(int channel) const {
@@ -372,7 +470,6 @@ sim::Task<Result<long>> IkcTransport::ring_offload(Service service, Priority pri
     }
     ch = pick_channel(ch);
     if (ch < 0) break;  // every loop suspect: straight to the direct path
-    const int loop = loop_of(ch);
 
     auto req = std::make_shared<Request>(engine_);
     req->service = service;
@@ -393,8 +490,11 @@ sim::Task<Result<long>> IkcTransport::ring_offload(Service service, Priority pri
     note_depth(ch);
 
     // Doorbell/poll hybrid: ring the doorbell only when the loop is asleep;
-    // a polling or busy loop will find the request on its own.
-    Loop& lp = *loops_[static_cast<std::size_t>(loop)];
+    // a polling or busy loop will find the request on its own. The owner is
+    // resolved *after* the push: the lock hand-off awaits, and a
+    // repartition in that window may have re-sharded this channel onto a
+    // different loop — the doorbell must reach whoever drains it now.
+    Loop& lp = *loops_[static_cast<std::size_t>(loop_of(ch))];
     if (lp.sleeping) {
       lp.sleeping = false;  // claim the wakeup: one doorbell per sleep
       prof_.bump("ikc.ring.doorbell");
@@ -427,10 +527,12 @@ sim::Task<Result<long>> IkcTransport::ring_offload(Service service, Priority pri
       co_return req->result;
     }
     // Timed out in the ring: the service loop never claimed it (the stale
-    // entry is skipped when eventually popped). Count against the loop and
-    // retry on a ring owned by another one.
+    // entry is skipped when eventually popped). Count against the loop that
+    // owns the channel *now* — `lp` may be a retired slot (or a recycled
+    // Loop object) if a repartition happened while we waited — and retry on
+    // a ring owned by another one.
     prof_.bump("ikc.ring.timeout");
-    ++lp.consecutive_timeouts;
+    ++loops_[static_cast<std::size_t>(loop_of(ch))]->consecutive_timeouts;
   }
 
   // Degradation floor: the legacy direct path still works even with every
@@ -561,10 +663,17 @@ sim::Task<> IkcTransport::collect_batch(int loop, std::vector<RequestPtr>& out) 
 sim::Task<> IkcTransport::collect_batch_strict(int loop, std::vector<RequestPtr>& out,
                                                std::size_t batch_max) {
   Loop& lp = *loops_[static_cast<std::size_t>(loop)];
+  // Iterate a snapshot: a repartition during one of the awaits below
+  // re-shards `lp.channels` in place, and the live vector must not be
+  // walked across its own reassignment. Claims stay safe either way —
+  // head pops happen under the ring lock with a state re-check, so a
+  // channel that changed owners mid-collect can lose requests to its new
+  // loop but never double-execute one.
+  const std::vector<int> chans = lp.channels;
   // Control class across all of this loop's channels first, then bulk —
   // a TID-registration ioctl never waits behind queued bulk writevs.
   for (int prio = 0; prio < 2 && out.size() < batch_max; ++prio) {
-    for (int ch : lp.channels) {
+    for (int ch : chans) {
       if (out.size() >= batch_max) break;
       Channel& channel = *channels_[static_cast<std::size_t>(ch)];
       auto& ring = channel.rings[prio];
@@ -629,11 +738,14 @@ sim::Task<> IkcTransport::collect_batch_fair(int loop, std::vector<RequestPtr>& 
   // Cost model: the lock hand-off and the remote-socket surcharge are paid
   // on the first touch of each (channel, class) ring per batch — the same
   // once-per-visited-ring accounting as the strict drain.
-  auto touched = std::vector<std::array<bool, 2>>(lp.channels.size(), {false, false});
+  // Snapshot for the same reason as the strict drain: the touch awaits can
+  // interleave with a repartition's re-shard of `lp.channels`.
+  const std::vector<int> chans = lp.channels;
+  auto touched = std::vector<std::array<bool, 2>>(chans.size(), {false, false});
   auto touch = [&](std::size_t idx, int prio) -> sim::Task<> {
     if (touched[idx][static_cast<std::size_t>(prio)]) co_return;
     touched[idx][static_cast<std::size_t>(prio)] = true;
-    Channel& channel = *channels_[static_cast<std::size_t>(lp.channels[idx])];
+    Channel& channel = *channels_[static_cast<std::size_t>(chans[idx])];
     if (channel.home_socket == lp.socket) {
       prof_.bump("ikc.numa.local_drain");
     } else {
@@ -649,8 +761,8 @@ sim::Task<> IkcTransport::collect_batch_fair(int loop, std::vector<RequestPtr>& 
     double best_vt = 0.0;
     Time best_age = 0;
     for (int prio = 0; prio < 2; ++prio) {
-      for (std::size_t idx = 0; idx < lp.channels.size(); ++idx) {
-        auto& ring = channels_[static_cast<std::size_t>(lp.channels[idx])]->rings[prio];
+      for (std::size_t idx = 0; idx < chans.size(); ++idx) {
+        auto& ring = channels_[static_cast<std::size_t>(chans[idx])]->rings[prio];
         // Scrub settled heads so a timed-out or abandoned entry neither
         // blocks the ring nor votes with its (dead) job's vtime. The first
         // touch of a ring awaits (lock hand-off, remote surcharge), so the
@@ -679,7 +791,7 @@ sim::Task<> IkcTransport::collect_batch_fair(int loop, std::vector<RequestPtr>& 
     if (best_idx < 0) break;  // every ring empty
     co_await touch(static_cast<std::size_t>(best_idx), best_prio);
     auto& ring =
-        channels_[static_cast<std::size_t>(lp.channels[static_cast<std::size_t>(best_idx)])]
+        channels_[static_cast<std::size_t>(chans[static_cast<std::size_t>(best_idx)])]
             ->rings[best_prio];
     auto req = ring.pop();
     // The touch's awaits advance simulated time: the head the scan chose may
@@ -710,15 +822,21 @@ sim::Task<> IkcTransport::service_loop(int loop) {
   std::vector<RequestPtr> batch;
   std::vector<int> touched;  // channels this batch posted replies to
   while (true) {
-    while (lp.stall_injected) co_await lp.unstall.recv();
+    while (lp.stall_injected && !lp.retiring) co_await lp.unstall.recv();
+    if (lp.retiring) break;
     batch.clear();
     touched.clear();
     co_await collect_batch(loop, batch);
     if (batch.empty()) {
+      // Retirement observes an empty collect: the re-shard already took the
+      // channels, so nothing is queued here and nothing was claimed — the
+      // loop is quiescent and may exit.
+      if (lp.retiring) break;
       // Poll/doorbell hybrid: spin a few short polls while traffic is
       // likely, then park on the doorbell so an idle engine can drain.
       bool found = false;
-      for (int spin = 0; spin < cfg_.ikc_poll_spins && !lp.stall_injected; ++spin) {
+      for (int spin = 0;
+           spin < cfg_.ikc_poll_spins && !lp.stall_injected && !lp.retiring; ++spin) {
         co_await engine_.delay(cfg_.ikc_poll_interval);
         if (has_work(loop)) {
           prof_.bump("ikc.ring.poll_hit");
@@ -726,7 +844,7 @@ sim::Task<> IkcTransport::service_loop(int loop) {
           break;
         }
       }
-      if (!found && !lp.stall_injected) {
+      if (!found && !lp.stall_injected && !lp.retiring) {
         lp.sleeping = true;
         co_await lp.doorbell.recv();
         lp.sleeping = false;  // idempotent: the submitter already cleared it
@@ -774,6 +892,9 @@ sim::Task<> IkcTransport::service_loop(int loop) {
     }
     service_cpus_.release();
   }
+  // Quiesced: every claimed request is delivered, the channels are gone.
+  // The retire_loop() caller is parked on this signal.
+  lp.retired.send(1);
 }
 
 void IkcTransport::inject_stall(int loop, bool stalled) {

@@ -62,12 +62,29 @@
 // self-drain, and a completion whose consumer died is dropped with a
 // counter instead of wedging the service loop.
 //
+// Elastic lifecycle (§8.7): the service-loop set is no longer fixed at
+// construction. `retire_loop()` quiesces the highest-numbered active loop —
+// it stops claiming, finishes any batch it already claimed (replies are
+// delivered through the normal reply path), its channels are re-sharded
+// onto the surviving loops, and the caller is resumed once the loop's
+// coroutine has exited — and `attach_loop()` revives the next slot with a
+// fresh service loop. The active set is always the prefix
+// [0, active_loops()), so re-running the socket-aware sharding over that
+// prefix reproduces exactly what a static transport of the same shape
+// would compute. Every loop whose channel set changes across a re-shard
+// has its suspect/probe/EWMA drain state reset: a verdict calibrated
+// against the old channel set (or inherited from a retired loop's slot)
+// must not outlive the shape that produced it. Orphaned queue depth is
+// handed to the new owners with a doorbell pass; requests in the races a
+// repartition cannot close are recovered by the ordinary deadline ladder.
+//
 // Observability: `ikc.ring.*` submit-path counters, `ikc.reply.*` return-
 // path counters (post/poll_hit/park/wakeup/ring_full/self_drain/
-// consumer_dead/...), `ikc.adaptive.*` drain-sizing counters and
-// `ikc.numa.*` placement counters are threaded through the Linux kernel's
-// SyscallProfiler, and every request's queueing delay lands in the shared
-// `Samples` the owning Ihk summarizes.
+// consumer_dead/...), `ikc.adaptive.*` drain-sizing counters,
+// `ikc.numa.*` placement counters and `ikc.elastic.*` repartition counters
+// are threaded through the Linux kernel's SyscallProfiler, and every
+// request's queueing delay lands in the shared `Samples` the owning Ihk
+// summarizes.
 #pragma once
 
 #include <array>
@@ -153,6 +170,24 @@ class IkcTransport {
   int loop_of(int channel) const {
     return channel_loop_.at(static_cast<std::size_t>(channel));
   }
+
+  /// --- elastic lifecycle (§8.7) -------------------------------------------
+  /// Service loops currently draining: always the prefix [0, active_loops()).
+  int active_loops() const { return active_loops_; }
+  /// Loop slots provisioned (boot loops plus elastic_max_service_cpus
+  /// headroom); attach_loop() cannot grow past this.
+  int max_loops() const { return static_cast<int>(loops_.size()); }
+  /// Quiesce and retire the highest-numbered active service loop: it stops
+  /// claiming, its channels are re-sharded onto the surviving loops (home-
+  /// socket affinity recomputed over the new prefix), orphaned queue depth
+  /// is doorbelled to the new owners, and the call returns once the loop's
+  /// coroutine has exited and any batch it had claimed is fully delivered.
+  /// EINVAL when only one loop is active — offloads must keep a Linux side.
+  sim::Task<Status> retire_loop();
+  /// Re-activate the next loop slot with a fresh service loop (clean
+  /// suspect/probe/EWMA state) and re-shard channels over the grown prefix.
+  /// ENOSPC when every provisioned slot is already active.
+  sim::Task<Status> attach_loop();
 
   /// --- NUMA placement introspection --------------------------------------
   /// Socket owning `channel`'s ring memory (after any alloc_near fallback).
@@ -257,11 +292,13 @@ class IkcTransport {
   };
 
   struct Loop {
-    explicit Loop(sim::Engine& engine) : doorbell(engine), unstall(engine) {}
+    explicit Loop(sim::Engine& engine) : doorbell(engine), unstall(engine), retired(engine) {}
     sim::Channel<int> doorbell;
     sim::Channel<int> unstall;
+    sim::Channel<int> retired;    // service_loop signals its exit here
     bool sleeping = false;        // blocked on the doorbell
     bool stall_injected = false;
+    bool retiring = false;        // quiesce requested: exit after this batch
     int consecutive_timeouts = 0; // submit-side stall detector
     std::uint64_t served = 0;
     int socket = 0;               // where this loop runs (pinned or service CPU)
@@ -326,9 +363,22 @@ class IkcTransport {
   /// Observe `avail` requests pending at drain time and resize the loop's
   /// drain limit from the refreshed EWMA.
   void observe_depth(Loop& lp, std::size_t avail);
+  /// Ring-memory placement (home sockets + PhysMap::alloc_near), fixed at
+  /// construction: a channel's ring lines do not move when loops do.
+  void place_rings();
   /// Socket→loop channel sharding + loop pinning (ikc_numa_pin) or the
-  /// legacy round-robin shard; fills channel_loop_ and Loop::{socket,channels}.
-  void assign_channels();
+  /// legacy round-robin shard over the active prefix [0, active_loops_);
+  /// fills channel_loop_ and Loop::{socket,channels}. Re-run on every
+  /// retire/attach — identical to a fresh transport of the same shape.
+  void shard_channels();
+  /// shard_channels + reset suspect/probe/EWMA drain state on every active
+  /// loop whose channel set the re-shard changed (satellite: a re-shard
+  /// must not inherit a stale verdict).
+  void reshard_and_reset();
+  void reset_loop_health(Loop& lp);
+  /// Post-repartition doorbell pass: wake every sleeping active loop that
+  /// now owns queued work (orphans of a retired loop, movers of a re-shard).
+  sim::Task<> wake_loops_with_work();
 
   sim::Engine& engine_;
   const os::Config& cfg_;
@@ -339,6 +389,7 @@ class IkcTransport {
   mem::NumaTopology topo_;
   int channels_n_;
   int loops_n_;
+  int active_loops_;
   std::vector<std::unique_ptr<Channel>> channels_;
   std::vector<std::unique_ptr<Loop>> loops_;
   std::vector<int> channel_loop_;

@@ -240,6 +240,66 @@ std::size_t KernelHeap::drain_remote_frees(int cpu) {
   return drained;
 }
 
+Status KernelHeap::adopt_cpu(int cpu) {
+  if (cpu < 0 || owns_cpu(cpu)) return Errno::einval;
+  owned_cpus_.push_back(cpu);
+  std::sort(owned_cpus_.begin(), owned_cpus_.end());
+  magazines_[cpu];  // empty magazine set, like a boot-time core
+  ++stats_.cpu_adoptions;
+  return Status::success();
+}
+
+Status KernelHeap::release_cpu(int cpu, std::size_t* drained_out) {
+  if (!owns_cpu(cpu)) return Errno::einval;
+  if (owned_cpus_.size() <= 1) return Errno::ebusy;  // a heap needs an owner
+  // Quiesce the departing core's remote-free queue while it can still be
+  // drained under its own identity: blocks park on its magazines first and
+  // are donated with the rest below.
+  const std::size_t drained = drain_remote_frees(cpu);
+  if (drained_out != nullptr) *drained_out = drained;
+  // Heir: a surviving owned core, same socket preferred so donated blocks
+  // keep their placement affinity.
+  int heir = -1;
+  for (int cand : owned_cpus_) {
+    if (cand == cpu) continue;
+    if (topo_.socket_of(cand) == topo_.socket_of(cpu)) {
+      heir = cand;
+      break;
+    }
+  }
+  if (heir < 0)
+    for (int cand : owned_cpus_)
+      if (cand != cpu) {
+        heir = cand;
+        break;
+      }
+  // Donate the parked magazines class by class.
+  if (auto mit = magazines_.find(cpu); mit != magazines_.end()) {
+    for (std::size_t cls = 0; cls < kSizeClasses.size(); ++cls) {
+      auto& from = mit->second[cls];
+      for (const PhysAddr addr : from) {
+        blocks_[addr].owner_cpu = heir;
+        ++stats_.rehomed_blocks;
+      }
+      auto& to = magazines_[heir][cls];
+      to.insert(to.end(), from.begin(), from.end());
+      from.clear();
+    }
+    magazines_.erase(cpu);
+  }
+  // Live (and still-queued) blocks the core owns re-home too: an SDMA
+  // completion freeing them later must find a queue somebody drains.
+  for (auto& [addr, block] : blocks_)
+    if (block.owner_cpu == cpu) {
+      block.owner_cpu = heir;
+      ++stats_.rehomed_blocks;
+    }
+  remote_free_queues_.erase(cpu);  // drained above; drop the empty deque
+  owned_cpus_.erase(std::find(owned_cpus_.begin(), owned_cpus_.end(), cpu));
+  ++stats_.cpu_releases;
+  return Status::success();
+}
+
 std::span<std::uint8_t> KernelHeap::data(PhysAddr addr) {
   auto it = blocks_.find(addr);
   // Queued blocks are conceptually freed: their bytes must not be exposed

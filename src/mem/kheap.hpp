@@ -94,6 +94,10 @@ class KernelHeap {
     // placement (every remote entry is its own cache-line pull), per
     // *source-socket batch* under numa_aware (the drain coalesces).
     std::uint64_t cross_socket_drains = 0;
+    // --- elastic ownership (adopt_cpu / release_cpu) ---------------------
+    std::uint64_t cpu_adoptions = 0;   // cores added to the owned set
+    std::uint64_t cpu_releases = 0;    // cores retired from the owned set
+    std::uint64_t rehomed_blocks = 0;  // blocks re-owned by a release_cpu
   };
 
   /// Size classes served by the per-core magazines; anything larger falls
@@ -129,6 +133,19 @@ class KernelHeap {
   /// one batch per source socket and every block lands back on its owner's
   /// magazine. Returns blocks reclaimed.
   std::size_t drain_remote_frees(int cpu);
+
+  /// --- elastic CPU ownership (§8.7) ---------------------------------------
+  /// Add `cpu` to the owned set at runtime (a core handed to this kernel).
+  /// It starts with empty magazines and an empty remote-free queue. EINVAL
+  /// when already owned or negative.
+  Status adopt_cpu(int cpu);
+  /// Retire `cpu` from the owned set: its remote-free queue is drained, its
+  /// parked magazine blocks are donated to a surviving core (same socket
+  /// preferred), and every block it still owns — live or queued — is
+  /// re-homed there so later foreign frees land on a queue somebody drains.
+  /// `drained_out`, when non-null, receives the remote-free blocks
+  /// reclaimed. EINVAL when not owned, EBUSY when it is the last owned CPU.
+  Status release_cpu(int cpu, std::size_t* drained_out = nullptr);
 
   /// Host-memory view of a live block. Empty when not allocated — and once
   /// the block is parked on the remote-free queue: conceptually freed

@@ -162,6 +162,26 @@ struct Config {
   int ikc_credit_retries = 3;
   Dur ikc_credit_backoff = from_us(5);
 
+  // --- elastic CPU repartitioning (src/os/elastic.*) ----------------------
+  // The PartitionController moves CPUs between the Linux service pool and
+  // the LWK at runtime: shrink retires the highest service loop (quiesce →
+  // re-shard → kheap drain → hand the core over), grow reverses it. The
+  // monitor, when enabled, drives those ops from an EWMA of the offload
+  // queueing p95 (`QueueingSummary`) with hysteresis so the partition
+  // never flaps.
+  bool elastic_enabled = false;          // autostart the p95 monitor
+  int elastic_min_service_cpus = 1;      // shrink floor (Linux keeps >= 1)
+  // Grow ceiling; 0 = the boot `linux_service_cpus` (no extra loop slots
+  // are provisioned). > linux_service_cpus pre-sizes the transport's loop
+  // table so the service set can grow past its boot shape.
+  int elastic_max_service_cpus = 0;
+  Dur elastic_check_interval = from_ms(5);   // monitor sampling period
+  double elastic_ewma_alpha = 0.3;           // EWMA weight of the newest p95
+  double elastic_p95_grow_us = 400.0;        // EWMA above → grow the pool
+  double elastic_p95_shrink_us = 50.0;       // EWMA below → shrink the pool
+  int elastic_hysteresis_checks = 3;     // consecutive breaches before acting
+  Dur elastic_cooldown = from_ms(20);    // min gap between repartitions
+
   // --- driver fast-path work --------------------------------------------
   Dur gup_per_page = from_ns(60);         // get_user_pages, per 4 KiB page
   Dur ptw_per_page = from_ns(18);          // LWK page-table walk, per page
@@ -276,6 +296,33 @@ struct Config {
     }
     if (pico_extent_quota_files < 0)
       return fail("pico_extent_quota_files must be >= 0 (0 = unlimited)");
+    if (elastic_min_service_cpus < 1)
+      return fail("elastic_min_service_cpus must be >= 1: retiring the last "
+                  "service loop would leave offloads with no Linux side");
+    if (elastic_max_service_cpus != 0) {
+      if (elastic_max_service_cpus < elastic_min_service_cpus)
+        return fail("elastic_max_service_cpus must be 0 (= boot shape) or "
+                    ">= elastic_min_service_cpus");
+      if (elastic_max_service_cpus >= cores_per_node)
+        return fail("elastic_max_service_cpus must leave the LWK at least "
+                    "one core (< cores_per_node)");
+    }
+    if (elastic_enabled) {
+      if (elastic_min_service_cpus > linux_service_cpus)
+        return fail("elastic_min_service_cpus must be <= linux_service_cpus: "
+                    "the boot shape is inside the elastic range");
+      if (elastic_check_interval <= 0)
+        return fail("elastic_check_interval must be > 0");
+      if (elastic_ewma_alpha <= 0.0 || elastic_ewma_alpha > 1.0)
+        return fail("elastic_ewma_alpha must be in (0, 1]");
+      if (elastic_p95_shrink_us < 0.0 ||
+          elastic_p95_grow_us <= elastic_p95_shrink_us)
+        return fail("elastic p95 thresholds must satisfy 0 <= shrink < grow "
+                    "(an overlapping band would flap)");
+      if (elastic_hysteresis_checks < 1)
+        return fail("elastic_hysteresis_checks must be >= 1");
+      if (elastic_cooldown < 0) return fail("elastic_cooldown must be >= 0");
+    }
     return Status::success();
   }
 };

@@ -1,0 +1,157 @@
+#include "src/os/elastic.hpp"
+
+#include <algorithm>
+
+#include "src/common/log.hpp"
+
+namespace pd::os {
+
+PartitionController::PartitionController(sim::Engine& engine, const Config& cfg, Ihk& ihk,
+                                         McKernel& mck, IhkPartition* partition)
+    : engine_(engine), cfg_(cfg), ihk_(ihk), mck_(mck), partition_(partition) {
+  if (cfg_.elastic_enabled) start_monitor();
+}
+
+int PartitionController::max_service_cpus() const {
+  return cfg_.elastic_max_service_cpus > 0 ? cfg_.elastic_max_service_cpus
+                                           : cfg_.linux_service_cpus;
+}
+
+sim::Task<Status> PartitionController::shrink_one() {
+  LinuxKernel& linux = ihk_.linux_kernel();
+  if (linux.service_cpu_count() <= cfg_.elastic_min_service_cpus) co_return Errno::ebusy;
+  const int cpu = linux.service_cpu_count() - 1;
+
+  // Quiesce first: the loop stops claiming, its channels re-shard onto the
+  // survivors, and every request it already owns drains to completion. Only
+  // then is the core's memory and scheduling moved.
+  const Dur t0 = engine_.now();
+  if (const Status s = co_await ihk_.transport().retire_loop(); !s.ok()) co_return s;
+  stats_.last_quiesce = engine_.now() - t0;
+
+  if (const Status s = linux.yield_service_cpu(cpu); !s.ok()) {
+    (void)co_await ihk_.transport().attach_loop();  // roll the loop back
+    co_return s;
+  }
+  if (partition_ != nullptr) {
+    if (const Status s = partition_->adopt_cpu(cpu); !s.ok()) {
+      (void)linux.adopt_service_cpu(cpu);
+      (void)co_await ihk_.transport().attach_loop();
+      co_return s;
+    }
+  }
+  if (const Status s = mck_.adopt_cpu(cpu); !s.ok()) {
+    if (partition_ != nullptr) (void)partition_->yield_cpu(cpu);
+    (void)linux.adopt_service_cpu(cpu);
+    (void)co_await ihk_.transport().attach_loop();
+    co_return s;
+  }
+  ++stats_.shrinks;
+  PD_LOG(info) << "elastic: cpu " << cpu << " linux→lwk (service pool now "
+               << linux.service_cpu_count() << ", quiesce " << stats_.last_quiesce << ")";
+  co_return Status::success();
+}
+
+sim::Task<Status> PartitionController::grow_one() {
+  LinuxKernel& linux = ihk_.linux_kernel();
+  if (linux.service_cpu_count() >= max_service_cpus()) co_return Errno::ebusy;
+  const int cpu = linux.service_cpu_count();
+
+  // Reverse order of shrink: the LWK quiesces the core's heap state (the
+  // kheap drains its remote-free queue and re-homes its blocks inside
+  // yield_cpu) before Linux adopts it and a fresh service loop spins up.
+  if (const Status s = mck_.yield_cpu(cpu); !s.ok()) co_return s;
+  if (partition_ != nullptr) {
+    if (const Status s = partition_->yield_cpu(cpu); !s.ok()) {
+      (void)mck_.adopt_cpu(cpu);
+      co_return s;
+    }
+  }
+  if (const Status s = linux.adopt_service_cpu(cpu); !s.ok()) {
+    if (partition_ != nullptr) (void)partition_->adopt_cpu(cpu);
+    (void)mck_.adopt_cpu(cpu);
+    co_return s;
+  }
+  if (const Status s = co_await ihk_.transport().attach_loop(); !s.ok()) {
+    (void)linux.yield_service_cpu(cpu);
+    if (partition_ != nullptr) (void)partition_->adopt_cpu(cpu);
+    (void)mck_.adopt_cpu(cpu);
+    co_return s;
+  }
+  ++stats_.grows;
+  PD_LOG(info) << "elastic: cpu " << cpu << " lwk→linux (service pool now "
+               << linux.service_cpu_count() << ")";
+  co_return Status::success();
+}
+
+sim::Task<Status> PartitionController::shrink_service_cpus(int n) {
+  if (n <= 0) co_return Errno::einval;
+  for (int i = 0; i < n; ++i)
+    if (const Status s = co_await shrink_one(); !s.ok()) co_return s;
+  co_return Status::success();
+}
+
+sim::Task<Status> PartitionController::grow_service_cpus(int n) {
+  if (n <= 0) co_return Errno::einval;
+  for (int i = 0; i < n; ++i)
+    if (const Status s = co_await grow_one(); !s.ok()) co_return s;
+  co_return Status::success();
+}
+
+void PartitionController::start_monitor() {
+  if (monitoring_) return;
+  monitoring_ = true;
+  sim::spawn(engine_, monitor());
+}
+
+sim::Task<> PartitionController::monitor() {
+  while (monitoring_) {
+    co_await engine_.delay(cfg_.elastic_check_interval);
+    if (!monitoring_) break;
+    ++stats_.monitor_checks;
+
+    const ikc::QueueingSummary q = ihk_.queueing_summary();
+    if (q.count == 0) continue;  // nothing offloaded yet — nothing to react to
+    if (!ewma_seeded_) {
+      stats_.p95_ewma_us = q.p95_us;
+      ewma_seeded_ = true;
+    } else {
+      stats_.p95_ewma_us = cfg_.elastic_ewma_alpha * q.p95_us +
+                           (1.0 - cfg_.elastic_ewma_alpha) * stats_.p95_ewma_us;
+    }
+
+    // Hysteresis: a single spike never repartitions — the same side of the
+    // band must hold for `elastic_hysteresis_checks` consecutive samples.
+    if (stats_.p95_ewma_us > cfg_.elastic_p95_grow_us) {
+      ++grow_streak_;
+      shrink_streak_ = 0;
+    } else if (stats_.p95_ewma_us < cfg_.elastic_p95_shrink_us) {
+      ++shrink_streak_;
+      grow_streak_ = 0;
+    } else {
+      grow_streak_ = shrink_streak_ = 0;
+    }
+
+    const bool want_grow = grow_streak_ >= cfg_.elastic_hysteresis_checks;
+    const bool want_shrink = shrink_streak_ >= cfg_.elastic_hysteresis_checks;
+    if (!want_grow && !want_shrink) continue;
+    if (engine_.now() < cooldown_until_) {
+      ++stats_.flap_suppressed;
+      continue;
+    }
+    // if/else, not `?:` — GCC evaluates both arms of a ternary whose arms
+    // are co_await expressions, which here would shrink right after growing.
+    Status s = Status::success();
+    if (want_grow) {
+      s = co_await grow_one();
+    } else {
+      s = co_await shrink_one();
+    }
+    grow_streak_ = shrink_streak_ = 0;
+    if (s.ok()) cooldown_until_ = engine_.now() + cfg_.elastic_cooldown;
+    // EBUSY at a bound is fine: the streak reset stops it from retrying
+    // every check while the pressure persists at the rail.
+  }
+}
+
+}  // namespace pd::os

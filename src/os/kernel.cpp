@@ -52,6 +52,29 @@ LinuxKernel::LinuxKernel(sim::Engine& engine, const Config& cfg)
       mem::PartitionBudget{cfg.kheap_near_bytes, cfg.kheap_far_bytes},
       mem::PlacementPolicy::numa_aware,
       /*heap_base=*/0x0000'00F8'0000'0000ull);
+  service_cpu_count_ = cfg.linux_service_cpus;
+}
+
+Status LinuxKernel::adopt_service_cpu(int cpu) {
+  // The service set stays the prefix [0, count): the transport's loop l
+  // runs on service CPU l, so cores join and leave at the top only.
+  if (cpu != service_cpu_count_) return Errno::einval;
+  if (const Status s = kheap_->adopt_cpu(cpu); !s.ok()) return s;
+  service_cpus_->grow(1);
+  ++service_cpu_count_;
+  return Status::success();
+}
+
+Status LinuxKernel::yield_service_cpu(int cpu) {
+  if (service_cpu_count_ <= 1) return Errno::ebusy;
+  if (cpu != service_cpu_count_ - 1) return Errno::einval;
+  if (const Status s = kheap_->release_cpu(cpu); !s.ok()) return s;
+  service_cpus_->shrink(1);
+  --service_cpu_count_;
+  // IRQ rotation must stay inside the shrunk pool.
+  next_irq_cpu_ %= service_cpu_count_;
+  if (current_irq_cpu_ >= service_cpu_count_) current_irq_cpu_ = 0;
+  return Status::success();
 }
 
 void LinuxKernel::register_device(CharDevice& dev) { devices_[dev.dev_name()] = &dev; }
@@ -104,7 +127,7 @@ sim::Task<> LinuxKernel::irq_task(std::vector<KernelCallback> callbacks) {
   // current_irq_cpu() is stable for the whole callback chain even with
   // several IRQ tasks interleaving.
   current_irq_cpu_ = next_irq_cpu_;
-  next_irq_cpu_ = (next_irq_cpu_ + 1) % config().linux_service_cpus;
+  next_irq_cpu_ = (next_irq_cpu_ + 1) % service_cpu_count_;
   for (const auto& cb : callbacks) (void)invoke(cb);
   service_cpus_->release();
 }

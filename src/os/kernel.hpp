@@ -84,6 +84,19 @@ class LinuxKernel : public Kernel {
   /// halves all contend here (the paper's 4-CPUs-vs-64-ranks squeeze).
   sim::Resource& service_cpus() { return *service_cpus_; }
 
+  /// Service CPUs currently owned (boot `linux_service_cpus`, moved by the
+  /// elastic PartitionController). Always the prefix [0, count).
+  int service_cpu_count() const { return service_cpu_count_; }
+  /// Adopt `cpu` into the service pool at runtime (a core the LWK handed
+  /// back): the Resource gains a unit, the Linux kheap adopts the core, and
+  /// IRQ rotation covers it. `cpu` must extend the prefix (== count).
+  Status adopt_service_cpu(int cpu);
+  /// Yield `cpu` from the service pool to the LWK: the kheap re-homes its
+  /// blocks and drains its remote-free queue, the Resource retires a unit
+  /// (lazily if currently held). `cpu` must be the top of the prefix
+  /// (== count-1); the last service CPU cannot leave.
+  Status yield_service_cpu(int cpu);
+
   /// Raise a device IRQ: a service CPU runs the handler, then the chain of
   /// completion callbacks — each checked for text visibility.
   void raise_irq(std::vector<KernelCallback> callbacks);
@@ -124,6 +137,7 @@ class LinuxKernel : public Kernel {
   std::uint64_t irqs_handled_ = 0;
   int current_irq_cpu_ = 0;
   int next_irq_cpu_ = 0;
+  int service_cpu_count_ = 0;
 };
 
 }  // namespace pd::os

@@ -1,5 +1,7 @@
 #include "src/os/mckernel.hpp"
 
+#include <algorithm>
+
 namespace pd::os {
 
 McKernel::McKernel(sim::Engine& engine, const Config& cfg, Ihk& ihk, bool unified_layout)
@@ -26,6 +28,25 @@ McKernel::McKernel(sim::Engine& engine, const Config& cfg, Ihk& ihk, bool unifie
       // original allocator stays placement-ignorant.
       unified_ ? mem::PlacementPolicy::numa_aware : mem::PlacementPolicy::flat,
       /*heap_base=*/0x0000'00F0'0000'0000ull);
+}
+
+Status McKernel::adopt_cpu(int cpu) {
+  if (std::find(cpus_.begin(), cpus_.end(), cpu) != cpus_.end()) return Errno::einval;
+  if (const Status s = kheap_->adopt_cpu(cpu); !s.ok()) return s;
+  cpus_.push_back(cpu);
+  std::sort(cpus_.begin(), cpus_.end());
+  return Status::success();
+}
+
+Status McKernel::yield_cpu(int cpu) {
+  auto it = std::find(cpus_.begin(), cpus_.end(), cpu);
+  if (it == cpus_.end()) return Errno::einval;
+  if (cpus_.size() <= 1) return Errno::ebusy;
+  // release_cpu drains the core's remote-free queue and re-homes its blocks
+  // onto a same-socket survivor before the core leaves the scheduled set.
+  if (const Status s = kheap_->release_cpu(cpu); !s.ok()) return s;
+  cpus_.erase(it);
+  return Status::success();
 }
 
 void McKernel::register_fastpath(CharDevice& dev, FastPathOps ops) {

@@ -60,6 +60,17 @@ class McKernel : public Kernel {
   /// CPU ids the LWK owns (app cores).
   const std::vector<int>& cpus() const { return cpus_; }
 
+  /// --- elastic repartitioning (§8.7) --------------------------------------
+  /// Adopt `cpu` at runtime (a Linux service core retired into the LWK):
+  /// joins the scheduled set and the kheap's owned set. EINVAL when already
+  /// owned.
+  Status adopt_cpu(int cpu);
+  /// Yield `cpu` back to Linux: the kheap drains its remote-free queue,
+  /// donates its magazines and re-homes its blocks, then the core leaves
+  /// the scheduled set. EINVAL when not owned, EBUSY when it is the last
+  /// LWK core.
+  Status yield_cpu(int cpu);
+
  private:
   Ihk& ihk_;
   bool unified_;

@@ -103,6 +103,22 @@ Status IhkPartition::grow_cpus(int extra) {
   return Status::success();
 }
 
+Status IhkPartition::adopt_cpu(int cpu) {
+  if (const Status s = host_->reserve_cpus_exact({cpu}); !s.ok()) return s;
+  cpus_.push_back(cpu);
+  std::sort(cpus_.begin(), cpus_.end());
+  return Status::success();
+}
+
+Status IhkPartition::yield_cpu(int cpu) {
+  auto it = std::find(cpus_.begin(), cpus_.end(), cpu);
+  if (it == cpus_.end()) return Errno::einval;
+  if (cpus_.size() <= 1) return Errno::einval;
+  cpus_.erase(it);
+  host_->release_cpus({cpu});
+  return Status::success();
+}
+
 Status IhkPartition::shrink_cpus(int count) {
   if (booted_) return Errno::ebusy;
   if (count <= 0 || count >= static_cast<int>(cpus_.size())) return Errno::einval;

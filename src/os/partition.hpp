@@ -77,6 +77,17 @@ class IhkPartition {
   /// scheduler owns them), EINVAL when fewer are held.
   Status shrink_cpus(int count);
 
+  /// --- elastic repartitioning (§8.7) --------------------------------------
+  /// Unlike grow/shrink_cpus — offline reconfiguration of an unbooted
+  /// partition — these move one *named* core while the LWK runs. The
+  /// PartitionController quiesces the core on its old side first, so the
+  /// usual EBUSY-while-booted guard does not apply.
+  /// Take `cpu` from Linux into this partition; EBUSY if already reserved.
+  Status adopt_cpu(int cpu);
+  /// Return `cpu` to Linux; EINVAL when the partition does not hold it or
+  /// it is the last CPU held.
+  Status yield_cpu(int cpu);
+
  private:
   IhkPartition(HostInventory& host, std::vector<int> cpus, std::uint64_t memory);
 

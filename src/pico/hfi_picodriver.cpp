@@ -76,20 +76,35 @@ int HfiPicoDriver::lwk_cpu_for(const os::Process& proc) const {
 }
 
 mem::ExtentCache& HfiPicoDriver::extent_cache_for(const os::OpenFile& f) {
-  const std::pair<const void*, int> key{static_cast<const void*>(f.proc), f.fd};
+  const FileKey key{static_cast<const void*>(f.proc), f.fd};
   auto it = file_caches_.find(key);
   if (it == file_caches_.end()) {
     // `pico_extent_quota_files` caps how many per-file caches one process
     // may hold; at the cap its *own* coldest file cache is dropped. Other
     // processes' caches are never candidates, so a cache-hungry tenant
-    // cannot flush a neighbour's translations.
+    // cannot flush a neighbour's translations. A cache with pinned entries
+    // is never the victim either: a suspended fast_writev still holds a
+    // reference to it and reads its extents when it resumes — eviction
+    // falls to the next-coldest owned cache, and when every candidate is
+    // pinned the quota temporarily overflows until a pin drops.
     const int cap = mck_.config().pico_extent_quota_files;
     if (cap > 0) {
-      auto owned = [&](const std::pair<const void*, int>& k) { return k.first == key.first; };
+      auto owned = [&](const FileKey& k) { return k.first == key.first; };
       auto count =
           std::count_if(file_cache_order_.begin(), file_cache_order_.end(), owned);
       while (count >= cap) {
-        auto victim = std::find_if(file_cache_order_.begin(), file_cache_order_.end(), owned);
+        auto victim = file_cache_order_.end();
+        for (auto pos = file_cache_order_.begin(); pos != file_cache_order_.end(); ++pos) {
+          if (!owned(*pos)) continue;
+          if (file_caches_.at(*pos).cache.pinned_entries() > 0) {
+            ++cache_quota_skip_pinned_;
+            mck_.profiler().bump("pico.extent_cache.quota_skip_pinned");
+            continue;
+          }
+          victim = pos;
+          break;
+        }
+        if (victim == file_cache_order_.end()) break;  // all pinned: overflow
         file_caches_.erase(*victim);
         file_cache_order_.erase(victim);
         ++cache_file_quota_evictions_;
@@ -97,14 +112,16 @@ mem::ExtentCache& HfiPicoDriver::extent_cache_for(const os::OpenFile& f) {
         --count;
       }
     }
-    it = file_caches_.emplace(key, mem::ExtentCache{}).first;
+    it = file_caches_.emplace(key, FileCacheNode{}).first;
     file_cache_order_.push_back(key);
+    it->second.order_pos = std::prev(file_cache_order_.end());
   } else {
-    // Refresh recency: move the touched key to the back.
-    auto pos = std::find(file_cache_order_.begin(), file_cache_order_.end(), key);
-    std::rotate(pos, pos + 1, file_cache_order_.end());
+    // Refresh recency: O(1) splice of the touched key to the hot end (the
+    // stored iterator stays valid — splice never invalidates them).
+    file_cache_order_.splice(file_cache_order_.end(), file_cache_order_,
+                             it->second.order_pos);
   }
-  return it->second;
+  return it->second.cache;
 }
 
 void HfiPicoDriver::note_cache_outcome(mem::ExtentCache::Outcome outcome) {

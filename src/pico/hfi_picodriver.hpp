@@ -32,6 +32,7 @@
 #pragma once
 
 #include <cstdint>
+#include <list>
 #include <map>
 #include <memory>
 #include <utility>
@@ -80,6 +81,12 @@ class HfiPicoDriver {
   std::uint64_t extent_cache_file_quota_evictions() const {
     return cache_file_quota_evictions_;
   }
+  /// Quota-eviction candidates passed over because an in-flight fast path
+  /// held pinned entries in them (the eviction falls to the next-coldest
+  /// owned cache; all-pinned overflows the quota until a pin drops).
+  std::uint64_t extent_cache_quota_skip_pinned() const {
+    return cache_quota_skip_pinned_;
+  }
   /// All re-walks of a known key, whatever proved it stale.
   std::uint64_t extent_cache_invalidations() const {
     return cache_range_invalidations_ + cache_generation_overflows_;
@@ -114,9 +121,16 @@ class HfiPicoDriver {
   dwarf::FieldAccessor<std::uint64_t> fd_tid_used_;
   dwarf::FieldAccessor<std::uint32_t> cd_expected_count_;
 
-  std::map<std::pair<const void*, int>, mem::ExtentCache> file_caches_;
+  /// Per-file cache plus its position in the recency list, so a touch is
+  /// an O(1) splice instead of the old O(n) find+rotate over a vector.
+  using FileKey = std::pair<const void*, int>;
+  struct FileCacheNode {
+    mem::ExtentCache cache;
+    std::list<FileKey>::iterator order_pos;
+  };
+  std::map<FileKey, FileCacheNode> file_caches_;
   // Touch order (front = coldest) for the per-process file-cache quota.
-  std::vector<std::pair<const void*, int>> file_cache_order_;
+  std::list<FileKey> file_cache_order_;
   std::vector<std::vector<hw::SdmaDescriptor>> desc_arena_;
 
   std::uint64_t fast_writevs_ = 0;
@@ -131,6 +145,7 @@ class HfiPicoDriver {
   std::uint64_t cache_generation_overflows_ = 0;
   std::uint64_t cache_small_evictions_ = 0;
   std::uint64_t cache_file_quota_evictions_ = 0;
+  std::uint64_t cache_quota_skip_pinned_ = 0;
 };
 
 }  // namespace pd::pico

@@ -110,7 +110,10 @@ class Channel {
 
 /// Counted FIFO semaphore. acquire(n) suspends until n units are free and
 /// grants strictly in arrival order (no barging), which makes queueing
-/// delay under contention reproducible.
+/// delay under contention reproducible. Capacity is elastic: grow() adds
+/// units immediately, shrink() retires them — taking free units first and
+/// absorbing the remainder as debt out of future release() calls, so a
+/// unit currently held is never yanked from under its holder.
 class Resource {
  public:
   Resource(Engine& engine, std::size_t capacity) : engine_(&engine), free_(capacity), capacity_(capacity) {}
@@ -120,6 +123,30 @@ class Resource {
   std::size_t capacity() const { return capacity_; }
   std::size_t available() const { return free_; }
   std::size_t queue_length() const { return waiters_.size(); }
+  /// Units shrink() could not take from the free pool: retired lazily as
+  /// their current holders release them.
+  std::size_t shrink_debt() const { return debt_; }
+
+  /// Add `n` units at runtime (a CPU handed to this pool). Queued waiters
+  /// are granted immediately, in arrival order.
+  void grow(std::size_t n) {
+    capacity_ += n;
+    free_ += n;
+    grant();
+  }
+
+  /// Retire `n` units at runtime (a CPU leaving this pool). Units are taken
+  /// from the free pool when possible; units currently held become debt and
+  /// are retired by the next release() calls instead of re-entering the
+  /// pool. Returns false (untouched) when `n` exceeds the capacity.
+  bool shrink(std::size_t n) {
+    if (n > capacity_) return false;
+    capacity_ -= n;
+    const std::size_t from_free = std::min(free_, n);
+    free_ -= from_free;
+    debt_ += n - from_free;
+    return true;
+  }
 
   struct Awaiter {
     Resource& res;
@@ -143,6 +170,12 @@ class Resource {
   }
 
   void release(std::size_t n = 1) {
+    // Shrink debt eats released units before they re-enter the pool: the
+    // holder of a retired unit finishes its work, then the unit vanishes.
+    const std::size_t absorbed = std::min(debt_, n);
+    debt_ -= absorbed;
+    n -= absorbed;
+    if (n == 0) return;
     free_ += n;
     assert(free_ <= capacity_);
     grant();
@@ -182,6 +215,7 @@ class Resource {
   Engine* engine_;
   std::size_t free_;
   std::size_t capacity_;
+  std::size_t debt_ = 0;  // held units shrink() is still owed
   std::deque<Waiter> waiters_;
 };
 

@@ -420,6 +420,150 @@ TEST(Tid, ExtentCacheFileQuotaEvictsOwnColdestCacheOnly) {
   c.engine.run();
 }
 
+/// Open one fabricated per-ctxt OpenFile straight through the Linux driver.
+/// Process::open allows one HFI fd per process (its ctxt is fixed), but the
+/// hardware supports many receive contexts — these tests need several live
+/// fds for one process, exactly what a real multi-context rank holds.
+sim::Task<Status> open_direct(hfi::HfiDriver& driver, os::OpenFile& f,
+                              os::Process& p, int fd, int ctxt) {
+  f.fd = fd;
+  f.proc = &p;
+  f.ctxt = ctxt;
+  auto r = co_await driver.open(f);
+  co_return r.ok() ? Status::success() : Status(r.error());
+}
+
+/// TID-register then free `va` through the pico fast path on `f`, touching
+/// (or creating) the per-file extent cache.
+sim::Task<Status> reg_direct(pico::HfiPicoDriver& pico, os::OpenFile& f,
+                             mem::VirtAddr va) {
+  hfi::TidUpdateArgs args;
+  args.vaddr = va;
+  args.length = 4_KiB;
+  auto r = co_await pico.fast_ioctl(f, hfi::kTidUpdate, &args);
+  if (!r.ok()) co_return r.error();
+  hfi::TidFreeArgs free_args;
+  free_args.tids = args.tids;
+  auto fr = co_await pico.fast_ioctl(f, hfi::kTidFree, &free_args);
+  co_return fr.ok() ? Status::success() : Status(fr.error());
+}
+
+TEST(Tid, QuotaFloodDuringSuspendedWritevSparesPinnedCache) {
+  // Regression (ISSUE 8 satellite): a fast_writev suspends mid-flight (here
+  // on a contended SDMA engine lock) while holding pins on its file's extent
+  // cache; the same process then floods new fds past
+  // `pico_extent_quota_files`. The quota victim scan must *skip* the pinned
+  // cache (falling to the next-coldest owned victim, counted in
+  // quota_skip_pinned) — evicting it would tear down extents the suspended
+  // send is actively reading when it resumes.
+  os::Config cfg;
+  cfg.pico_extent_quota_files = 2;
+  MiniCluster c(2, os::OsMode::mckernel_hfi, cfg, hw::HfiConfig{});
+  auto proc = c.make_process(0, 0, os::OsMode::mckernel_hfi);
+  bool completed = false;
+  Result<long> writev_result = Errno::eio;
+  sim::spawn(c.engine, [](MiniCluster& cl, os::Process& p, bool& done,
+                          Result<long>& wr) -> sim::Task<> {
+    auto& node = cl.nodes[0];
+    os::OpenFile fa, fb, fc;
+    CO_ASSERT_TRUE((co_await open_direct(*node.driver, fa, p, 100, 0)).ok());
+    auto abuf = co_await p.mmap_anon(64_KiB);
+    auto rbuf = co_await p.mmap_anon(4_KiB);
+    CO_ASSERT_TRUE(abuf.ok() && rbuf.ok());
+
+    // Hold every SDMA engine lock so the writev parks *after* pinning.
+    for (int e = 0; e < node.device->num_engines(); ++e)
+      co_await node.driver->engine_lock(e).acquire();
+
+    hfi::SdmaReqHeader hdr;
+    hdr.wire.src_node = 0;
+    hdr.wire.dst_node = 1;
+    hdr.wire.src_ctxt = 0;
+    hdr.wire.dst_ctxt = 0;
+    hdr.wire.kind = hw::WireKind::expected;
+    hdr.wire.seq = 1;
+    hdr.on_complete = [&done] { done = true; };
+    std::vector<os::IoVec> iov{os::IoVec{reinterpret_cast<mem::VirtAddr>(&hdr), sizeof hdr},
+                               os::IoVec{*abuf, 64_KiB}};
+    sim::spawn(cl.engine, [](pico::HfiPicoDriver& pd_, os::OpenFile& f,
+                             std::vector<os::IoVec>& io, Result<long>& out) -> sim::Task<> {
+      out = co_await pd_.fast_writev(f, io);
+    }(*node.pico, fa, iov, wr));
+    co_await cl.engine.delay(from_us(50));  // let it pin and hit the lock
+    EXPECT_EQ(node.pico->fast_writevs(), 1u) << "the send must be in flight";
+
+    // Flood: two more per-fd caches push the process past its 2-cache
+    // quota while the suspended writev's pinned cache is the coldest entry.
+    CO_ASSERT_TRUE((co_await open_direct(*node.driver, fb, p, 101, 1)).ok());
+    CO_ASSERT_TRUE((co_await open_direct(*node.driver, fc, p, 102, 2)).ok());
+    CO_ASSERT_TRUE((co_await reg_direct(*node.pico, fb, *rbuf)).ok());
+    CO_ASSERT_TRUE((co_await reg_direct(*node.pico, fc, *rbuf)).ok());
+
+    EXPECT_GE(node.pico->extent_cache_quota_skip_pinned(), 1u)
+        << "the pinned cache must be passed over, not evicted";
+    EXPECT_GE(node.mck->profiler().counter("pico.extent_cache.quota_skip_pinned"), 1u);
+
+    for (int e = 0; e < node.device->num_engines(); ++e)
+      node.driver->engine_lock(e).release();
+  }(c, *proc, completed, writev_result));
+  c.nodes[1].device->open_context(0);
+  c.engine.run();
+
+  // The suspended send finished on the fast path with its payload intact —
+  // its extents were never torn down under it.
+  ASSERT_TRUE(writev_result.ok()) << "writev must survive the quota flood";
+  EXPECT_EQ(*writev_result, static_cast<long>(64_KiB));
+  EXPECT_TRUE(completed);
+  EXPECT_EQ(c.nodes[0].pico->fast_writevs(), 1u);
+  EXPECT_EQ(c.nodes[0].pico->fallbacks(), 0u);
+}
+
+TEST(Tid, FileCacheRecencyKeepsEvictionOrderAfterTouches) {
+  // Regression for the O(1) recency-list refresh (ISSUE 8 satellite): the
+  // intrusive list must preserve the exact LRU eviction order the old
+  // find+rotate scan produced — a touched cache survives the next quota
+  // eviction, the untouched coldest one goes.
+  os::Config cfg;
+  cfg.pico_extent_quota_files = 2;
+  MiniCluster c(1, os::OsMode::mckernel_hfi, cfg, hw::HfiConfig{});
+  auto proc = c.make_process(0, 0, os::OsMode::mckernel_hfi);
+  sim::spawn(c.engine, [](MiniCluster& cl, os::Process& p) -> sim::Task<> {
+    auto& node = cl.nodes[0];
+    os::OpenFile fa, fb, fc;
+    CO_ASSERT_TRUE((co_await open_direct(*node.driver, fa, p, 100, 0)).ok());
+    CO_ASSERT_TRUE((co_await open_direct(*node.driver, fb, p, 101, 1)).ok());
+    CO_ASSERT_TRUE((co_await open_direct(*node.driver, fc, p, 102, 2)).ok());
+    auto buf = co_await p.mmap_anon(4_KiB);
+    CO_ASSERT_TRUE(buf.ok());
+
+    CO_ASSERT_TRUE((co_await reg_direct(*node.pico, fa, *buf)).ok());  // [A]
+    CO_ASSERT_TRUE((co_await reg_direct(*node.pico, fb, *buf)).ok());  // [A, B]
+    // Touch A: it must move to the hot end — B is now the coldest.
+    const auto hits0 = node.pico->extent_cache_hits();
+    CO_ASSERT_TRUE((co_await reg_direct(*node.pico, fa, *buf)).ok());  // [B, A]
+    EXPECT_EQ(node.pico->extent_cache_hits(), hits0 + 1);
+
+    // Over quota: the victim must be untouched B, not recently-touched A.
+    CO_ASSERT_TRUE((co_await reg_direct(*node.pico, fc, *buf)).ok());  // evict B → [A, C]
+    EXPECT_EQ(node.pico->extent_cache_file_quota_evictions(), 1u);
+    const auto hits1 = node.pico->extent_cache_hits();
+    CO_ASSERT_TRUE((co_await reg_direct(*node.pico, fa, *buf)).ok());  // A survived
+    EXPECT_EQ(node.pico->extent_cache_hits(), hits1 + 1)
+        << "the touched cache must have survived the eviction";
+
+    // B was evicted: recreating it is a miss and evicts the now-coldest C.
+    const auto misses0 = node.pico->extent_cache_misses();
+    CO_ASSERT_TRUE((co_await reg_direct(*node.pico, fb, *buf)).ok());  // evict C → [A, B]
+    EXPECT_EQ(node.pico->extent_cache_misses(), misses0 + 1)
+        << "the evicted cache must really be gone";
+    EXPECT_EQ(node.pico->extent_cache_file_quota_evictions(), 2u);
+    const auto hits2 = node.pico->extent_cache_hits();
+    CO_ASSERT_TRUE((co_await reg_direct(*node.pico, fa, *buf)).ok());  // A still alive
+    EXPECT_EQ(node.pico->extent_cache_hits(), hits2 + 1);
+  }(c, *proc));
+  c.engine.run();
+}
+
 TEST(Tid, AdminIoctlStillOffloadsUnderPico) {
   MiniCluster c(1, os::OsMode::mckernel_hfi);
   auto proc = c.make_process(0, 0, os::OsMode::mckernel_hfi);

@@ -371,6 +371,123 @@ TEST(FailureInjection, TenantNeverDrainingRepliesOnlyHurtsItself) {
       << "with doorbells back no watchdog recovery is needed";
 }
 
+TEST(FailureInjection, RepartitionUnderFloodLosesNoOffloads) {
+  // Elastic rung (§8.7): service loops retire and attach repeatedly while a
+  // flood is in flight. Every offload must resolve exactly once — nothing
+  // lost in a drained ring, nothing double-executed by a re-shard — and the
+  // skip accounting must balance: with no timeouts and no consumer deaths,
+  // the drain-before-handover leaves zero stale or dead entries behind.
+  os::Config cfg;
+  cfg.ikc_mode = os::IkcMode::ring;
+  cfg.linux_service_cpus = 3;
+  cfg.elastic_max_service_cpus = 4;
+  cfg.ikc_channels = 8;
+  ReplyFaultHarness h(cfg);
+
+  std::vector<Errno> errs;
+  std::vector<long> vals;
+  std::uint64_t executed = 0;
+  constexpr int kOps = 160;
+  for (int i = 0; i < kOps; ++i) {
+    sim::spawn(h.engine, [](ReplyFaultHarness& hh, int ch, long tag, std::uint64_t& ex,
+                            std::vector<Errno>& es, std::vector<long>& vs) -> sim::Task<> {
+      auto r = co_await hh.transport->offload(
+          [&hh, tag, &ex]() -> sim::Task<Result<long>> {
+            co_await hh.engine.delay(from_us(3));
+            ++ex;
+            co_return tag;
+          },
+          ikc::Priority::bulk, ch);
+      es.push_back(r.error());
+      vs.push_back(r.ok() ? *r : -1L);
+    }(h, i % cfg.ikc_channels, i, executed, errs, vals));
+    if (i % 16 == 15) {
+      // Interleave submissions with a shrink/grow cycle mid-flood.
+      sim::spawn(h.engine, [](ReplyFaultHarness& hh, Dur at) -> sim::Task<> {
+        co_await hh.engine.delay(at);
+        const Status down = co_await hh.transport->retire_loop();
+        EXPECT_TRUE(down.ok());
+        co_await hh.engine.delay(from_us(30));
+        const Status up = co_await hh.transport->attach_loop();
+        EXPECT_TRUE(up.ok());
+      }(h, from_us(20 * (i / 16 + 1))));
+    }
+  }
+  h.engine.run();
+
+  ASSERT_EQ(errs.size(), static_cast<std::size_t>(kOps));
+  for (int i = 0; i < kOps; ++i)
+    EXPECT_EQ(errs[static_cast<std::size_t>(i)], Errno::ok) << "op " << i;
+  EXPECT_EQ(executed, static_cast<std::uint64_t>(kOps))
+      << "every offload executed exactly once across the repartitions";
+  std::vector<bool> seen(kOps, false);
+  for (long v : vals) {
+    ASSERT_GE(v, 0);
+    ASSERT_LT(v, static_cast<long>(kOps));
+    EXPECT_FALSE(seen[static_cast<std::size_t>(v)]) << "tag " << v << " returned twice";
+    seen[static_cast<std::size_t>(v)] = true;
+  }
+
+  EXPECT_GE(h.counter("ikc.elastic.loop_retired"), 1u);
+  EXPECT_EQ(h.counter("ikc.elastic.loop_retired"), h.counter("ikc.elastic.loop_attached"));
+  EXPECT_EQ(h.transport->active_loops(), 3);
+  // Skip accounting balances: a lossless drain leaves no entry to skip.
+  EXPECT_EQ(h.counter("ikc.ring.timeout"), 0u);
+  EXPECT_EQ(h.counter("ikc.ring.degraded"), 0u);
+  EXPECT_EQ(h.counter("ikc.ring.stale_skip"), 0u)
+      << "a retiring loop must hand its entries over, not let them time out";
+  EXPECT_EQ(h.counter("ikc.ring.dead_skip"), 0u);
+}
+
+TEST(FailureInjection, ConsumerDeathDuringRepartitionIsAccountedNotLost) {
+  // Harsher elastic rung: a consumer dies while its loop is being retired.
+  // The dead channel's ops resolve to EINTR and land in dead_skip (or the
+  // reply-side consumer_dead counter); every other channel's ops complete
+  // normally across the handover; the transport ends healthy.
+  os::Config cfg;
+  cfg.ikc_mode = os::IkcMode::ring;
+  cfg.linux_service_cpus = 2;
+  cfg.ikc_channels = 4;
+  ReplyFaultHarness h(cfg);
+
+  std::vector<Errno> dead_errs, live_errs;
+  std::vector<long> dead_vals, live_vals;
+  constexpr int kOps = 8;
+  for (int i = 0; i < kOps; ++i) {
+    h.submit_on(0, /*job=*/1, i, from_us(40), dead_errs, dead_vals);
+    h.submit_on(1, /*job=*/2, 100 + i, from_us(40), live_errs, live_vals);
+  }
+  h.engine.schedule_after(from_us(10), [&] { h.transport->inject_consumer_death(0); });
+  sim::spawn(h.engine, [](ReplyFaultHarness& hh) -> sim::Task<> {
+    co_await hh.engine.delay(from_us(15));
+    const Status s = co_await hh.transport->retire_loop();
+    EXPECT_TRUE(s.ok());
+  }(h));
+  h.engine.run();
+
+  ASSERT_EQ(dead_errs.size(), static_cast<std::size_t>(kOps));
+  ASSERT_EQ(live_errs.size(), static_cast<std::size_t>(kOps));
+  for (int i = 0; i < kOps; ++i) {
+    EXPECT_EQ(dead_errs[static_cast<std::size_t>(i)], Errno::eintr)
+        << "dead-channel op " << i << " must observe the death, not vanish";
+    EXPECT_EQ(live_errs[static_cast<std::size_t>(i)], Errno::ok)
+        << "live-channel op " << i << " must survive the concurrent retire";
+  }
+  EXPECT_GE(h.counter("ikc.reply.consumer_dead") + h.counter("ikc.ring.dead_skip"), 1u)
+      << "the dropped work must be accounted";
+  EXPECT_EQ(h.counter("ikc.ring.stale_skip"), 0u);
+  EXPECT_EQ(h.transport->active_loops(), 1);
+
+  // The shrunk transport still serves both channels.
+  h.submit_on(0, /*job=*/1, 777, from_us(5), dead_errs, dead_vals);
+  h.submit_on(1, /*job=*/2, 888, from_us(5), live_errs, live_vals);
+  h.engine.run();
+  EXPECT_EQ(dead_errs.back(), Errno::ok);
+  EXPECT_EQ(dead_vals.back(), 777);
+  EXPECT_EQ(live_errs.back(), Errno::ok);
+  EXPECT_EQ(live_vals.back(), 888);
+}
+
 TEST(FailureInjection, BindRejectsModuleMissingAField) {
   // Ship a module whose debug info lacks a structure the PicoDriver
   // needs: bind must fail with ENOENT and install nothing.

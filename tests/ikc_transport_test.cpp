@@ -499,6 +499,150 @@ TEST(IkcNuma, RingMemoryPlacedNearOwnerSocket) {
                                           cfg.ikc_ring_region_bytes);
 }
 
+/// Run one elastic lifecycle op to completion and return its status.
+Status run_elastic(Harness& h, bool retire) {
+  Status out = Errno::eagain;
+  // Deliberately not a conditional expression: `r ? co_await a() : co_await
+  // b()` is miscompiled by GCC's coroutine lowering (both arms run).
+  sim::spawn(h.engine, [](Harness& hh, bool r, Status& o) -> sim::Task<> {
+    if (r)
+      o = co_await hh.transport->retire_loop();
+    else
+      o = co_await hh.transport->attach_loop();
+  }(h, retire, out));
+  h.engine.run();
+  return out;
+}
+
+TEST(IkcElastic, RetireQuiescesReshardsAndKeepsServing) {
+  auto cfg = ring_cfg();
+  cfg.linux_service_cpus = 3;
+  Harness h(cfg);
+  ASSERT_EQ(h.transport->active_loops(), 3);
+
+  std::vector<long> order, results;
+  for (int i = 0; i < 12; ++i) h.submit(i, Priority::bulk, i, order, results);
+  h.engine.run();
+  ASSERT_EQ(results.size(), 12u);
+
+  EXPECT_TRUE(run_elastic(h, /*retire=*/true).ok());
+  EXPECT_EQ(h.transport->active_loops(), 2);
+  EXPECT_EQ(h.counter("ikc.elastic.loop_retired"), 1u);
+  EXPECT_GE(h.counter("ikc.elastic.reshard"), 1u);
+  // Every channel now belongs to a surviving loop — the re-shard over the
+  // active prefix left nothing routed at the retired slot.
+  for (int c = 0; c < h.transport->num_channels(); ++c)
+    EXPECT_LT(h.transport->loop_of(c), 2) << "channel " << c;
+
+  // Traffic after the shrink completes on the survivors, timeout-free.
+  for (int i = 100; i < 112; ++i) h.submit(i, Priority::bulk, i, order, results);
+  h.engine.run();
+  EXPECT_EQ(results.size(), 24u);
+  EXPECT_EQ(h.counter("ikc.ring.timeout"), 0u);
+}
+
+TEST(IkcElastic, RetireWithInflightRequestsLosesNothing) {
+  auto cfg = ring_cfg();
+  cfg.linux_service_cpus = 2;
+  Harness h(cfg);
+  std::vector<long> order, results;
+  // Queue a burst on every channel, then retire while it is in flight: the
+  // retiring loop finishes what it claimed, the re-shard hands its backlog
+  // to loop 0, and every op still completes exactly once.
+  constexpr int kOps = 32;
+  for (int i = 0; i < kOps; ++i) h.submit(i, Priority::bulk, i, order, results);
+  Status retire = Errno::eagain;
+  sim::spawn(h.engine, [](Harness& hh, Status& o) -> sim::Task<> {
+    o = co_await hh.transport->retire_loop();
+  }(h, retire));
+  h.engine.run();
+  EXPECT_TRUE(retire.ok());
+  EXPECT_EQ(h.transport->active_loops(), 1);
+  ASSERT_EQ(results.size(), static_cast<std::size_t>(kOps));
+  std::vector<int> seen(kOps, 0);
+  for (long t : order) ++seen[static_cast<std::size_t>(t)];
+  for (int i = 0; i < kOps; ++i) EXPECT_EQ(seen[i], 1) << "op " << i;
+}
+
+TEST(IkcElastic, LastLoopCannotRetireAndAttachIsBoundedBySlots) {
+  auto cfg = ring_cfg();
+  cfg.linux_service_cpus = 2;
+  Harness h(cfg);
+  EXPECT_EQ(h.transport->max_loops(), 2);  // no elastic headroom configured
+  EXPECT_TRUE(run_elastic(h, /*retire=*/true).ok());
+  // One active loop left: retiring it would leave offloads with no Linux side.
+  EXPECT_EQ(run_elastic(h, /*retire=*/true).error(), Errno::einval);
+  // Revive the slot, then attach past the provisioned ceiling.
+  EXPECT_TRUE(run_elastic(h, /*retire=*/false).ok());
+  EXPECT_EQ(h.transport->active_loops(), 2);
+  EXPECT_EQ(run_elastic(h, /*retire=*/false).error(), Errno::enospc);
+  EXPECT_EQ(h.counter("ikc.elastic.loop_attached"), 1u);
+}
+
+TEST(IkcElastic, AttachHeadroomGrowsBeyondBootShape) {
+  auto cfg = ring_cfg();
+  cfg.linux_service_cpus = 2;
+  cfg.elastic_max_service_cpus = 4;  // pre-provision two spare loop slots
+  Harness h(cfg);
+  EXPECT_EQ(h.transport->max_loops(), 4);
+  EXPECT_TRUE(run_elastic(h, /*retire=*/false).ok());
+  EXPECT_TRUE(run_elastic(h, /*retire=*/false).ok());
+  EXPECT_EQ(h.transport->active_loops(), 4);
+  std::vector<long> order, results;
+  for (int i = 0; i < 16; ++i) h.submit(i, Priority::bulk, i, order, results);
+  h.engine.run();
+  EXPECT_EQ(results.size(), 16u);
+  // All four loops own channels after the grown re-shard.
+  for (int l = 0; l < 4; ++l) {
+    bool owns = false;
+    for (int c = 0; c < h.transport->num_channels(); ++c)
+      owns |= h.transport->loop_of(c) == l;
+    EXPECT_TRUE(owns) << "loop " << l << " owns no channels after attach";
+  }
+}
+
+// Satellite regression: a loop retired while *suspect* (or with calibrated
+// EWMA drain state) must not leak that verdict into the slot's next life —
+// and survivors whose channel sets changed in the re-shard must re-learn
+// their depth EWMA instead of applying a limit calibrated for the old shard.
+TEST(IkcElastic, ReshardResetsSuspectProbeAndEwmaState) {
+  auto cfg = ring_cfg();
+  cfg.linux_service_cpus = 2;
+  cfg.ikc_deadline = from_us(50);
+  Harness h(cfg);
+
+  // Wedge loop 1 and drive traffic at one of its channels until the
+  // timeout ladder marks it suspect.
+  int victim_channel = -1;
+  for (int c = 0; c < h.transport->num_channels(); ++c)
+    if (h.transport->loop_of(c) == 1) { victim_channel = c; break; }
+  ASSERT_GE(victim_channel, 0);
+  h.transport->inject_stall(1, true);
+  std::vector<long> order, results;
+  for (int i = 0; i < 6; ++i) h.submit(i, Priority::control, victim_channel, order, results);
+  h.engine.run();
+  ASSERT_EQ(results.size(), 6u);  // recovered via retry/degrade ladder
+  ASSERT_TRUE(h.transport->loop_suspect(1));
+
+  // Retire the wedged loop (retire must cut through the injected stall),
+  // then revive the slot: the fresh loop starts with a clean bill of
+  // health — no inherited suspect mark, no stale drain calibration.
+  EXPECT_TRUE(run_elastic(h, /*retire=*/true).ok());
+  EXPECT_TRUE(run_elastic(h, /*retire=*/false).ok());
+  EXPECT_FALSE(h.transport->loop_suspect(1));
+  EXPECT_DOUBLE_EQ(h.transport->loop_depth_ewma(1), 0.0);
+  EXPECT_EQ(h.transport->loop_batch_limit(1), std::max(h.cfg.ikc_batch, 1));
+  EXPECT_GE(h.counter("ikc.elastic.health_reset"), 1u);
+
+  // And the revived loop serves its channels without tripping the ladder.
+  for (int i = 100; i < 106; ++i)
+    h.submit(i, Priority::control, victim_channel, order, results);
+  const std::uint64_t timeouts_before = h.counter("ikc.ring.timeout");
+  h.engine.run();
+  EXPECT_EQ(results.size(), 12u);
+  EXPECT_EQ(h.counter("ikc.ring.timeout"), timeouts_before);
+}
+
 TEST(QueueingSummary, PercentilesFromSamples) {
   Samples s;
   for (int i = 1; i <= 100; ++i) s.add(static_cast<double>(i));

@@ -1,0 +1,342 @@
+// Elastic repartition equivalence property (ISSUE 8, §8.7).
+//
+// Live repartitioning changes *which* service CPUs drain the rings but must
+// not change *what* the transport does: after any sequence of loop
+// retire/attach operations, a seeded syscall stream must behave exactly as
+// it would on a fresh static partition of the same final shape — identical
+// per-request return values and errno streams, every service executed
+// exactly once (nothing lost or double-executed across the re-shard), and
+// the per-(channel, priority) FIFO contract intact. A repartition scripted
+// *concurrently* with the stream must also lose nothing.
+//
+// Sharding and timing are explicitly NOT compared against the static run:
+// surviving loops carry warmed EWMA/batch state that a fresh transport does
+// not, and that is allowed — only the submitter-visible contract is pinned.
+//
+// Determinism: fixed default seed, overridable with PD_PROPERTY_SEED; a
+// failure prints the seed. Run with `ctest -L elastic` (also `property`).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <vector>
+
+#include "src/common/rng.hpp"
+#include "src/ikc/transport.hpp"
+#include "src/os/kernel.hpp"
+
+namespace pd::ikc {
+namespace {
+
+std::uint64_t harness_seed() {
+  if (const char* env = std::getenv("PD_PROPERTY_SEED"); env != nullptr && *env != '\0')
+    return std::strtoull(env, nullptr, 0);
+  return 0x1CC0FFEEull;
+}
+
+constexpr int kRanks = 24;
+constexpr int kOpsPerRank = 30;
+
+struct Op {
+  Priority prio = Priority::bulk;
+  Dur work = 0;
+  Dur gap = 0;
+  long payload = 0;
+  bool fail = false;
+};
+
+struct ExecutionRecord {
+  long rank;
+  int op_index;
+  Priority prio;
+};
+
+struct RunResult {
+  std::vector<std::vector<long>> results;
+  std::vector<std::vector<Errno>> errors;
+  std::vector<ExecutionRecord> executed;
+  std::uint64_t timeouts = 0;
+  std::uint64_t degraded = 0;
+};
+
+/// One transport whose shape the test scripts: boot at `cfg.linux_service_cpus`
+/// loops, then retire/attach on demand, then drive seeded phases.
+struct Harness {
+  explicit Harness(os::Config c) : cfg(std::move(c)), linux_kernel(engine, cfg) {
+    transport = std::make_unique<IkcTransport>(engine, cfg, linux_kernel.service_cpus(),
+                                               linux_kernel.profiler(), queueing,
+                                               linux_kernel.spinlock_abi());
+  }
+
+  /// Apply one scripted repartition step to completion. `retire` shrinks the
+  /// active set by one loop, otherwise attach grows it.
+  Status reshape(bool retire) {
+    Status out = Errno::eagain;
+    // if/else, not a conditional expression: `r ? co_await a() : co_await b()`
+    // is miscompiled by GCC's coroutine lowering (both arms run).
+    sim::spawn(engine, [](Harness& h, bool r, Status& o) -> sim::Task<> {
+      if (r)
+        o = co_await h.transport->retire_loop();
+      else
+        o = co_await h.transport->attach_loop();
+    }(*this, retire, out));
+    engine.run();
+    return out;
+  }
+
+  sim::Task<> drive_rank(const std::vector<Op>& script, int rank, RunResult& out) {
+    for (int k = 0; k < static_cast<int>(script.size()); ++k) {
+      const Op& op = script[static_cast<std::size_t>(k)];
+      auto r = co_await transport->offload(
+          [this, &op, &out, rank, k]() -> sim::Task<Result<long>> {
+            co_await engine.delay(op.work);
+            out.executed.push_back({rank, k, op.prio});
+            if (op.fail) co_return Errno::eio;
+            co_return op.payload;
+          },
+          op.prio, rank);
+      out.results[static_cast<std::size_t>(rank)].push_back(r.ok() ? *r : -1);
+      out.errors[static_cast<std::size_t>(rank)].push_back(r.error());
+      co_await engine.delay(op.gap);
+    }
+  }
+
+  RunResult run_phase(const std::vector<std::vector<Op>>& scripts) {
+    RunResult out;
+    out.results.resize(kRanks);
+    out.errors.resize(kRanks);
+    const std::uint64_t t0 = linux_kernel.profiler().counter("ikc.ring.timeout");
+    const std::uint64_t d0 = linux_kernel.profiler().counter("ikc.ring.degraded");
+    for (int r = 0; r < kRanks; ++r)
+      sim::spawn(engine, drive_rank(scripts[static_cast<std::size_t>(r)], r, out));
+    engine.run();
+    out.timeouts = linux_kernel.profiler().counter("ikc.ring.timeout") - t0;
+    out.degraded = linux_kernel.profiler().counter("ikc.ring.degraded") - d0;
+    return out;
+  }
+
+  sim::Engine engine;
+  os::Config cfg;
+  os::LinuxKernel linux_kernel;
+  Samples queueing;
+  std::unique_ptr<IkcTransport> transport;
+};
+
+os::Config ring_cfg(int service_cpus, int elastic_max = 0) {
+  os::Config cfg;
+  cfg.ikc_mode = os::IkcMode::ring;
+  cfg.linux_service_cpus = service_cpus;
+  cfg.elastic_max_service_cpus = elastic_max;
+  return cfg;
+}
+
+std::vector<std::vector<Op>> make_scripts(std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::vector<Op>> scripts(kRanks);
+  for (int r = 0; r < kRanks; ++r) {
+    Rng stream = rng.fork();
+    for (int k = 0; k < kOpsPerRank; ++k) {
+      Op op;
+      op.prio = stream.next_below(4) == 0 ? Priority::control : Priority::bulk;
+      op.work = from_us(stream.uniform(0.5, 6.0));
+      op.gap = from_us(stream.uniform(1.0, 40.0));
+      op.payload = static_cast<long>(r) * 1000 + k;
+      op.fail = stream.next_below(16) == 0;
+      scripts[static_cast<std::size_t>(r)].push_back(op);
+    }
+  }
+  return scripts;
+}
+
+/// The submitter-visible contract both runs must share: identical results
+/// and errno streams, once-each execution, FIFO per (channel, priority).
+void expect_equivalent(const RunResult& reference, const RunResult& elastic) {
+  EXPECT_EQ(reference.timeouts, 0u);
+  EXPECT_EQ(elastic.timeouts, 0u);
+  EXPECT_EQ(reference.degraded, 0u);
+  EXPECT_EQ(elastic.degraded, 0u);
+
+  for (int r = 0; r < kRanks; ++r) {
+    ASSERT_EQ(reference.results[r].size(), static_cast<std::size_t>(kOpsPerRank));
+    ASSERT_EQ(elastic.results[r].size(), static_cast<std::size_t>(kOpsPerRank));
+    for (int k = 0; k < kOpsPerRank; ++k) {
+      EXPECT_EQ(reference.results[r][k], elastic.results[r][k])
+          << "rank " << r << " op " << k << " diverged";
+      EXPECT_EQ(reference.errors[r][k], elastic.errors[r][k])
+          << "rank " << r << " op " << k << " errno diverged";
+    }
+  }
+
+  ASSERT_EQ(elastic.executed.size(), static_cast<std::size_t>(kRanks * kOpsPerRank));
+  std::vector<std::vector<int>> seen(kRanks, std::vector<int>(kOpsPerRank, 0));
+  for (const auto& e : elastic.executed) ++seen[e.rank][e.op_index];
+  for (int r = 0; r < kRanks; ++r)
+    for (int k = 0; k < kOpsPerRank; ++k)
+      EXPECT_EQ(seen[r][k], 1) << "rank " << r << " op " << k << " executed "
+                               << seen[r][k] << " times after repartition";
+
+  std::vector<int> last_control(kRanks, -1), last_bulk(kRanks, -1);
+  for (const auto& e : elastic.executed) {
+    auto& last = e.prio == Priority::control ? last_control : last_bulk;
+    EXPECT_LT(last[e.rank], e.op_index)
+        << "FIFO violated on channel " << e.rank << " after repartition";
+    last[e.rank] = e.op_index;
+  }
+}
+
+TEST(ElasticProperty, TrafficAfterShrinkEquivalentToFreshStaticPartition) {
+  const std::uint64_t seed = harness_seed();
+  SCOPED_TRACE(::testing::Message() << "PD_PROPERTY_SEED=" << seed);
+  const auto warmup = make_scripts(seed ^ 0x5A);
+  const auto scripts = make_scripts(seed);
+
+  // Elastic: boot 4 loops, warm them, retire down to 2, then the stream.
+  Harness elastic(ring_cfg(4));
+  elastic.run_phase(warmup);
+  ASSERT_TRUE(elastic.reshape(/*retire=*/true).ok());
+  ASSERT_TRUE(elastic.reshape(/*retire=*/true).ok());
+  ASSERT_EQ(elastic.transport->active_loops(), 2);
+  const RunResult after = elastic.run_phase(scripts);
+
+  // Reference: a transport that was *born* with 2 loops.
+  Harness fresh(ring_cfg(2));
+  const RunResult reference = fresh.run_phase(scripts);
+
+  expect_equivalent(reference, after);
+  // The shrunk transport shards channels exactly like the fresh one: the
+  // re-shard is a re-run of placement, not an ad-hoc patch.
+  for (int c = 0; c < elastic.cfg.ikc_channels; ++c)
+    EXPECT_EQ(elastic.transport->loop_of(c), fresh.transport->loop_of(c))
+        << "channel " << c << " sharded differently after shrink";
+}
+
+TEST(ElasticProperty, TrafficAfterGrowEquivalentToFreshStaticPartition) {
+  const std::uint64_t seed = harness_seed() ^ 0x6B;
+  SCOPED_TRACE(::testing::Message() << "PD_PROPERTY_SEED=" << seed);
+  const auto warmup = make_scripts(seed ^ 0x5A);
+  const auto scripts = make_scripts(seed);
+
+  // Elastic: boot 2 loops with headroom for 4, warm, attach up to 4.
+  Harness elastic(ring_cfg(2, /*elastic_max=*/4));
+  elastic.run_phase(warmup);
+  ASSERT_TRUE(elastic.reshape(/*retire=*/false).ok());
+  ASSERT_TRUE(elastic.reshape(/*retire=*/false).ok());
+  ASSERT_EQ(elastic.transport->active_loops(), 4);
+  const RunResult after = elastic.run_phase(scripts);
+
+  Harness fresh(ring_cfg(4));
+  const RunResult reference = fresh.run_phase(scripts);
+
+  expect_equivalent(reference, after);
+  for (int c = 0; c < elastic.cfg.ikc_channels; ++c)
+    EXPECT_EQ(elastic.transport->loop_of(c), fresh.transport->loop_of(c))
+        << "channel " << c << " sharded differently after grow";
+}
+
+TEST(ElasticProperty, SeededRepartitionWalkStaysEquivalent) {
+  // A seeded random walk over shapes (retire/attach within [1, max]) with a
+  // short traffic burst at every step, then the full stream compared against
+  // a fresh partition of whatever shape the walk ended on.
+  const std::uint64_t seed = harness_seed() ^ 0xA7;
+  SCOPED_TRACE(::testing::Message() << "PD_PROPERTY_SEED=" << seed);
+  const auto scripts = make_scripts(seed);
+
+  Harness elastic(ring_cfg(3, /*elastic_max=*/5));
+  Rng walk(seed * 0x9E3779B97F4A7C15ull + 1);
+  for (int step = 0; step < 6; ++step) {
+    const int active = elastic.transport->active_loops();
+    bool retire;
+    if (active <= 1)
+      retire = false;
+    else if (active >= elastic.transport->max_loops())
+      retire = true;
+    else
+      retire = walk.next_below(2) == 0;
+    ASSERT_TRUE(elastic.reshape(retire).ok())
+        << "step " << step << " active " << active;
+    elastic.run_phase(make_scripts(seed + static_cast<std::uint64_t>(step)));
+  }
+  const int final_shape = elastic.transport->active_loops();
+  const RunResult after = elastic.run_phase(scripts);
+
+  Harness fresh(ring_cfg(final_shape, /*elastic_max=*/5));
+  const RunResult reference = fresh.run_phase(scripts);
+  expect_equivalent(reference, after);
+}
+
+TEST(ElasticProperty, RepartitionConcurrentWithTrafficLosesNothing) {
+  // The shrink and the grow both land *while* the stream is in flight: no
+  // offload may be lost, duplicated, or reordered within its channel, and
+  // the run must stay timeout-free (drain-before-handover, not abandon).
+  const std::uint64_t seed = harness_seed() ^ 0xC3;
+  SCOPED_TRACE(::testing::Message() << "PD_PROPERTY_SEED=" << seed);
+  const auto scripts = make_scripts(seed);
+
+  Harness h(ring_cfg(3, /*elastic_max=*/4));
+  RunResult out;
+  out.results.resize(kRanks);
+  out.errors.resize(kRanks);
+  for (int r = 0; r < kRanks; ++r)
+    sim::spawn(h.engine, h.drive_rank(scripts[static_cast<std::size_t>(r)], r, out));
+  sim::spawn(h.engine, [](Harness& hh) -> sim::Task<> {
+    co_await hh.engine.delay(from_us(40));
+    const Status s1 = co_await hh.transport->retire_loop();
+    EXPECT_TRUE(s1.ok());
+    co_await hh.engine.delay(from_us(120));
+    const Status s2 = co_await hh.transport->attach_loop();
+    EXPECT_TRUE(s2.ok());
+    co_await hh.engine.delay(from_us(120));
+    const Status s3 = co_await hh.transport->attach_loop();
+    EXPECT_TRUE(s3.ok());
+  }(h));
+  h.engine.run();
+
+  EXPECT_EQ(h.linux_kernel.profiler().counter("ikc.ring.timeout"), 0u);
+  EXPECT_EQ(h.transport->active_loops(), 4);
+  EXPECT_EQ(h.linux_kernel.profiler().counter("ikc.elastic.loop_retired"), 1u);
+  EXPECT_EQ(h.linux_kernel.profiler().counter("ikc.elastic.loop_attached"), 2u);
+
+  ASSERT_EQ(out.executed.size(), static_cast<std::size_t>(kRanks * kOpsPerRank));
+  std::vector<std::vector<int>> seen(kRanks, std::vector<int>(kOpsPerRank, 0));
+  for (const auto& e : out.executed) ++seen[e.rank][e.op_index];
+  for (int r = 0; r < kRanks; ++r)
+    for (int k = 0; k < kOpsPerRank; ++k) {
+      EXPECT_EQ(seen[r][k], 1) << "rank " << r << " op " << k << " executed "
+                               << seen[r][k] << " times across live repartition";
+      EXPECT_EQ(out.results[r][k],
+                scripts[static_cast<std::size_t>(r)][static_cast<std::size_t>(k)].fail
+                    ? -1
+                    : static_cast<long>(r) * 1000 + k);
+    }
+  std::vector<int> last_control(kRanks, -1), last_bulk(kRanks, -1);
+  for (const auto& e : out.executed) {
+    auto& last = e.prio == Priority::control ? last_control : last_bulk;
+    EXPECT_LT(last[e.rank], e.op_index) << "FIFO violated on channel " << e.rank;
+    last[e.rank] = e.op_index;
+  }
+}
+
+TEST(ElasticProperty, RepartitionScheduleIsDeterministic) {
+  // Two identical elastic runs (same seed, same reshape schedule) must agree
+  // event for event — the elastic machinery adds no hidden nondeterminism.
+  const std::uint64_t seed = harness_seed() ^ 0xE1;
+  const auto scripts = make_scripts(seed);
+  auto run_once = [&scripts]() {
+    Harness h(ring_cfg(3, /*elastic_max=*/4));
+    EXPECT_TRUE(h.reshape(/*retire=*/true).ok());
+    EXPECT_TRUE(h.reshape(/*retire=*/false).ok());
+    EXPECT_TRUE(h.reshape(/*retire=*/false).ok());
+    return h.run_phase(scripts);
+  };
+  const RunResult a = run_once();
+  const RunResult b = run_once();
+  ASSERT_EQ(a.executed.size(), b.executed.size());
+  for (std::size_t i = 0; i < a.executed.size(); ++i) {
+    EXPECT_EQ(a.executed[i].rank, b.executed[i].rank) << "at " << i;
+    EXPECT_EQ(a.executed[i].op_index, b.executed[i].op_index) << "at " << i;
+  }
+  EXPECT_EQ(a.results, b.results);
+}
+
+}  // namespace
+}  // namespace pd::ikc

@@ -12,6 +12,11 @@ more than ``--tolerance`` (default 15%) fails the run.  Two suites:
               rows only: the multi-tenant overload ladder.  Gates Jain's
               fairness index per rung and the misbehaving-tenant rung's
               victim-p95 ratio (all simulated-time, deterministic).
+  elastic   — bench_fastpath_cache / BENCH_fastpath.json, ``elastic`` rows
+              only: the live 4 -> 2 -> 4 service-loop repartition under a
+              64-stream offload storm.  Gates losslessness (lost/timeouts/
+              stale/dead skips stay zero), time-to-quiesce, and the
+              shrunken/restored steady-state p95s (simulated time).
   sim_scale — bench_sim_scale / BENCH_sim_scale.json: the calendar-queue
               DES engine at paper scale (raw events/sec, allocation-free
               event path, >= 256-node sharded UMT sweep).
@@ -104,6 +109,35 @@ INFORMATIONAL_OVERLOAD = [
     "overload.flood.flooder_credit_waits",
 ]
 
+# Elastic repartitioning (§8.7) — all simulated-time, deterministic. The
+# hard invariants (lossless quiesce) get zero-tolerance gates via a tiny
+# epsilon on a zero baseline; the latency rows gate with the normal band.
+GATES_ELASTIC = [
+    # Lossless handover: nothing stranded, nothing dropped, nothing pushed
+    # onto the robustness ladder while loops came and went.
+    ("elastic.lost", "lower", 0.0),
+    ("elastic.failed", "lower", 0.0),
+    ("elastic.timeouts", "lower", 0.0),
+    ("elastic.stale_skips", "lower", 0.0),
+    ("elastic.dead_skips", "lower", 0.0),
+    # Handover cost: drain-and-reshard time for the two retires must not
+    # creep, and the tails before/after each transition stay put.
+    ("elastic.quiesce_us", "lower", 5.0),
+    ("elastic.pre_p95_us", "lower", 1.0),
+    ("elastic.shrink_after_p95_us", "lower", 1.0),
+    ("elastic.grow_after_p95_us", "lower", 1.0),
+]
+
+INFORMATIONAL_ELASTIC = [
+    "elastic.shrink_during_p95_us",
+    "elastic.grow_during_p95_us",
+    "elastic.attach_us",
+    "elastic.submitted",
+    "elastic.completed",
+    "elastic.retired",
+    "elastic.attached",
+]
+
 GATES_SIM_SCALE = [
     # Allocation-free event path: the scheduler's core contract. The raw
     # loop counts real operator-new calls; the sweep point counts
@@ -143,6 +177,11 @@ SUITES = {
     "overload": {
         "gates": GATES_OVERLOAD,
         "informational": INFORMATIONAL_OVERLOAD,
+        "json": "BENCH_fastpath.json",
+    },
+    "elastic": {
+        "gates": GATES_ELASTIC,
+        "informational": INFORMATIONAL_ELASTIC,
         "json": "BENCH_fastpath.json",
     },
     "sim_scale": {
