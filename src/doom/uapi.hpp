@@ -1,0 +1,61 @@
+// pd-doom user API: the ioctl surface PSM-free userspace drives directly.
+//
+// Mirrors the harddoom driver's shape: a context is created per open file,
+// long-lived surfaces are mapped into the context's DMA page table, and
+// work arrives as *batches* — N commands plus an implicit fence whose
+// completion the submitter can wait on. Only kDoomSubmitBatch has an LWK
+// fast path; everything else rides the normal offload machinery.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "src/mem/types.hpp"
+
+namespace pd::doom {
+
+inline constexpr const char* kDeviceName = "/dev/pd_doom0";
+
+// Command numbers (distinct from the hfi 0xB1xx block).
+enum : unsigned long {
+  kDoomCreateCtx = 0xD001,
+  kDoomMapBuffer = 0xD002,
+  kDoomSubmitBatch = 0xD003,
+  kDoomWaitFence = 0xD004,
+  kDoomResetError = 0xD005,
+  kDoomInfo = 0xD006,
+};
+
+/// Does the LWK fast path handle this command? Batched submit only — the
+/// control surface (context/buffer management, waits, resets) stays on the
+/// offload path like the HFI's administrative ioctls.
+inline bool is_submit_cmd(unsigned long cmd) { return cmd == kDoomSubmitBatch; }
+
+/// One user command in a batch. Either `src_va` names user memory the
+/// driver maps transiently for this batch, or `dva` names a window already
+/// mapped with kDoomMapBuffer (src_va == 0).
+struct DoomUserCmd {
+  std::uint32_t op = 0;  // hw::DoomOp numeric value
+  mem::VirtAddr src_va = 0;
+  std::uint64_t dva = 0;
+  std::uint64_t bytes = 0;
+};
+
+struct DoomSubmitArgs {
+  std::vector<DoomUserCmd> cmds;
+  std::function<void()> on_fence;  // raised when the batch's fence retires
+  std::uint64_t fence_seq = 0;     // out: the fence this batch retires at
+};
+
+struct DoomMapBufferArgs {
+  mem::VirtAddr va = 0;
+  std::uint64_t len = 0;
+  std::uint64_t dva = 0;  // out: device VA of the persistent mapping
+};
+
+struct DoomWaitFenceArgs {
+  std::uint64_t seq = 0;
+};
+
+}  // namespace pd::doom

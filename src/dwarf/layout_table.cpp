@@ -1,0 +1,33 @@
+#include "src/dwarf/layout_table.hpp"
+
+#include <algorithm>
+
+namespace pd::dwarf {
+
+const FieldDef* StructDef::field(const std::string& fname) const {
+  auto it = std::find_if(fields.begin(), fields.end(),
+                         [&](const FieldDef& f) { return f.name == fname; });
+  return it == fields.end() ? nullptr : &*it;
+}
+
+void apply_shifts(std::vector<StructDef>& structs, const std::vector<VersionShift>& shifts) {
+  for (const auto& shift : shifts) {
+    for (auto& s : structs) {
+      if (s.name != shift.struct_name) continue;
+      s.byte_size += shift.delta;
+      for (auto& f : s.fields)
+        if (f.offset >= shift.from_offset) f.offset += shift.delta;
+    }
+  }
+  // Embedded-struct fields inherit the (possibly grown) size of their type.
+  for (auto& s : structs) {
+    for (auto& f : s.fields) {
+      if (f.type_name.rfind("struct ", 0) != 0) continue;
+      const std::string inner = f.type_name.substr(7);
+      for (const auto& t : structs)
+        if (t.name == inner) f.size = t.byte_size;
+    }
+  }
+}
+
+}  // namespace pd::dwarf

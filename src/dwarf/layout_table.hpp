@@ -1,0 +1,83 @@
+// Compiled-in structure layout tables, shared by every simulated driver.
+//
+// A driver's internal structures live as raw byte images in the Linux
+// kernel heap; the driver itself reads them through a table of
+// (name, offset, size) rows — its "headers". Each driver versions its table
+// like vendor releases (fields move between versions), ships the same
+// information as DWARF debug info in its module binary, and the PicoDriver
+// side re-learns the offsets from that binary alone (§3.2).
+//
+// These primitives are driver-agnostic: the HFI1 table (src/hfi/layouts)
+// and the pd-doom table (src/doom/layouts) both build on them, so adding a
+// device class never re-implements field lookup, image access, or the
+// version-shift machinery.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace pd::dwarf {
+
+struct FieldDef {
+  std::string name;
+  std::uint64_t offset = 0;
+  std::uint64_t size = 0;
+  std::string type_name;  // for debug-info emission
+};
+
+struct StructDef {
+  std::string name;
+  std::uint64_t byte_size = 0;
+  std::vector<FieldDef> fields;
+
+  const FieldDef* field(const std::string& fname) const;
+};
+
+/// Per-version padding shift, emulating vendor releases that grow or move
+/// fields. Keyed by struct name; added to every field offset at or beyond
+/// `from_offset` (and to the struct size).
+struct VersionShift {
+  std::string struct_name;
+  std::uint64_t from_offset;
+  std::uint64_t delta;
+};
+
+/// Apply a release's shifts to a baseline table. Embedded-struct fields
+/// (type_name "struct X") inherit the possibly-grown size of their type
+/// afterwards, so containers stay consistent with what they embed.
+void apply_shifts(std::vector<StructDef>& structs, const std::vector<VersionShift>& shifts);
+
+/// Typed accessor over a raw structure image using a layout table — the
+/// driver's own (compiled-in) view of its structures.
+class StructImage {
+ public:
+  StructImage() = default;
+  StructImage(std::span<std::uint8_t> bytes, const StructDef* def) : bytes_(bytes), def_(def) {}
+
+  bool valid() const { return def_ != nullptr && bytes_.size() >= def_->byte_size; }
+
+  template <typename T>
+  T read(const std::string& field) const {
+    const FieldDef* f = def_->field(field);
+    T value{};
+    if (f == nullptr || f->size != sizeof(T) || f->offset + f->size > bytes_.size()) return value;
+    __builtin_memcpy(&value, bytes_.data() + f->offset, sizeof(T));
+    return value;
+  }
+
+  template <typename T>
+  bool write(const std::string& field, T value) {
+    const FieldDef* f = def_->field(field);
+    if (f == nullptr || f->size != sizeof(T) || f->offset + f->size > bytes_.size()) return false;
+    __builtin_memcpy(bytes_.data() + f->offset, &value, sizeof(T));
+    return true;
+  }
+
+ private:
+  std::span<std::uint8_t> bytes_;
+  const StructDef* def_ = nullptr;
+};
+
+}  // namespace pd::dwarf

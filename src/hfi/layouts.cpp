@@ -10,14 +10,7 @@ namespace pd::hfi {
 
 namespace {
 
-/// Per-version padding shifts, emulating vendor releases that grow or move
-/// fields. Keyed by struct name; added to every field offset at or beyond
-/// `from_offset` (and to the struct size).
-struct VersionShift {
-  std::string struct_name;
-  std::uint64_t from_offset;
-  std::uint64_t delta;
-};
+using dwarf::VersionShift;
 
 std::vector<VersionShift> shifts_for(const std::string& version) {
   if (version == "10.8-0") return {};
@@ -86,40 +79,14 @@ std::vector<StructDef> baseline_structs() {
   return out;
 }
 
-void apply_shifts(std::vector<StructDef>& structs, const std::vector<VersionShift>& shifts) {
-  for (const auto& shift : shifts) {
-    for (auto& s : structs) {
-      if (s.name != shift.struct_name) continue;
-      s.byte_size += shift.delta;
-      for (auto& f : s.fields)
-        if (f.offset >= shift.from_offset) f.offset += shift.delta;
-    }
-  }
-  // Embedded-struct fields inherit the (possibly grown) size of their type.
-  for (auto& s : structs) {
-    for (auto& f : s.fields) {
-      if (f.type_name.rfind("struct ", 0) != 0) continue;
-      const std::string inner = f.type_name.substr(7);
-      for (const auto& t : structs)
-        if (t.name == inner) f.size = t.byte_size;
-    }
-  }
-}
-
 }  // namespace
-
-const FieldDef* StructDef::field(const std::string& fname) const {
-  auto it = std::find_if(fields.begin(), fields.end(),
-                         [&](const FieldDef& f) { return f.name == fname; });
-  return it == fields.end() ? nullptr : &*it;
-}
 
 Result<DriverLayouts> DriverLayouts::for_version(const std::string& version) {
   if (!known_version(version)) return Errno::enoent;
   DriverLayouts layouts;
   layouts.version_ = version;
   layouts.structs_ = baseline_structs();
-  apply_shifts(layouts.structs_, shifts_for(version));
+  dwarf::apply_shifts(layouts.structs_, shifts_for(version));
   return layouts;
 }
 

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "src/common/status.hpp"
+#include "src/dwarf/layout_table.hpp"
 #include "src/dwarf/module_binary.hpp"
 
 namespace pd::hfi {
@@ -34,20 +35,10 @@ enum class SdmaStates : std::uint32_t {
   s99_running = 9,
 };
 
-struct FieldDef {
-  std::string name;
-  std::uint64_t offset = 0;
-  std::uint64_t size = 0;
-  std::string type_name;  // for debug-info emission
-};
-
-struct StructDef {
-  std::string name;
-  std::uint64_t byte_size = 0;
-  std::vector<FieldDef> fields;
-
-  const FieldDef* field(const std::string& fname) const;
-};
+// The layout-table primitives are driver-agnostic (shared with src/doom/);
+// keep the historical hfi:: spellings as aliases.
+using FieldDef = dwarf::FieldDef;
+using StructDef = dwarf::StructDef;
 
 /// The layout table for one driver release.
 class DriverLayouts {
@@ -67,35 +58,6 @@ class DriverLayouts {
   std::vector<StructDef> structs_;
 };
 
-/// Typed accessor over a raw structure image using a layout table — the
-/// driver's own (compiled-in) view of its structures.
-class StructImage {
- public:
-  StructImage() = default;
-  StructImage(std::span<std::uint8_t> bytes, const StructDef* def) : bytes_(bytes), def_(def) {}
-
-  bool valid() const { return def_ != nullptr && bytes_.size() >= def_->byte_size; }
-
-  template <typename T>
-  T read(const std::string& field) const {
-    const FieldDef* f = def_->field(field);
-    T value{};
-    if (f == nullptr || f->size != sizeof(T) || f->offset + f->size > bytes_.size()) return value;
-    __builtin_memcpy(&value, bytes_.data() + f->offset, sizeof(T));
-    return value;
-  }
-
-  template <typename T>
-  bool write(const std::string& field, T value) {
-    const FieldDef* f = def_->field(field);
-    if (f == nullptr || f->size != sizeof(T) || f->offset + f->size > bytes_.size()) return false;
-    __builtin_memcpy(bytes_.data() + f->offset, &value, sizeof(T));
-    return true;
-  }
-
- private:
-  std::span<std::uint8_t> bytes_;
-  const StructDef* def_ = nullptr;
-};
+using StructImage = dwarf::StructImage;
 
 }  // namespace pd::hfi

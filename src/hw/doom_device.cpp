@@ -1,0 +1,152 @@
+#include "src/hw/doom_device.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace pd::hw {
+
+DoomDevice::DoomDevice(sim::Engine& engine, int node_id, DoomConfig config)
+    : engine_(engine),
+      node_id_(node_id),
+      config_(config),
+      ring_slots_free_(config.ring_slots),
+      work_signal_(engine) {
+  sim::spawn(engine_, run());
+}
+
+Status DoomDevice::create_context(int ctx) {
+  if (ctx < 0) return Errno::einval;
+  if (page_tables_.count(ctx) > 0) return Errno::ebusy;
+  page_tables_.emplace(ctx, PageTable{});
+  return Status::success();
+}
+
+Status DoomDevice::destroy_context(int ctx) {
+  if (page_tables_.erase(ctx) == 0) return Errno::enoent;
+  return Status::success();
+}
+
+Status DoomDevice::map_pte(int ctx, std::uint64_t dva, mem::PhysAddr pa, std::uint64_t len) {
+  auto it = page_tables_.find(ctx);
+  if (it == page_tables_.end()) return Errno::enoent;
+  if (len == 0 || len > config_.max_pte_bytes) return Errno::einval;
+  PageTable& pt = it->second;
+  if (pt.entries.size() >= config_.pt_entries_per_ctx) return Errno::enospc;
+  auto pos = std::lower_bound(pt.entries.begin(), pt.entries.end(), dva,
+                              [](const Pte& e, std::uint64_t v) { return e.dva < v; });
+  if (pos != pt.entries.end() && pos->dva < dva + len) return Errno::eexist;
+  if (pos != pt.entries.begin() && std::prev(pos)->dva + std::prev(pos)->len > dva)
+    return Errno::eexist;
+  pt.entries.insert(pos, Pte{dva, pa, len, false});
+  return Status::success();
+}
+
+Result<std::uint32_t> DoomDevice::unmap_range(int ctx, std::uint64_t dva, std::uint64_t len) {
+  auto it = page_tables_.find(ctx);
+  if (it == page_tables_.end()) return Errno::enoent;
+  PageTable& pt = it->second;
+  std::uint32_t removed = 0;
+  std::erase_if(pt.entries, [&](const Pte& e) {
+    const bool covered = e.dva >= dva && e.dva + e.len <= dva + len;
+    removed += covered ? 1 : 0;
+    return covered;
+  });
+  return removed;
+}
+
+std::uint32_t DoomDevice::pt_entries_used(int ctx) const {
+  auto it = page_tables_.find(ctx);
+  return it == page_tables_.end() ? 0 : static_cast<std::uint32_t>(it->second.entries.size());
+}
+
+Status DoomDevice::push(const DoomCommand& cmd) {
+  if (cmd.op != DoomOp::fence && cmd.bytes == 0) return Errno::einval;
+  if (ring_slots_free_ == 0) return Errno::eagain;
+  --ring_slots_free_;
+  ring_.push_back(cmd);
+  return Status::success();
+}
+
+void DoomDevice::doorbell() {
+  ++doorbells_;
+  work_signal_.send(1);
+}
+
+Status DoomDevice::poison_pte(int ctx, std::uint64_t dva) {
+  auto it = page_tables_.find(ctx);
+  if (it == page_tables_.end()) return Errno::enoent;
+  for (auto& e : it->second.entries) {
+    if (dva >= e.dva && dva < e.dva + e.len) {
+      e.poisoned = true;
+      return Status::success();
+    }
+  }
+  return Errno::enoent;
+}
+
+void DoomDevice::inject_ring_stall(bool stalled) {
+  const bool resuming = stalled_ && !stalled;
+  stalled_ = stalled;
+  // The consumer may be parked on the work signal with commands queued; a
+  // clearing stall behaves like the hardware un-wedging itself.
+  if (resuming && !ring_.empty()) work_signal_.send(1);
+}
+
+Status DoomDevice::resolve(int ctx, std::uint64_t dva, std::uint64_t bytes) {
+  auto it = page_tables_.find(ctx);
+  if (it == page_tables_.end()) return Errno::efault;
+  std::uint64_t cursor = dva;
+  const std::uint64_t end = dva + bytes;
+  for (const Pte& e : it->second.entries) {
+    if (cursor >= end) break;
+    if (e.dva + e.len <= cursor) continue;
+    if (e.dva > cursor) return Errno::efault;  // hole before the cursor
+    if (e.poisoned) return Errno::efault;
+    cursor = e.dva + e.len;
+  }
+  return cursor >= end ? Status::success() : Errno::efault;
+}
+
+sim::Task<> DoomDevice::run() {
+  while (true) {
+    (void)co_await work_signal_.recv();
+    while (!ring_.empty()) {
+      if (stalled_) break;  // wedged: resume via inject_ring_stall(false)
+      const DoomCommand cmd = ring_.front();
+      ring_.pop_front();
+
+      co_await engine_.delay(config_.per_command_overhead);
+      if (cmd.op == DoomOp::fence) {
+        ++ring_slots_free_;
+        ++commands_retired_;
+        ++fences_retired_;
+        last_retired_seq_ = std::max(last_retired_seq_, cmd.seq);
+        if (lost_irq_budget_ > 0) {
+          --lost_irq_budget_;
+          ++irqs_lost_;  // seq advanced, callback swallowed
+        } else if (completion_) {
+          completion_(cmd.seq);
+        }
+        continue;
+      }
+
+      if (cmd.op == DoomOp::copy_rect) {
+        // Source fetch through the context's DMA page table.
+        Status ok = resolve(cmd.ctx, cmd.dva, cmd.bytes);
+        if (!ok.ok()) {
+          ++pte_faults_;
+          faulted_ = true;  // parks sticky; software must reset
+          ++ring_slots_free_;
+          ++commands_retired_;
+          continue;
+        }
+        co_await engine_.delay(transfer_time(cmd.bytes, config_.dma_read_bytes_per_sec));
+        dma_bytes_ += cmd.bytes;
+      }
+      ++ring_slots_free_;
+      ++commands_retired_;
+    }
+  }
+}
+
+}  // namespace pd::hw

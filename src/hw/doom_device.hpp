@@ -1,0 +1,163 @@
+// The pd-doom command-queue accelerator model (second device class).
+//
+// Modeled in the image of the harddoom teaching device: a fixed-depth
+// command ring fed through a doorbell register, per-context DMA page tables
+// that resolve device virtual addresses ("dva") to host physical memory,
+// and asynchronous completion interrupts with fence/sequence semantics. The
+// device knows nothing about kernels or drivers: software pushes commands,
+// rings the doorbell, and receives fence-retirement callbacks — which CPU
+// fields the "IRQ" is the OS's business (exactly like SdmaEngine).
+//
+// Unlike the HFI's streaming SDMA engines, submission here is *batched*:
+// a batch is N work commands followed by one fence carrying a monotonic
+// sequence number; the completion callback fires when the fence retires.
+// That shape is what makes the driver's submit path worth porting to the
+// LWK (one doorbell per batch, §3.4-style extent descriptors) and is the
+// second proof point for the PicoDriver recipe.
+//
+// Fault injection (driver/fast-path hardening rungs):
+//   * inject_ring_stall(true)  — the consumer halts; the ring fills and
+//     submitters see no slots free until the stall clears;
+//   * inject_lost_irq(n)      — the next n fence retirements skip their
+//     completion callback (the seq still advances, so software can detect
+//     the loss by polling last_retired_seq());
+//   * poison_pte(ctx, dva)    — the next resolution through that mapping
+//     faults (bad-PTE rung; the device parks in an error state).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "src/common/status.hpp"
+#include "src/common/time.hpp"
+#include "src/mem/types.hpp"
+#include "src/sim/engine.hpp"
+#include "src/sim/sync.hpp"
+#include "src/sim/task.hpp"
+
+namespace pd::hw {
+
+enum class DoomOp : std::uint32_t {
+  copy_rect = 0,  // DMA-read a source window and process it
+  fill_rect = 1,  // process a window without a source fetch
+  fence = 2,      // retire: publish seq, raise the completion IRQ
+};
+
+/// One ring slot. Work commands name a dva window in the submitting
+/// context's page table; fences carry the batch's sequence number.
+struct DoomCommand {
+  DoomOp op = DoomOp::copy_rect;
+  int ctx = -1;
+  std::uint64_t dva = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t seq = 0;  // fence only
+};
+
+struct DoomConfig {
+  std::uint32_t ring_slots = 256;
+  std::uint32_t pt_entries_per_ctx = 4096;  // page-table capacity per context
+  std::uint64_t max_pte_bytes = 2ull << 20; // largest run one PTE covers
+  Dur per_command_overhead = 220'000;       // 220 ns fetch + decode + execute
+  Dur doorbell_cost = 150'000;              // 150 ns MMIO write + queue kick
+  double dma_read_bytes_per_sec = 30e9;     // source-window fetch bandwidth
+};
+
+/// Fired (in "IRQ context") when a fence retires.
+using DoomCompletion = std::function<void(std::uint64_t seq)>;
+
+class DoomDevice {
+ public:
+  DoomDevice(sim::Engine& engine, int node_id, DoomConfig config = {});
+
+  int node_id() const { return node_id_; }
+  const DoomConfig& config() const { return config_; }
+
+  /// --- contexts & DMA page tables ---------------------------------------
+  Status create_context(int ctx);
+  Status destroy_context(int ctx);
+  bool context_open(int ctx) const { return page_tables_.count(ctx) > 0; }
+
+  /// Program one PTE: [dva, dva+len) resolves to host physical [pa, pa+len).
+  /// ENOSPC at the per-context capacity, EINVAL for bad lengths/overlaps.
+  Status map_pte(int ctx, std::uint64_t dva, mem::PhysAddr pa, std::uint64_t len);
+  /// Drop the PTEs covering [dva, dva+len); returns entries removed.
+  Result<std::uint32_t> unmap_range(int ctx, std::uint64_t dva, std::uint64_t len);
+  std::uint32_t pt_entries_used(int ctx) const;
+
+  /// --- command ring -------------------------------------------------------
+  /// Slots currently free. Software reserves slots under its own lock; the
+  /// device frees a slot when the command retires.
+  std::size_t ring_free() const { return ring_slots_free_; }
+  /// Push one command into the ring. EAGAIN when no slot is free. Pushes do
+  /// not start execution — the doorbell does (batched submission).
+  Status push(const DoomCommand& cmd);
+  /// MMIO doorbell: the consumer starts/continues draining the ring.
+  void doorbell();
+
+  /// Register the fence-retirement handler (the driver's IRQ entry).
+  void set_completion_handler(DoomCompletion handler) { completion_ = std::move(handler); }
+
+  /// Highest fence sequence the hardware has retired — readable via MMIO,
+  /// which is what lost-IRQ recovery polls.
+  std::uint64_t last_retired_seq() const { return last_retired_seq_; }
+  /// Sticky error flag (bad PTE); software clears it via reset_error().
+  bool faulted() const { return faulted_; }
+  void reset_error() { faulted_ = false; }
+
+  /// --- fault injection ----------------------------------------------------
+  void inject_ring_stall(bool stalled);
+  void inject_lost_irq(std::uint32_t count) { lost_irq_budget_ += count; }
+  Status poison_pte(int ctx, std::uint64_t dva);
+
+  /// --- instrumentation ----------------------------------------------------
+  std::uint64_t commands_retired() const { return commands_retired_; }
+  std::uint64_t fences_retired() const { return fences_retired_; }
+  std::uint64_t dma_bytes() const { return dma_bytes_; }
+  std::uint64_t pte_faults() const { return pte_faults_; }
+  std::uint64_t irqs_lost() const { return irqs_lost_; }
+  std::uint64_t doorbells() const { return doorbells_; }
+
+ private:
+  struct Pte {
+    std::uint64_t dva = 0;
+    mem::PhysAddr pa = 0;
+    std::uint64_t len = 0;
+    bool poisoned = false;
+  };
+  struct PageTable {
+    std::vector<Pte> entries;  // sorted by dva, non-overlapping
+  };
+
+  /// Walk the context's table for [dva, dva+bytes). EFAULT on a hole or a
+  /// poisoned entry.
+  Status resolve(int ctx, std::uint64_t dva, std::uint64_t bytes);
+
+  sim::Task<> run();
+
+  sim::Engine& engine_;
+  int node_id_;
+  DoomConfig config_;
+
+  std::map<int, PageTable> page_tables_;
+  std::deque<DoomCommand> ring_;
+  std::size_t ring_slots_free_;
+  sim::Channel<int> work_signal_;
+
+  DoomCompletion completion_;
+  std::uint64_t last_retired_seq_ = 0;
+  bool stalled_ = false;
+  bool faulted_ = false;
+  std::uint32_t lost_irq_budget_ = 0;
+
+  std::uint64_t commands_retired_ = 0;
+  std::uint64_t fences_retired_ = 0;
+  std::uint64_t dma_bytes_ = 0;
+  std::uint64_t pte_faults_ = 0;
+  std::uint64_t irqs_lost_ = 0;
+  std::uint64_t doorbells_ = 0;
+};
+
+}  // namespace pd::hw

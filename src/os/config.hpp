@@ -194,6 +194,16 @@ struct Config {
   Dur driver_mmap_cost = from_us(6);       // CSR/device mapping setup
   Dur driver_poll_cost = from_ns(700);
 
+  // --- pd-doom command-queue accelerator ---------------------------------
+  Dur doom_cmd_build = from_ns(140);         // validate + stage one command
+  Dur doom_pte_program = from_ns(95);        // program one DMA page-table entry
+  Dur doom_submit_base = from_ns(420);       // batch setup + ring reservation
+  Dur doom_fence_poll = from_us(2);          // wait-fence poll period
+  // A fence whose completion IRQ has not arrived after this long is checked
+  // against the device's retire register; a retired-but-unreported fence is
+  // recovered inline (the lost-IRQ rung).
+  Dur doom_fence_irq_timeout = from_us(300);
+
   // --- PicoDriver-side costs --------------------------------------------
   Dur pico_bind_cost = from_us(150);       // per-rank kernel-mapping setup
   Dur pico_lock_acquire = from_ns(60);     // shared spin-lock hand-off
@@ -294,6 +304,11 @@ struct Config {
       if (ikc_job_credits > 0 && ikc_credit_backoff < 0)
         return fail("ikc_credit_backoff must be >= 0");
     }
+    if (doom_fence_poll <= 0)
+      return fail("doom_fence_poll must be > 0: wait-fence would spin");
+    if (doom_fence_irq_timeout < doom_fence_poll)
+      return fail("doom_fence_irq_timeout must be >= doom_fence_poll: the "
+                  "lost-IRQ check fires from the poll loop");
     if (pico_extent_quota_files < 0)
       return fail("pico_extent_quota_files must be >= 0 (0 = unlimited)");
     if (elastic_min_service_cpus < 1)

@@ -19,15 +19,11 @@ Result<std::unique_ptr<HfiPicoDriver>> HfiPicoDriver::create(os::McKernel& mck,
       {"hfi1_filedata", {"ctxt", "sdma_engine_idx", "tid_used"}},
       {"hfi1_ctxtdata", {"expected_base", "expected_count"}},
   };
-  auto binding = PicoBinding::bind(mck, driver.linux_kernel(), driver.module_binary(), requests);
+  const os::SharedSpinlock* lock =
+      driver.device().num_engines() > 0 ? &driver.engine_lock(0) : nullptr;
+  auto binding = bind_checked(mck, driver.linux_kernel(), driver.module_binary(),
+                              requests, lock);
   if (!binding.ok()) return binding.error();
-
-  // §3.3: the LWK will take the driver's own per-engine spin-locks; the
-  // implementations must be ABI-compatible or the shared lock word would
-  // be corrupted.
-  if (driver.device().num_engines() > 0 &&
-      driver.engine_lock(0).abi() != mck.spinlock_abi())
-    return Errno::enosys;
 
   auto pico = std::unique_ptr<HfiPicoDriver>(
       new HfiPicoDriver(std::move(*binding), mck, driver));
@@ -41,12 +37,12 @@ Result<std::unique_ptr<HfiPicoDriver>> HfiPicoDriver::create(os::McKernel& mck,
     return raw->fast_ioctl(f, cmd, arg);
   };
   ops.ioctl_handles = [](unsigned long cmd) { return hfi::is_tid_cmd(cmd); };
-  mck.register_fastpath(driver, std::move(ops));
+  raw->install(driver, std::move(ops));
   return pico;
 }
 
 HfiPicoDriver::HfiPicoDriver(PicoBinding binding, os::McKernel& mck, hfi::HfiDriver& driver)
-    : binding_(std::move(binding)), mck_(mck), driver_(driver) {
+    : FastPathPort(std::move(binding), mck), driver_(driver) {
   const dwarf::StructLayout* eng = binding_.layout("sdma_engine");
   const dwarf::StructLayout* state = binding_.layout("sdma_state");
   const dwarf::StructLayout* fd = binding_.layout("hfi1_filedata");
@@ -70,108 +66,6 @@ hfi::SdmaStates HfiPicoDriver::engine_state(int engine_id) const {
   return static_cast<hfi::SdmaStates>(raw);
 }
 
-int HfiPicoDriver::lwk_cpu_for(const os::Process& proc) const {
-  const auto& cpus = mck_.cpus();
-  return cpus[static_cast<std::size_t>(proc.ctxt()) % cpus.size()];
-}
-
-mem::ExtentCache& HfiPicoDriver::extent_cache_for(const os::OpenFile& f) {
-  const FileKey key{static_cast<const void*>(f.proc), f.fd};
-  auto it = file_caches_.find(key);
-  if (it == file_caches_.end()) {
-    // `pico_extent_quota_files` caps how many per-file caches one process
-    // may hold; at the cap its *own* coldest file cache is dropped. Other
-    // processes' caches are never candidates, so a cache-hungry tenant
-    // cannot flush a neighbour's translations. A cache with pinned entries
-    // is never the victim either: a suspended fast_writev still holds a
-    // reference to it and reads its extents when it resumes — eviction
-    // falls to the next-coldest owned cache, and when every candidate is
-    // pinned the quota temporarily overflows until a pin drops.
-    const int cap = mck_.config().pico_extent_quota_files;
-    if (cap > 0) {
-      auto owned = [&](const FileKey& k) { return k.first == key.first; };
-      auto count =
-          std::count_if(file_cache_order_.begin(), file_cache_order_.end(), owned);
-      while (count >= cap) {
-        auto victim = file_cache_order_.end();
-        for (auto pos = file_cache_order_.begin(); pos != file_cache_order_.end(); ++pos) {
-          if (!owned(*pos)) continue;
-          if (file_caches_.at(*pos).cache.pinned_entries() > 0) {
-            ++cache_quota_skip_pinned_;
-            mck_.profiler().bump("pico.extent_cache.quota_skip_pinned");
-            continue;
-          }
-          victim = pos;
-          break;
-        }
-        if (victim == file_cache_order_.end()) break;  // all pinned: overflow
-        file_caches_.erase(*victim);
-        file_cache_order_.erase(victim);
-        ++cache_file_quota_evictions_;
-        mck_.profiler().bump("pico.extent_cache.quota_file_evicted");
-        --count;
-      }
-    }
-    it = file_caches_.emplace(key, FileCacheNode{}).first;
-    file_cache_order_.push_back(key);
-    it->second.order_pos = std::prev(file_cache_order_.end());
-  } else {
-    // Refresh recency: O(1) splice of the touched key to the hot end (the
-    // stored iterator stays valid — splice never invalidates them).
-    file_cache_order_.splice(file_cache_order_.end(), file_cache_order_,
-                             it->second.order_pos);
-  }
-  return it->second.cache;
-}
-
-void HfiPicoDriver::note_cache_outcome(mem::ExtentCache::Outcome outcome) {
-  switch (outcome) {
-    case mem::ExtentCache::Outcome::hit:
-      ++cache_hits_;
-      mck_.profiler().bump("pico.extent_cache.hit");
-      break;
-    case mem::ExtentCache::Outcome::miss:
-      ++cache_misses_;
-      mck_.profiler().bump("pico.extent_cache.miss");
-      break;
-    case mem::ExtentCache::Outcome::evicted_small:
-      // A cold miss that pushed out the lowest-value (small/transient)
-      // entry; counted as a miss plus an eviction event.
-      ++cache_misses_;
-      ++cache_small_evictions_;
-      mck_.profiler().bump("pico.extent_cache.miss");
-      mck_.profiler().bump("pico.extent_cache.evicted_small");
-      break;
-    case mem::ExtentCache::Outcome::range_invalidated:
-      ++cache_range_invalidations_;
-      mck_.profiler().bump("pico.extent_cache.range_invalidated");
-      break;
-    case mem::ExtentCache::Outcome::generation_overflow:
-      ++cache_generation_overflows_;
-      mck_.profiler().bump("pico.extent_cache.generation_overflow");
-      break;
-  }
-}
-
-std::vector<hw::SdmaDescriptor> HfiPicoDriver::take_desc_buffer() {
-  if (desc_arena_.empty()) return {};
-  std::vector<hw::SdmaDescriptor> buf = std::move(desc_arena_.back());
-  desc_arena_.pop_back();
-  buf.clear();
-  return buf;
-}
-
-void HfiPicoDriver::recycle_desc_buffer(std::vector<hw::SdmaDescriptor>&& buf) {
-  constexpr std::size_t kPooledBuffers = 64;
-  if (desc_arena_.size() < kPooledBuffers) desc_arena_.push_back(std::move(buf));
-}
-
-sim::Task<> HfiPicoDriver::rank_init() {
-  // McKernel-side establishment of kernel mappings of driver internals —
-  // the added MPI_Init cost the paper reports (Table 1, italic rows).
-  co_await mck_.engine().delay(mck_.config().pico_bind_cost);
-}
-
 sim::Task<Result<long>> HfiPicoDriver::fast_writev(os::OpenFile& f,
                                                    std::span<const os::IoVec> iov) {
   ++fast_writevs_;
@@ -183,7 +77,7 @@ sim::Task<Result<long>> HfiPicoDriver::fast_writev(os::OpenFile& f,
   // Scheduler-tick housekeeping piggybacked on fast-path entry: reclaim
   // blocks the Linux IRQ side queued for our cores (straight back onto the
   // per-core slab magazines).
-  drained_total_ += mck_.drain_remote_frees();
+  piggyback_drain();
 
   os::Process& proc = *f.proc;
   mem::AddressSpace& as = proc.as();
@@ -194,7 +88,7 @@ sim::Task<Result<long>> HfiPicoDriver::fast_writev(os::OpenFile& f,
   const int engine_id = static_cast<int>(fd_engine_idx_.read(fd_bytes.data()));
   if (engine_state(engine_id) != hfi::SdmaStates::s99_running) {
     // Engine not running (reset in progress): fall back to the Linux path.
-    ++fallbacks_;
+    count_fallback();
     co_return co_await driver_.writev(f, iov);
   }
 
@@ -202,7 +96,7 @@ sim::Task<Result<long>> HfiPicoDriver::fast_writev(os::OpenFile& f,
   // same pinned buffer skip the page-table walk; only cold or invalidated
   // ranges are re-walked. Descriptors build into an arena-pooled buffer.
   mem::ExtentCache& cache = extent_cache_for(f);
-  std::vector<hw::SdmaDescriptor> descs = take_desc_buffer();
+  std::vector<hw::SdmaDescriptor> descs = desc_arena_.take();
   // Every iov range looked up so far stays pinned in the cache until this
   // call finishes (including every error/fallback exit): an in-flight
   // rendezvous window must never be the victim of a concurrent send's
@@ -215,7 +109,7 @@ sim::Task<Result<long>> HfiPicoDriver::fast_writev(os::OpenFile& f,
   };
   auto bail = [&](Errno err) {
     unpin_all();
-    recycle_desc_buffer(std::move(descs));
+    desc_arena_.recycle(std::move(descs));
     return err;
   };
   std::uint64_t total_bytes = 0;
@@ -260,11 +154,9 @@ sim::Task<Result<long>> HfiPicoDriver::fast_writev(os::OpenFile& f,
   while (engine.ring_free() < descs.size()) {
     if (attempt >= cfg.pico_ring_backoff_attempts) {
       lock.release();
-      ++fallbacks_;
-      ++ring_full_fallbacks_;
-      mck_.profiler().bump("pico.ring_full_fallback");
+      count_ring_full_fallback();
       unpin_all();
-      recycle_desc_buffer(std::move(descs));
+      desc_arena_.recycle(std::move(descs));
       co_return co_await driver_.writev(f, iov);
     }
     Dur backoff = cfg.pico_ring_backoff_base * (Dur{1} << std::min(attempt, 20));
@@ -273,19 +165,12 @@ sim::Task<Result<long>> HfiPicoDriver::fast_writev(os::OpenFile& f,
     ++attempt;
   }
 
-  // Completion metadata in the *LWK* heap, owned by this rank's core —
-  // steady state this is an O(1) pop off the core's slab magazine; a cold
-  // refill carves from the core's near partition (placement outcomes land
-  // on the profiler as lwk.kheap.{near_alloc,far_alloc,partition_exhausted}).
-  const mem::KernelHeap::Stats stats_before = mck_.kheap().stats();
-  auto meta = mck_.kheap().kmalloc(192, lwk_cpu_for(proc));
+  // Completion metadata in the *LWK* heap, owned by this rank's core.
+  auto meta = kmalloc_meta(192, lwk_cpu_for(proc));
   if (!meta.ok()) {
     lock.release();
     co_return bail(Errno::enomem);
   }
-  if (mck_.kheap().stats().slab_reuses != stats_before.slab_reuses)
-    mck_.profiler().bump("lwk.kheap.slab_reuse");
-  mck_.note_kheap_placement(stats_before);
 
   // Cross-kernel shared state: bump the same descq_submitted counter the
   // Linux driver maintains, through the extracted offset.
@@ -299,24 +184,15 @@ sim::Task<Result<long>> HfiPicoDriver::fast_writev(os::OpenFile& f,
   req.header.payload_bytes = total_bytes;
   // Arena hook: the engine returns the descriptor storage once consumed.
   req.recycle_descriptors = [this](std::vector<hw::SdmaDescriptor>&& buf) {
-    recycle_desc_buffer(std::move(buf));
+    desc_arena_.recycle(std::move(buf));
   };
 
   // The duplicated completion callback (§3.3): lives in McKernel TEXT,
   // executes on a Linux CPU, and its deallocation routine is McKernel's —
   // kfree from a foreign CPU goes to the remote-free queue.
   auto user_done = hdr->on_complete;
-  const mem::PhysAddr meta_addr = *meta;
-  os::McKernel* mck = &mck_;
   os::LinuxKernel* lnx = &driver_.linux_kernel();
-  os::KernelCallback cleanup = binding_.lwk_callback([mck, lnx, meta_addr] {
-    // Runs on whichever Linux service CPU fields the IRQ: the foreign free
-    // carries that CPU's socket into the remote queue, so the owner's
-    // drain can batch reclaims per source socket.
-    Status s = mck->kheap().kfree(meta_addr, lnx->current_irq_cpu());
-    assert(s.ok());
-    (void)s;
-  });
+  os::KernelCallback cleanup = remote_free_cleanup(*meta);
   os::KernelCallback notify = binding_.lwk_callback(user_done);
   req.on_complete = [lnx, cleanup = std::move(cleanup), notify = std::move(notify)]() {
     lnx->raise_irq({cleanup, notify});
@@ -429,7 +305,7 @@ sim::Task<Result<long>> HfiPicoDriver::fast_ioctl(os::OpenFile& f, unsigned long
 
     default:
       // Not a fast-path command; McKernel should not have routed it here.
-      ++fallbacks_;
+      count_fallback();
       co_return Errno::einval;
   }
 }

@@ -12,39 +12,27 @@
 //     is McKernel's (§3.3) — it runs on a Linux CPU and routes the free
 //     through the remote-free queue.
 //
-// On top of that, the steady-state fast path is allocation-free on the
-// host side:
-//   * a per-open-file ExtentCache memoizes the page-table walk, so repeated
-//     sends / TID registrations of the same pinned buffer reuse cached
-//     PhysExtent runs (invalidated range-precisely against the address
-//     space's unmap-interval log, with the map generation as the overflow
-//     fallback, and evicted size-aware so persistent windows survive
-//     small-buffer churn);
-//   * SDMA descriptors are built into arena-pooled vectors that the engine
-//     hands back after consuming them (SdmaRequest::recycle_descriptors);
-//   * completion metadata comes from the kheap's per-core slab magazines.
-// Cache and fallback events are exported as named counters on the LWK's
-// SyscallProfiler ("pico.extent_cache.*", "pico.ring_full_fallback",
-// "lwk.kheap.slab_reuse").
+// The device-independent machinery — extent caches and their quota, the
+// remote-free drain piggyback, slab-magazine metadata, fallback accounting,
+// the "pico.*" profiler namespace — lives in the FastPathPort base this
+// driver shares with the pd-doom port. What stays here is HFI-specific:
+// the extracted sdma/filedata accessors, descriptor building, the SDMA
+// submit flow, and the TID registration paths.
 //
 // All driver state it touches (sdma_engine/sdma_state images, filedata,
 // ctxtdata) is read and written through DWARF-extracted offsets only.
 #pragma once
 
 #include <cstdint>
-#include <list>
-#include <map>
 #include <memory>
-#include <utility>
 #include <vector>
 
 #include "src/hfi/driver.hpp"
-#include "src/mem/extent_cache.hpp"
-#include "src/pico/framework.hpp"
+#include "src/pico/fast_path_port.hpp"
 
 namespace pd::pico {
 
-class HfiPicoDriver {
+class HfiPicoDriver final : public FastPathPort {
  public:
   /// Bind against the driver's shipped module and install the fast paths
   /// into the LWK. Fails (forwarding PicoBinding::bind errors) when the
@@ -53,64 +41,23 @@ class HfiPicoDriver {
   static Result<std::unique_ptr<HfiPicoDriver>> create(os::McKernel& mck,
                                                        hfi::HfiDriver& driver);
 
-  const PicoBinding& binding() const { return binding_; }
   hfi::HfiDriver& driver() { return driver_; }
-
-  /// Per-rank initialization cost (kernel-level mapping setup); PSM calls
-  /// this from its init path — the extra MPI_Init time in Table 1.
-  sim::Task<> rank_init();
 
   /// --- fast paths (installed via McKernel::register_fastpath) ------------
   sim::Task<Result<long>> fast_writev(os::OpenFile& f, std::span<const os::IoVec> iov);
   sim::Task<Result<long>> fast_ioctl(os::OpenFile& f, unsigned long cmd, void* arg);
 
-  /// --- instrumentation ----------------------------------------------------
+  /// --- HFI-specific instrumentation (shared counters live in the base) ---
   std::uint64_t fast_writevs() const { return fast_writevs_; }
   std::uint64_t fast_tid_updates() const { return fast_tid_updates_; }
   std::uint64_t fast_tid_frees() const { return fast_tid_frees_; }
-  std::uint64_t fallbacks() const { return fallbacks_; }
-  std::uint64_t ring_full_fallbacks() const { return ring_full_fallbacks_; }
-  std::uint64_t remote_frees_drained() const { return drained_total_; }
-  std::uint64_t extent_cache_hits() const { return cache_hits_; }
-  std::uint64_t extent_cache_misses() const { return cache_misses_; }
-  std::uint64_t extent_cache_range_invalidations() const { return cache_range_invalidations_; }
-  std::uint64_t extent_cache_generation_overflows() const { return cache_generation_overflows_; }
-  std::uint64_t extent_cache_small_evictions() const { return cache_small_evictions_; }
-  /// Whole file caches dropped to keep a process inside
-  /// `Config::pico_extent_quota_files` (own-LRU only; see extent_cache_for).
-  std::uint64_t extent_cache_file_quota_evictions() const {
-    return cache_file_quota_evictions_;
-  }
-  /// Quota-eviction candidates passed over because an in-flight fast path
-  /// held pinned entries in them (the eviction falls to the next-coldest
-  /// owned cache; all-pinned overflows the quota until a pin drops).
-  std::uint64_t extent_cache_quota_skip_pinned() const {
-    return cache_quota_skip_pinned_;
-  }
-  /// All re-walks of a known key, whatever proved it stale.
-  std::uint64_t extent_cache_invalidations() const {
-    return cache_range_invalidations_ + cache_generation_overflows_;
-  }
 
  private:
   HfiPicoDriver(PicoBinding binding, os::McKernel& mck, hfi::HfiDriver& driver);
 
   /// Read the engine's current sdma_state through extracted offsets.
   hfi::SdmaStates engine_state(int engine_id) const;
-  int lwk_cpu_for(const os::Process& proc) const;
 
-  /// Per-open-file translation cache (keyed by process identity + fd so a
-  /// recycled OpenFile slot can never alias a previous file's entries).
-  mem::ExtentCache& extent_cache_for(const os::OpenFile& f);
-  /// Record a lookup outcome in the local counters and the LWK profiler.
-  void note_cache_outcome(mem::ExtentCache::Outcome outcome);
-
-  /// Descriptor arena: pop a pooled vector (capacity intact) / return it.
-  std::vector<hw::SdmaDescriptor> take_desc_buffer();
-  void recycle_desc_buffer(std::vector<hw::SdmaDescriptor>&& buf);
-
-  PicoBinding binding_;
-  os::McKernel& mck_;
   hfi::HfiDriver& driver_;
 
   dwarf::FieldAccessor<std::uint32_t> eng_this_idx_;
@@ -121,31 +68,11 @@ class HfiPicoDriver {
   dwarf::FieldAccessor<std::uint64_t> fd_tid_used_;
   dwarf::FieldAccessor<std::uint32_t> cd_expected_count_;
 
-  /// Per-file cache plus its position in the recency list, so a touch is
-  /// an O(1) splice instead of the old O(n) find+rotate over a vector.
-  using FileKey = std::pair<const void*, int>;
-  struct FileCacheNode {
-    mem::ExtentCache cache;
-    std::list<FileKey>::iterator order_pos;
-  };
-  std::map<FileKey, FileCacheNode> file_caches_;
-  // Touch order (front = coldest) for the per-process file-cache quota.
-  std::list<FileKey> file_cache_order_;
-  std::vector<std::vector<hw::SdmaDescriptor>> desc_arena_;
+  BufferArena<hw::SdmaDescriptor> desc_arena_;
 
   std::uint64_t fast_writevs_ = 0;
   std::uint64_t fast_tid_updates_ = 0;
   std::uint64_t fast_tid_frees_ = 0;
-  std::uint64_t fallbacks_ = 0;
-  std::uint64_t ring_full_fallbacks_ = 0;
-  std::uint64_t drained_total_ = 0;
-  std::uint64_t cache_hits_ = 0;
-  std::uint64_t cache_misses_ = 0;
-  std::uint64_t cache_range_invalidations_ = 0;
-  std::uint64_t cache_generation_overflows_ = 0;
-  std::uint64_t cache_small_evictions_ = 0;
-  std::uint64_t cache_file_quota_evictions_ = 0;
-  std::uint64_t cache_quota_skip_pinned_ = 0;
 };
 
 }  // namespace pd::pico

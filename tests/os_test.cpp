@@ -7,6 +7,7 @@
 
 #include "src/common/units.hpp"
 #include "src/os/ihk.hpp"
+#include "src/os/proc_jobs.hpp"
 #include "src/os/process.hpp"
 #include "src/sim/task.hpp"
 
@@ -402,6 +403,84 @@ TEST(ConfigValidate, TransportConstructionThrowsOnInvalidConfig) {
     EXPECT_NE(std::string(e.what()).find("linux_service_cpus"), std::string::npos)
         << e.what();
   }
+}
+
+// --- /proc/pd/jobs introspection (ISSUE 9 satellite) ----------------------
+
+TEST(ProcJobs, SnapshotReadsThroughVfsAndRewindRerenders) {
+  ProcFixture f;
+  ProcJobsFile jobs(f.linux_kernel, f.ihk.transport());
+  // Two LWK tenants generate job-tagged offload traffic (the open/close of
+  // the proc file itself rides the offload path).
+  Process pa(f.mck, f.phys, 0, 0, 11);
+  Process pb(f.mck, f.phys, 0, 1, 12);
+  pa.set_job(1);
+  pb.set_job(2);
+  // A native Linux reader pages through the table without offload noise.
+  Process reader(f.linux_kernel, f.phys, 0, 2, 13);
+  sim::spawn(f.engine,
+             [](ProcJobsFile& file, Process& a, Process& b, Process& rd) -> sim::Task<> {
+    for (Process* p : {&a, &b}) {
+      auto fd = co_await p->open("/proc/pd/jobs");
+      CO_ASSERT_TRUE(fd.ok());
+      CO_ASSERT_TRUE((co_await p->close_fd(*fd)).ok());
+    }
+
+    auto fd = co_await rd.open("/proc/pd/jobs");
+    CO_ASSERT_TRUE(fd.ok());
+    const std::string* snap = ProcJobsFile::snapshot(*rd.file(*fd));
+    CO_ASSERT_TRUE(snap != nullptr);
+    EXPECT_NE(snap->find("job weight submitted"), std::string::npos);
+    EXPECT_NE(snap->find("\n1 1.00 "), std::string::npos) << *snap;
+    EXPECT_NE(snap->find("\n2 1.00 "), std::string::npos) << *snap;
+
+    // The read syscall consumes the snapshot in chunks and hits EOF at
+    // exactly its size — the seq_file contract on the simulated VFS.
+    std::uint64_t total = 0;
+    for (;;) {
+      auto n = co_await rd.read_fd(*fd, 64);
+      CO_ASSERT_TRUE(n.ok());
+      if (*n == 0) break;
+      EXPECT_LE(*n, 64L);
+      total += static_cast<std::uint64_t>(*n);
+    }
+    EXPECT_EQ(total, snap->size());
+
+    // Rewind-to-start re-renders (procfs re-read); any other seek is ESPIPE.
+    auto bad = co_await rd.lseek(*fd, 8, 0);
+    EXPECT_EQ(bad.error(), Errno::espipe);
+    CO_ASSERT_TRUE((co_await rd.lseek(*fd, 0, 0)).ok());
+    auto again = co_await rd.read_fd(*fd, 4096);
+    CO_ASSERT_TRUE(again.ok());
+    EXPECT_GT(*again, 0L) << "rewind must restart the stream";
+
+    // Read-only surface.
+    auto w = co_await rd.writev(*fd, std::vector<IoVec>{});
+    EXPECT_EQ(w.error(), Errno::einval);
+    CO_ASSERT_TRUE((co_await rd.close_fd(*fd)).ok());
+  }(jobs, pa, pb, reader));
+  f.engine.run();
+}
+
+TEST(ProcJobs, RenderTracksCompletedOffloads) {
+  ProcFixture f;
+  ProcJobsFile jobs(f.linux_kernel, f.ihk.transport());
+  Process pa(f.mck, f.phys, 0, 0, 21);
+  pa.set_job(7);
+  sim::spawn(f.engine, [](Process& p) -> sim::Task<> {
+    for (int i = 0; i < 3; ++i) {
+      auto fd = co_await p.open("/proc/pd/jobs");
+      CO_ASSERT_TRUE(fd.ok());
+      CO_ASSERT_TRUE((co_await p.close_fd(*fd)).ok());
+    }
+  }(pa));
+  f.engine.run();
+  const ikc::IkcTransport::JobStats* st = f.ihk.transport().job_stats(7);
+  ASSERT_NE(st, nullptr);
+  EXPECT_EQ(st->submitted, 6u);  // 3 opens + 3 closes
+  EXPECT_EQ(st->completed, 6u);
+  const std::string text = jobs.render();
+  EXPECT_NE(text.find("\n7 1.00 6 6 "), std::string::npos) << text;
 }
 
 }  // namespace

@@ -20,6 +20,12 @@ more than ``--tolerance`` (default 15%) fails the run.  Two suites:
   sim_scale — bench_sim_scale / BENCH_sim_scale.json: the calendar-queue
               DES engine at paper scale (raw events/sec, allocation-free
               event path, >= 256-node sharded UMT sweep).
+  doom_submit — bench_doom_submit / BENCH_doom_submit.json: the pd-doom
+              command-queue device class.  Gates the DoomPicoDriver's
+              submit-latency speedup over the IKC offload path, the
+              extent-vs-per-page PTE reduction, and that the fast path
+              never falls back (all simulated-time, deterministic — run
+              without --quick so the batch count matches the baseline).
 
 Only host-speed-robust metrics are gated: simulated-time results (queueing
 p95s, simulated bandwidth, simulated runtimes) are deterministic, and
@@ -168,6 +174,33 @@ INFORMATIONAL_SIM_SCALE = [
     "sweep.n256.legacy.events_per_sec",
 ]
 
+# pd-doom batched submit: offload vs fast path (§3.4 on the second device
+# class). Everything here is simulated time or a deterministic count, so the
+# CI gates it tight (0.05) and without --quick.
+GATES_DOOM_SUBMIT = [
+    # The fast path must keep beating the offload path on submit latency.
+    ("doom_submit.speedup_p50", "higher", 0.0),
+    ("doom_submit.speedup_p95", "higher", 0.0),
+    ("doom_submit.fast.submit_p50_us", "lower", 0.1),
+    ("doom_submit.fast.submit_p95_us", "lower", 0.1),
+    # Extent-sized PTEs vs the slow path's one-per-4KiB-page programming.
+    ("doom_submit.pte_reduction", "higher", 0.0),
+    ("doom_submit.fast.extents_per_batch", "lower", 0.1),
+    # Every batch rides the fast path: fallbacks are a hard zero.
+    ("doom_submit.fast.fallbacks", "lower", 0.0),
+    ("doom_submit.fast.ring_full_fallbacks", "lower", 0.0),
+]
+
+INFORMATIONAL_DOOM_SUBMIT = [
+    "doom_submit.slow.submit_p50_us",
+    "doom_submit.slow.submit_p95_us",
+    "doom_submit.slow.ptes_per_batch",
+    "doom_submit.slow.sim_ms",
+    "doom_submit.fast.sim_ms",
+    "doom_submit.commands_retired",
+    "doom_submit.dma_bytes",
+]
+
 SUITES = {
     "fastpath": {
         "gates": GATES_FASTPATH,
@@ -188,6 +221,11 @@ SUITES = {
         "gates": GATES_SIM_SCALE,
         "informational": INFORMATIONAL_SIM_SCALE,
         "json": "BENCH_sim_scale.json",
+    },
+    "doom_submit": {
+        "gates": GATES_DOOM_SUBMIT,
+        "informational": INFORMATIONAL_DOOM_SUBMIT,
+        "json": "BENCH_doom_submit.json",
     },
 }
 
