@@ -17,14 +17,17 @@ Cluster::Cluster(ClusterOptions opts) : opts_(std::move(opts)) {
     node.phys = std::make_unique<mem::PhysMap>(
         mem::PhysMap::knl(opts_.mcdram_bytes, opts_.ddr_bytes, opts_.cfg.numa_per_kind));
     node.device = std::make_unique<hw::HfiDevice>(engine_, *fabric_, i, opts_.hfi);
-    node.linux_kernel = std::make_unique<os::LinuxKernel>(engine_, opts_.cfg);
+    // Each node's kernels get their own correlated-stall noise stream: the
+    // `correlated` profile makes nodes straggle against each other, not
+    // stall the whole cluster in lockstep.
+    node.linux_kernel = std::make_unique<os::LinuxKernel>(engine_, opts_.cfg, i);
     node.driver = std::make_unique<hfi::HfiDriver>(*node.linux_kernel, *node.device,
                                                    opts_.driver_version);
     if (opts_.mode != os::OsMode::linux) {
       node.ihk = std::make_unique<os::Ihk>(engine_, opts_.cfg, *node.linux_kernel,
                                            node.phys.get());
-      node.mck = std::make_unique<os::McKernel>(engine_, opts_.cfg, *node.ihk,
-                                                opts_.mode == os::OsMode::mckernel_hfi);
+      node.mck = std::make_unique<os::McKernel>(
+          engine_, opts_.cfg, *node.ihk, opts_.mode == os::OsMode::mckernel_hfi, i);
       if (opts_.mode == os::OsMode::mckernel_hfi) {
         auto pico = pico::HfiPicoDriver::create(*node.mck, *node.driver);
         assert(pico.ok() && "PicoDriver bind must succeed with the unified layout");

@@ -11,6 +11,7 @@ void MpiStatsTable::add_rank(const MpiStats& stats) {
     m.count += entry.count;
     total_mpi_ += entry.total;
   }
+  for (const auto& [key, n] : stats.algos()) algo_counts_[key] += n;
   total_runtime_ += stats.runtime();
 }
 

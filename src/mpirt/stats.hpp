@@ -18,6 +18,14 @@ class MpiStats {
     ++e.count;
   }
 
+  /// Tag which algorithm a collective ran ("Allreduce" → "ring", ...), à la
+  /// I_MPI_ADJUST: the noise sweep and the crossover property tests both
+  /// need to know what actually executed, not what the knobs suggest.
+  void record_algo(const std::string& call, const std::string& algo) {
+    ++algos_[call + "/" + algo];
+  }
+  const std::map<std::string, std::uint64_t>& algos() const { return algos_; }
+
   void set_runtime(Dur runtime) { runtime_ = runtime; }
   Dur runtime() const { return runtime_; }
 
@@ -40,6 +48,7 @@ class MpiStats {
 
  private:
   std::map<std::string, Entry> calls_;
+  std::map<std::string, std::uint64_t> algos_;
   Dur runtime_ = 0;
   Dur solve_ = 0;
 };
@@ -65,8 +74,18 @@ class MpiStatsTable {
   double total_mpi_ms() const { return to_ms(total_mpi_); }
   double total_runtime_ms() const { return to_ms(total_runtime_); }
 
+  /// Cluster-wide "call/algo" → invocation counts (summed over ranks).
+  const std::map<std::string, std::uint64_t>& algo_counts() const {
+    return algo_counts_;
+  }
+  std::uint64_t algo_count(const std::string& call, const std::string& algo) const {
+    auto it = algo_counts_.find(call + "/" + algo);
+    return it == algo_counts_.end() ? 0 : it->second;
+  }
+
  private:
   std::map<std::string, MpiStats::Entry> merged_;
+  std::map<std::string, std::uint64_t> algo_counts_;
   Dur total_mpi_ = 0;
   Dur total_runtime_ = 0;
   mutable std::vector<MpiStatsRow> cache_;

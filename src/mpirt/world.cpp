@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstring>
 
 #include "src/common/log.hpp"
 
@@ -59,6 +60,44 @@ MpiStatsTable MpiWorld::stats_table() const {
   MpiStatsTable table;
   for (const auto& rank : ranks_) table.add_rank(rank->stats());
   return table;
+}
+
+// --- collective algorithm selection (I_MPI_ADJUST-style crossover) ---------
+
+const char* MpiWorld::allreduce_algo(std::uint64_t bytes) const {
+  const CollectiveTuning& t = opts_.tuning;
+  if (!t.force_allreduce.empty()) return t.force_allreduce.c_str();
+  const int leaders = cluster_.num_nodes();
+  if (leaders >= t.allreduce_ring_min_leaders && bytes >= t.allreduce_ring_bytes)
+    return "ring";
+  if (bytes >= t.allreduce_rd_bytes) return "recursive_doubling";
+  return "dissemination";
+}
+
+const char* MpiWorld::bcast_algo(std::uint64_t bytes) const {
+  const CollectiveTuning& t = opts_.tuning;
+  if (!t.force_bcast.empty()) return t.force_bcast.c_str();
+  const int leaders = cluster_.num_nodes();
+  if (leaders >= t.bcast_chain_min_leaders && bytes >= t.bcast_chain_bytes)
+    return "chain";
+  return "binomial";
+}
+
+const char* MpiWorld::reduce_algo(std::uint64_t bytes) const {
+  const CollectiveTuning& t = opts_.tuning;
+  if (!t.force_reduce.empty()) return t.force_reduce.c_str();
+  if (size() >= t.reduce_chain_min_ranks && bytes >= t.reduce_chain_bytes)
+    return "chain";
+  return "binomial";
+}
+
+const char* MpiWorld::alltoall_algo(std::uint64_t bytes_per_pair,
+                                    std::uint64_t sdma_threshold) const {
+  const CollectiveTuning& t = opts_.tuning;
+  if (!t.force_alltoall.empty()) return t.force_alltoall.c_str();
+  const std::uint64_t cutover =
+      t.alltoall_pairwise_bytes > 0 ? t.alltoall_pairwise_bytes : sdma_threshold;
+  return bytes_per_pair <= cutover ? "spread" : "pairwise";
 }
 
 Dur MpiWorld::max_runtime() const {
@@ -138,6 +177,8 @@ int Rank::coll_tag(int round) const {
 }
 
 MpiReq Rank::post_send(int dst, int tag, std::uint64_t bytes) {
+  ++sent_msgs_;
+  sent_bytes_ += bytes;
   auto req = std::make_shared<MpiReqState>();
   if (world_.node_of(dst) == node()) {
     req->shm = true;
@@ -154,6 +195,8 @@ MpiReq Rank::post_send(int dst, int tag, std::uint64_t bytes) {
 }
 
 MpiReq Rank::post_recv(int src, int tag, std::uint64_t bytes) {
+  ++recvd_msgs_;
+  recvd_bytes_ += bytes;
   auto req = std::make_shared<MpiReqState>();
   if (world_.node_of(src) == node()) {
     req->shm = true;
@@ -322,6 +365,11 @@ int Rank::node_leader() const {
 
 int Rank::local_index() const { return id_ % world_.opts_.ranks_per_node; }
 
+int Rank::num_nodes() const {
+  const int rpn = world_.opts_.ranks_per_node;
+  return (world_.size() + rpn - 1) / rpn;
+}
+
 /// Binomial reduction of the node's ranks onto the leader (tag rounds 0..5).
 sim::Task<> Rank::intra_reduce_to_leader(std::uint64_t bytes) {
   const int m = std::min(world_.opts_.ranks_per_node, world_.size());
@@ -374,6 +422,99 @@ sim::Task<> Rank::leader_dissemination(std::uint64_t bytes) {
   }
 }
 
+/// Recursive-doubling allreduce among node leaders (MPICH shape): fold the
+/// non-power-of-two remainder onto even partners (tag round 47), exchange
+/// the full vector pairwise over log2 rounds (32+k), unfold (46). Fewer
+/// messages than dissemination once the payload dwarfs per-message latency.
+sim::Task<> Rank::leader_recursive_doubling(std::uint64_t bytes) {
+  const int rpn = world_.opts_.ranks_per_node;
+  const int nodes = num_nodes();
+  if (nodes < 2) co_return;
+  const int v = id_ / rpn;
+  const auto leader = [rpn](int n) { return n * rpn; };
+  int pow2 = 1;
+  while (pow2 * 2 <= nodes) pow2 *= 2;
+  const int rem = nodes - pow2;
+  int newid = -1;  // -1 = folded out of the exchange phase
+  if (v < 2 * rem) {
+    if (v & 1) {
+      MpiReq s = post_send(leader(v - 1), coll_tag(47), bytes);
+      co_await await_req(std::move(s));
+    } else {
+      MpiReq r = post_recv(leader(v + 1), coll_tag(47), bytes);
+      co_await await_req(std::move(r));
+      newid = v / 2;
+    }
+  } else {
+    newid = v - rem;
+  }
+  if (newid >= 0) {
+    for (int mask = 1; mask < pow2; mask <<= 1) {
+      const int pn = newid ^ mask;
+      const int pv = pn < rem ? pn * 2 : pn + rem;
+      co_await sendrecv(leader(pv), leader(pv), coll_tag(32 + mask_round(mask)),
+                        bytes);
+    }
+  }
+  if (v < 2 * rem) {
+    if (v & 1) {
+      MpiReq r = post_recv(leader(v - 1), coll_tag(46), bytes);
+      co_await await_req(std::move(r));
+    } else {
+      MpiReq s = post_send(leader(v + 1), coll_tag(46), bytes);
+      co_await await_req(std::move(s));
+    }
+  }
+}
+
+/// Ring allreduce among node leaders: reduce-scatter then allgather, each
+/// N-1 lock-stepped steps of one 1/N chunk to the right neighbour — the
+/// bandwidth-optimal shape for large vectors. Steps are sequential per
+/// (src, dst), so the 14-slot tag window (32 + step % 14) cannot collide.
+sim::Task<> Rank::leader_ring_allreduce(std::uint64_t bytes) {
+  const int rpn = world_.opts_.ranks_per_node;
+  const int nodes = num_nodes();
+  if (nodes < 2) co_return;
+  const int v = id_ / rpn;
+  const int right = ((v + 1) % nodes) * rpn;
+  const int left = ((v - 1 + nodes) % nodes) * rpn;
+  const std::uint64_t chunk =
+      (bytes + static_cast<std::uint64_t>(nodes) - 1) /
+      static_cast<std::uint64_t>(nodes);
+  for (int step = 0; step < 2 * (nodes - 1); ++step)
+    co_await sendrecv(right, left, coll_tag(32 + step % 14), chunk);
+}
+
+/// Pipelined-chain bcast among node leaders, rooted at `root_node`: the
+/// payload streams down the chain in `chain_segment_bytes` segments, so
+/// leader i forwards segment s while leader i-1 is already sending s+1 —
+/// O(N + S) segment times instead of the binomial's log2(N) full-payload
+/// hops. Worth it only for payloads long enough to fill the pipeline.
+sim::Task<> Rank::leader_chain_bcast(int root_node, std::uint64_t bytes) {
+  const int rpn = world_.opts_.ranks_per_node;
+  const int nodes = num_nodes();
+  if (nodes < 2) co_return;
+  const int my_node = id_ / rpn;
+  const int vnode = (my_node - root_node + nodes) % nodes;
+  const int prev = ((my_node - 1 + nodes) % nodes) * rpn;
+  const int next = ((my_node + 1) % nodes) * rpn;
+  const std::uint64_t seg = std::max<std::uint64_t>(
+      1, std::min(world_.opts_.tuning.chain_segment_bytes, bytes));
+  const std::uint64_t nseg = (bytes + seg - 1) / seg;
+  for (std::uint64_t s = 0; s < nseg; ++s) {
+    const std::uint64_t len = std::min(seg, bytes - s * seg);
+    const int tag = coll_tag(32 + static_cast<int>(s % 14));
+    if (vnode > 0) {
+      MpiReq r = post_recv(prev, tag, len);
+      co_await await_req(std::move(r));
+    }
+    if (vnode + 1 < nodes) {
+      MpiReq snd = post_send(next, tag, len);
+      co_await await_req(std::move(snd));
+    }
+  }
+}
+
 sim::Task<> Rank::barrier_impl() {
   ++coll_seq_;
   co_await intra_reduce_to_leader(kTinyMsg);
@@ -391,9 +532,19 @@ sim::Task<> Rank::allreduce(std::uint64_t bytes) {
   const Time t0 = world_.cluster_.engine().now();
   ++coll_seq_;
   // Hierarchical: node-local reduce, leaders allreduce over the fabric,
-  // node-local broadcast (the Intel MPI shared-memory topology).
+  // node-local broadcast (the Intel MPI shared-memory topology). The
+  // fabric phase is algorithm-selected by the size/leader-count crossover.
+  const char* algo = world_.allreduce_algo(bytes);
+  stats_.record_algo("Allreduce", algo);
   co_await intra_reduce_to_leader(bytes);
-  if (id_ == node_leader()) co_await leader_dissemination(bytes);
+  if (id_ == node_leader()) {
+    if (std::strcmp(algo, "ring") == 0)
+      co_await leader_ring_allreduce(bytes);
+    else if (std::strcmp(algo, "recursive_doubling") == 0)
+      co_await leader_recursive_doubling(bytes);
+    else
+      co_await leader_dissemination(bytes);
+  }
   co_await intra_release_from_leader(bytes);
   stats_.record("Allreduce", world_.cluster_.engine().now() - t0);
 }
@@ -436,28 +587,33 @@ sim::Task<> Rank::bcast_impl(int root, std::uint64_t bytes) {
     }
   }
 
-  // Phase 1: binomial broadcast among node leaders over the fabric.
+  // Phase 1: fabric broadcast among node leaders — binomial tree or
+  // pipelined chain per the size/leader-count crossover.
   if (id_ == node_leader() && nodes > 1) {
-    const int my_node = id_ / rpn;
-    const int vnode = (my_node - root_node + nodes) % nodes;
-    int mask = 1;
-    while (mask < nodes) {
-      if (vnode & mask) {
-        const int src = ((my_node - mask + nodes) % nodes) * rpn;
-        MpiReq r = post_recv(src, coll_tag(32 + mask_round(mask)), bytes);
-        co_await await_req(std::move(r));
-        break;
-      }
-      mask <<= 1;
-    }
-    mask >>= 1;
-    while (mask > 0) {
-      if (vnode + mask < nodes && (vnode & mask) == 0) {
-        const int dst = ((my_node + mask) % nodes) * rpn;
-        MpiReq s = post_send(dst, coll_tag(32 + mask_round(mask)), bytes);
-        co_await await_req(std::move(s));
+    if (std::strcmp(world_.bcast_algo(bytes), "chain") == 0) {
+      co_await leader_chain_bcast(root_node, bytes);
+    } else {
+      const int my_node = id_ / rpn;
+      const int vnode = (my_node - root_node + nodes) % nodes;
+      int mask = 1;
+      while (mask < nodes) {
+        if (vnode & mask) {
+          const int src = ((my_node - mask + nodes) % nodes) * rpn;
+          MpiReq r = post_recv(src, coll_tag(32 + mask_round(mask)), bytes);
+          co_await await_req(std::move(r));
+          break;
+        }
+        mask <<= 1;
       }
       mask >>= 1;
+      while (mask > 0) {
+        if (vnode + mask < nodes && (vnode & mask) == 0) {
+          const int dst = ((my_node + mask) % nodes) * rpn;
+          MpiReq s = post_send(dst, coll_tag(32 + mask_round(mask)), bytes);
+          co_await await_req(std::move(s));
+        }
+        mask >>= 1;
+      }
     }
   }
 
@@ -467,13 +623,13 @@ sim::Task<> Rank::bcast_impl(int root, std::uint64_t bytes) {
 
 sim::Task<> Rank::bcast(int root, std::uint64_t bytes) {
   const Time t0 = world_.cluster_.engine().now();
+  stats_.record_algo("Bcast", world_.bcast_algo(bytes));
   co_await bcast_impl(root, bytes);
   stats_.record("Bcast", world_.cluster_.engine().now() - t0);
 }
 
-sim::Task<> Rank::reduce(int root, std::uint64_t bytes) {
-  const Time t0 = world_.cluster_.engine().now();
-  ++coll_seq_;
+/// Flat binomial reduce toward `root` (the seed's textbook shape).
+sim::Task<> Rank::binomial_reduce(int root, std::uint64_t bytes) {
   const int P = world_.size();
   const int vrank = (id_ - root % P + P) % P;
   int mask = 1;
@@ -492,37 +648,98 @@ sim::Task<> Rank::reduce(int root, std::uint64_t bytes) {
     }
     mask <<= 1;
   }
+}
+
+/// Pipelined-chain reduce toward `root`: partial sums stream root-ward in
+/// segments down the vrank chain (vrank P-1 … 0), so rank v combines
+/// segment s while v+1 is already forwarding s+1.
+sim::Task<> Rank::chain_reduce(int root, std::uint64_t bytes) {
+  const int P = world_.size();
+  if (P < 2) co_return;
+  const int vrank = (id_ - root % P + P) % P;
+  const int toward_root = (id_ - 1 + P) % P;  // vrank - 1
+  const int from_leaf = (id_ + 1) % P;        // vrank + 1
+  const std::uint64_t seg = std::max<std::uint64_t>(
+      1, std::min(world_.opts_.tuning.chain_segment_bytes, bytes));
+  const std::uint64_t nseg = (bytes + seg - 1) / seg;
+  for (std::uint64_t s = 0; s < nseg; ++s) {
+    const std::uint64_t len = std::min(seg, bytes - s * seg);
+    const int tag = coll_tag(32 + static_cast<int>(s % 14));
+    if (vrank + 1 < P) {
+      MpiReq r = post_recv(from_leaf, tag, len);
+      co_await await_req(std::move(r));
+    }
+    if (vrank > 0) {
+      MpiReq snd = post_send(toward_root, tag, len);
+      co_await await_req(std::move(snd));
+    }
+  }
+}
+
+sim::Task<> Rank::reduce(int root, std::uint64_t bytes) {
+  const Time t0 = world_.cluster_.engine().now();
+  ++coll_seq_;
+  const char* algo = world_.reduce_algo(bytes);
+  stats_.record_algo("Reduce", algo);
+  if (std::strcmp(algo, "chain") == 0)
+    co_await chain_reduce(root, bytes);
+  else
+    co_await binomial_reduce(root, bytes);
   stats_.record("Reduce", world_.cluster_.engine().now() - t0);
+}
+
+sim::Task<> Rank::alltoall_impl(const std::vector<int>& members,
+                                std::uint64_t bytes_per_pair, const char* algo) {
+  ++coll_seq_;
+  auto self = std::find(members.begin(), members.end(), id_);
+  if (self == members.end()) co_return;
+  const int m = static_cast<int>(members.size());
+  const int i = static_cast<int>(self - members.begin());
+  if (std::strcmp(algo, "pairwise") == 0) {
+    // Large payloads: pairwise rounds bound rendezvous concurrency. The
+    // tag round wraps through the 14-slot window; rounds are lock-stepped
+    // per (src, dst) so reuse cannot mis-match.
+    for (int step = 1; step < m; ++step) {
+      const int dst = members[static_cast<std::size_t>((i + step) % m)];
+      const int src = members[static_cast<std::size_t>((i - step + m) % m)];
+      co_await sendrecv(dst, src, coll_tag(1 + (step - 1) % 14),
+                        bytes_per_pair);
+    }
+  } else {
+    // Small per-pair payloads: post everything, then drain ("spread").
+    std::vector<MpiReq> reqs;
+    reqs.reserve(static_cast<std::size_t>(2 * (m - 1)));
+    for (int step = 1; step < m; ++step) {
+      const int partner = members[static_cast<std::size_t>((i + step) % m)];
+      reqs.push_back(post_recv(partner, coll_tag(0), bytes_per_pair));
+    }
+    for (int step = 1; step < m; ++step) {
+      const int partner = members[static_cast<std::size_t>((i + step) % m)];
+      reqs.push_back(post_send(partner, coll_tag(0), bytes_per_pair));
+    }
+    for (auto& r : reqs) co_await await_req(std::move(r));
+  }
 }
 
 sim::Task<> Rank::alltoallv(const std::vector<int>& members, std::uint64_t bytes_per_pair) {
   const Time t0 = world_.cluster_.engine().now();
-  ++coll_seq_;
-  auto self = std::find(members.begin(), members.end(), id_);
-  if (self != members.end()) {
-    const int m = static_cast<int>(members.size());
-    const int i = static_cast<int>(self - members.begin());
-    if (bytes_per_pair <= proc_->kernel().config().sdma_threshold) {
-      // Small per-pair payloads: post everything, then drain.
-      std::vector<MpiReq> reqs;
-      for (int step = 1; step < m; ++step) {
-        const int partner = members[static_cast<std::size_t>((i + step) % m)];
-        reqs.push_back(post_recv(partner, coll_tag(0), bytes_per_pair));
-      }
-      for (int step = 1; step < m; ++step) {
-        const int partner = members[static_cast<std::size_t>((i + step) % m)];
-        reqs.push_back(post_send(partner, coll_tag(0), bytes_per_pair));
-      }
-      for (auto& r : reqs) co_await await_req(std::move(r));
-    } else {
-      // Large payloads: pairwise rounds bound rendezvous concurrency.
-      for (int step = 1; step < m; ++step) {
-        const int partner = members[static_cast<std::size_t>((i + step) % m)];
-        co_await sendrecv(partner, partner, coll_tag(step), bytes_per_pair);
-      }
-    }
-  }
+  const char* algo =
+      world_.alltoall_algo(bytes_per_pair, proc_->kernel().config().sdma_threshold);
+  stats_.record_algo("Alltoallv", algo);
+  co_await alltoall_impl(members, bytes_per_pair, algo);
   stats_.record("Alltoallv", world_.cluster_.engine().now() - t0);
+}
+
+sim::Task<> Rank::alltoall(std::uint64_t bytes_per_pair) {
+  const Time t0 = world_.cluster_.engine().now();
+  const char* algo =
+      world_.alltoall_algo(bytes_per_pair, proc_->kernel().config().sdma_threshold);
+  stats_.record_algo("Alltoall", algo);
+  std::vector<int> everyone(static_cast<std::size_t>(world_.size()));
+  for (int r = 0; r < world_.size(); ++r)
+    everyone[static_cast<std::size_t>(r)] = r;
+  co_await alltoall_impl(everyone, bytes_per_pair, algo);
+  stats_.record("Alltoall", world_.cluster_.engine().now() - t0);
 }
 
 sim::Task<> Rank::scan(std::uint64_t bytes) {

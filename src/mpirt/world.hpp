@@ -3,11 +3,17 @@
 // traffic touches the HFI driver and thus the syscall paths the paper is
 // about).
 //
-// All collective algorithms are the textbook ones (dissemination barrier/
-// allreduce, binomial bcast/reduce, pairwise alltoallv, chain scan); what
-// matters for the reproduction is the *message pattern and sizes* they
-// generate, which drive the protocol selection in PSM and from there the
-// per-OS-mode syscall behaviour.
+// Collectives are hierarchical (shared memory within the node, only node
+// leaders on the fabric) and — like a real MPI — *algorithm-selected* by a
+// size/rank-count crossover (`CollectiveTuning`): allreduce switches
+// dissemination → recursive doubling → ring as payloads grow, bcast and
+// reduce switch binomial tree → pipelined chain, and alltoall switches
+// spread (post-everything) → pairwise rounds. What matters for the
+// reproduction is the *message pattern and sizes* each algorithm generates,
+// which drive the protocol selection in PSM and from there the per-OS-mode
+// syscall behaviour — and, at scale, how often the whole communicator waits
+// on one noisy straggler (the OS-noise amplification study). Every rank
+// tags the algorithm that actually ran into its stats (I_MPI_STATS-style).
 #pragma once
 
 #include <atomic>
@@ -22,10 +28,47 @@
 
 namespace pd::mpirt {
 
+/// Size/rank-count crossover knobs for collective algorithm selection
+/// (I_MPI_ADJUST-style). Defaults keep the seed's tiny-payload behaviour
+/// (dissemination / binomial) and switch algorithms where the textbook
+/// cost models actually cross over. A `force_*` string pins the algorithm
+/// for ablation sweeps; empty means auto.
+struct CollectiveTuning {
+  // Allreduce leader phase: below `allreduce_rd_bytes` stay with the
+  // latency-optimal dissemination butterfly; from there recursive doubling
+  // (fewer rounds at full payload); at `allreduce_ring_bytes` with at least
+  // `allreduce_ring_min_leaders` leaders, the bandwidth-optimal ring
+  // (reduce-scatter + allgather, 2(N-1) chunk steps).
+  std::uint64_t allreduce_rd_bytes = 1024;
+  std::uint64_t allreduce_ring_bytes = 256ull << 10;
+  int allreduce_ring_min_leaders = 4;
+  // Bcast leader phase: binomial tree below, pipelined chain at/above
+  // `bcast_chain_bytes` when at least `bcast_chain_min_leaders` leaders
+  // give the pipeline depth to hide the chain's O(N) latency.
+  std::uint64_t bcast_chain_bytes = 1ull << 20;
+  int bcast_chain_min_leaders = 8;
+  // Reduce (flat): binomial below, pipelined chain at/above.
+  std::uint64_t reduce_chain_bytes = 1ull << 20;
+  int reduce_chain_min_ranks = 8;
+  // Chain pipelining grain for bcast/reduce.
+  std::uint64_t chain_segment_bytes = 64ull << 10;
+  // Alltoall: per-pair payloads <= this use spread (post everything, then
+  // drain); larger use pairwise sendrecv rounds that bound rendezvous
+  // concurrency. 0 = follow the node's sdma_threshold (the seed behaviour).
+  std::uint64_t alltoall_pairwise_bytes = 0;
+  // Ablation pins: "dissemination" | "recursive_doubling" | "ring",
+  // "binomial" | "chain", "spread" | "pairwise".
+  std::string force_allreduce;
+  std::string force_bcast;
+  std::string force_reduce;
+  std::string force_alltoall;
+};
+
 struct WorldOptions {
   int ranks_per_node = 32;
   std::uint64_t buf_bytes = 4ull << 20;   // per-direction comm buffer
   std::uint64_t slot_bytes = 256ull << 10;  // rotation grain for small msgs
+  CollectiveTuning tuning;
 };
 
 class MpiWorld;
@@ -90,8 +133,11 @@ class Rank {
   sim::Task<> reduce(int root, std::uint64_t bytes);
   sim::Task<> bcast(int root, std::uint64_t bytes);
   sim::Task<> allgather(std::uint64_t bytes_per_rank);
-  /// Pairwise exchange among `members` (every world rank must still call
-  /// this for tag bookkeeping; non-members return immediately).
+  /// Full personalized exchange: every rank sends `bytes_per_pair` to every
+  /// other rank (MPI_Alltoall; the FFT-transpose pattern).
+  sim::Task<> alltoall(std::uint64_t bytes_per_pair);
+  /// Exchange among `members` (every world rank must still call this for
+  /// tag bookkeeping; non-members return immediately).
   sim::Task<> alltoallv(const std::vector<int>& members, std::uint64_t bytes_per_pair);
   sim::Task<> scan(std::uint64_t bytes);
   sim::Task<> cart_create();
@@ -103,6 +149,14 @@ class Rank {
   /// Bracket the solve region (figure-of-merit window).
   void solve_begin();
   void solve_end();
+
+  /// --- point-to-point traffic accounting (rank-local, so shard-safe) ------
+  /// Messages/bytes this rank posted, by direction. The collective property
+  /// harness compares these totals against the textbook reference models.
+  std::uint64_t sent_msgs() const { return sent_msgs_; }
+  std::uint64_t sent_bytes() const { return sent_bytes_; }
+  std::uint64_t recvd_msgs() const { return recvd_msgs_; }
+  std::uint64_t recvd_bytes() const { return recvd_bytes_; }
 
  private:
   friend class MpiWorld;
@@ -116,15 +170,23 @@ class Rank {
   sim::Task<> dissemination(std::uint64_t bytes_per_round);
   sim::Task<> allgather_impl(std::uint64_t bytes_per_rank);
   sim::Task<> bcast_impl(int root, std::uint64_t bytes);
+  sim::Task<> alltoall_impl(const std::vector<int>& members,
+                            std::uint64_t bytes_per_pair, const char* algo);
 
   // Hierarchical collective building blocks (Intel-MPI style: shared
   // memory within the node, only node leaders on the fabric).
   int node_leader() const;
   int local_index() const;
+  int num_nodes() const;
   os::SyscallProfiler& kernel_profiler() { return proc_->kernel().profiler(); }
   sim::Task<> intra_reduce_to_leader(std::uint64_t bytes);
   sim::Task<> intra_release_from_leader(std::uint64_t bytes);
   sim::Task<> leader_dissemination(std::uint64_t bytes);
+  sim::Task<> leader_recursive_doubling(std::uint64_t bytes);
+  sim::Task<> leader_ring_allreduce(std::uint64_t bytes);
+  sim::Task<> leader_chain_bcast(int root_node, std::uint64_t bytes);
+  sim::Task<> chain_reduce(int root, std::uint64_t bytes);
+  sim::Task<> binomial_reduce(int root, std::uint64_t bytes);
 
   mem::VirtAddr send_slot(std::uint64_t bytes);
   mem::VirtAddr recv_slot(std::uint64_t bytes);
@@ -138,6 +200,10 @@ class Rank {
 
   mem::VirtAddr sendbuf_ = 0;
   mem::VirtAddr recvbuf_ = 0;
+  std::uint64_t sent_msgs_ = 0;
+  std::uint64_t sent_bytes_ = 0;
+  std::uint64_t recvd_msgs_ = 0;
+  std::uint64_t recvd_bytes_ = 0;
   std::uint64_t send_slot_idx_ = 0;
   std::uint64_t recv_slot_idx_ = 0;
   std::uint32_t coll_seq_ = 0;
@@ -163,6 +229,17 @@ class MpiWorld {
 
   /// Aggregated Table-1 style statistics over all ranks.
   MpiStatsTable stats_table() const;
+
+  /// --- collective algorithm selection -------------------------------------
+  /// The crossover decision (a pure function of payload and communicator
+  /// shape, honoring the tuning's force_* pins) that the collectives run
+  /// and tag into stats. Exposed so the property harness can assert the
+  /// intended algorithm was picked.
+  const char* allreduce_algo(std::uint64_t bytes) const;
+  const char* bcast_algo(std::uint64_t bytes) const;
+  const char* reduce_algo(std::uint64_t bytes) const;
+  const char* alltoall_algo(std::uint64_t bytes_per_pair,
+                            std::uint64_t sdma_threshold) const;
 
   /// Longest per-rank runtime (the figure-of-merit for weak scaling).
   Dur max_runtime() const;

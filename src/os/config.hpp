@@ -13,6 +13,7 @@
 
 #include "src/common/status.hpp"
 #include "src/common/time.hpp"
+#include "src/os/noise.hpp"
 
 namespace pd::os {
 
@@ -249,10 +250,16 @@ struct Config {
   double memcpy_bytes_per_sec = 5.0e9;     // single KNL core copy bandwidth
 
   // --- OS noise (nohz_full Linux vs noise-free LWK) ----------------------
-  double linux_noise_duty = 0.002;         // steady background steal (nohz_full)
-  Dur linux_daemon_period = from_ms(50);   // mean gap between daemon spikes
-  Dur linux_daemon_cost = from_us(10);     // mean spike length (tuned kernel)
-  double lwk_noise_duty = 0.0;
+  // Shaped per-kernel noise (src/os/noise.hpp): the Linux side defaults to
+  // the calibrated nohz_full model (0.2% steady steal + rare daemon ticks,
+  // numerically identical to the seed's scalar knobs), the LWK to silence.
+  // `NoiseProfile::presets()` is the bench_noise_sweep axis.
+  NoiseProfile linux_noise = NoiseProfile::calibrated();
+  NoiseProfile lwk_noise = NoiseProfile::none();
+  // Base seed for the per-kernel correlated-stall epoch streams; each kernel
+  // instance derives its own stream from (noise_seed, node id), so nodes
+  // straggle independently under the `correlated` profile.
+  std::uint64_t noise_seed = 0x5EED'0001'5Eull;
 
   // --- PSM / protocol knobs ----------------------------------------------
   std::uint64_t pio_threshold = 8192;        // <= : PIO from user space
@@ -304,6 +311,8 @@ struct Config {
       if (ikc_job_credits > 0 && ikc_credit_backoff < 0)
         return fail("ikc_credit_backoff must be >= 0");
     }
+    if (const Status s = linux_noise.validate(why); !s.ok()) return s;
+    if (const Status s = lwk_noise.validate(why); !s.ok()) return s;
     if (doom_fence_poll <= 0)
       return fail("doom_fence_poll must be > 0: wait-fence would spin");
     if (doom_fence_irq_timeout < doom_fence_poll)

@@ -7,36 +7,47 @@
 namespace pd::os {
 
 Kernel::Kernel(sim::Engine& engine, const Config& cfg, std::string name,
-               mem::KernelLayout layout, double noise_duty, Dur daemon_period, Dur daemon_cost)
+               mem::KernelLayout layout, NoiseProfile noise_profile,
+               std::uint64_t noise_stream_seed)
     : engine_(engine),
       cfg_(cfg),
       name_(std::move(name)),
       layout_(std::move(layout)),
-      noise_duty_(noise_duty),
-      daemon_period_(daemon_period),
-      daemon_cost_(daemon_cost) {}
+      noise_(std::move(noise_profile), noise_stream_seed) {}
 
 Dur Kernel::noisy_duration(Dur work, Rng& rng) const {
-  double total = static_cast<double>(work) * (1.0 + noise_duty_);
-  if (daemon_period_ > 0 && daemon_cost_ > 0 && work > 0) {
-    // Poisson-ish daemon arrivals across the compute span: expected count
-    // work/period, each spike exponentially distributed around its mean.
-    const double expected = static_cast<double>(work) / static_cast<double>(daemon_period_);
-    int spikes = static_cast<int>(expected);
-    if (rng.next_double() < expected - static_cast<double>(spikes)) ++spikes;
-    for (int i = 0; i < spikes; ++i)
-      total += rng.exponential(static_cast<double>(daemon_cost_));
-  }
-  return static_cast<Dur>(total);
+  return noise_.inflate(engine_.now(), work, rng);
 }
 
 sim::Task<> Kernel::compute(Dur work, Rng& rng) {
-  co_await engine_.delay(noisy_duration(work, rng));
+  NoiseModel::Breakdown b;
+  const Dur total = noise_.inflate(engine_.now(), work, rng, &b);
+  // Counters only (bump, never record): the timed rows are the Figure 8/9
+  // syscall profiles and must not absorb scheduler noise.
+  if (b.total() > 0) {
+    profiler_.bump("os.noise.time_ns", static_cast<std::uint64_t>(b.total()));
+    if (b.steady > 0)
+      profiler_.bump("os.noise.steady_ns", static_cast<std::uint64_t>(b.steady));
+    if (b.daemon_ticks > 0) {
+      profiler_.bump("os.noise.daemon_ticks", b.daemon_ticks);
+      profiler_.bump("os.noise.daemon_ns", static_cast<std::uint64_t>(b.daemon));
+    }
+    if (b.bursts > 0) {
+      profiler_.bump("os.noise.bursts", b.bursts);
+      profiler_.bump("os.noise.burst_ns", static_cast<std::uint64_t>(b.burst));
+    }
+    if (b.stall_epochs > 0) {
+      profiler_.bump("os.noise.stall_epochs", b.stall_epochs);
+      profiler_.bump("os.noise.stall_ns", static_cast<std::uint64_t>(b.stall));
+    }
+  }
+  co_await engine_.delay(total);
 }
 
-LinuxKernel::LinuxKernel(sim::Engine& engine, const Config& cfg)
-    : Kernel(engine, cfg, "linux", mem::linux_layout(), cfg.linux_noise_duty,
-             cfg.linux_daemon_period, cfg.linux_daemon_cost) {
+LinuxKernel::LinuxKernel(sim::Engine& engine, const Config& cfg, int node)
+    : Kernel(engine, cfg, "linux", mem::linux_layout(), cfg.linux_noise,
+             cfg.noise_seed ^ (0x11AAull + static_cast<std::uint64_t>(node) *
+                                               0x9E3779B97F4A7C15ull)) {
   service_cpus_ = std::make_unique<sim::Resource>(
       engine, static_cast<std::size_t>(cfg.linux_service_cpus));
   // Linux owns the service CPUs (ids 0 .. linux_service_cpus-1). Like the

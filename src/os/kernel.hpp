@@ -21,6 +21,7 @@
 #include "src/mem/kheap.hpp"
 #include "src/mem/va_layout.hpp"
 #include "src/os/config.hpp"
+#include "src/os/noise.hpp"
 #include "src/os/profiler.hpp"
 #include "src/os/vfs.hpp"
 #include "src/sim/engine.hpp"
@@ -39,7 +40,7 @@ struct KernelCallback {
 class Kernel {
  public:
   Kernel(sim::Engine& engine, const Config& cfg, std::string name, mem::KernelLayout layout,
-         double noise_duty, Dur daemon_period, Dur daemon_cost);
+         NoiseProfile noise_profile, std::uint64_t noise_stream_seed);
   virtual ~Kernel() = default;
   Kernel(const Kernel&) = delete;
   Kernel& operator=(const Kernel&) = delete;
@@ -52,11 +53,19 @@ class Kernel {
   const SyscallProfiler& profiler() const { return profiler_; }
 
   /// Application compute of `work` on an app core of this kernel; OS noise
-  /// (steady duty + daemon spikes) inflates it per the kernel's character.
+  /// (steady duty, daemon ticks, IRQ bursts, correlated stalls) inflates it
+  /// per the kernel's noise profile, and the injected time is accounted in
+  /// the profiler's "os.noise.*" counters (counters only — noise must not
+  /// pollute the timed syscall rows that feed Figures 8/9).
   sim::Task<> compute(Dur work, Rng& rng);
 
   /// Deterministic inflation used by tests/benches to reason about noise.
+  /// Anchored at the engine's current simulated time (the correlated-stall
+  /// schedule is a function of absolute time).
   Dur noisy_duration(Dur work, Rng& rng) const;
+
+  /// The kernel's noise injector (profile + correlated epoch schedule).
+  const NoiseModel& noise() const { return noise_; }
 
  protected:
   sim::Engine& engine_;
@@ -66,14 +75,14 @@ class Kernel {
   std::string name_;
   mem::KernelLayout layout_;
   SyscallProfiler profiler_;
-  double noise_duty_;
-  Dur daemon_period_;
-  Dur daemon_cost_;
+  NoiseModel noise_;
 };
 
 class LinuxKernel : public Kernel {
  public:
-  LinuxKernel(sim::Engine& engine, const Config& cfg);
+  /// `node` selects this instance's correlated-stall stream (one schedule
+  /// per node, independent across nodes); single-node tests can omit it.
+  LinuxKernel(sim::Engine& engine, const Config& cfg, int node = 0);
 
   /// --- VFS --------------------------------------------------------------
   void register_device(CharDevice& dev);

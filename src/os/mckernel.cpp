@@ -4,10 +4,13 @@
 
 namespace pd::os {
 
-McKernel::McKernel(sim::Engine& engine, const Config& cfg, Ihk& ihk, bool unified_layout)
+McKernel::McKernel(sim::Engine& engine, const Config& cfg, Ihk& ihk, bool unified_layout,
+                   int node)
     : Kernel(engine, cfg, "mckernel",
              unified_layout ? mem::mckernel_unified_layout() : mem::mckernel_original_layout(),
-             cfg.lwk_noise_duty, /*daemon_period=*/0, /*daemon_cost=*/0),
+             cfg.lwk_noise,
+             cfg.noise_seed ^ (0x11CCull + static_cast<std::uint64_t>(node) *
+                                               0x9E3779B97F4A7C15ull)),
       ihk_(ihk),
       unified_(unified_layout) {
   // IHK hands the LWK the app cores: [service_cpus, cores_per_node).

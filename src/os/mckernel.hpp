@@ -33,7 +33,8 @@ class McKernel : public Kernel {
  public:
   /// `unified_layout`: boot with the PicoDriver VA layout (Figure 3 right)
   /// instead of the original one. Required before any PicoDriver can bind.
-  McKernel(sim::Engine& engine, const Config& cfg, Ihk& ihk, bool unified_layout);
+  McKernel(sim::Engine& engine, const Config& cfg, Ihk& ihk, bool unified_layout,
+           int node = 0);
 
   Ihk& ihk() { return ihk_; }
   bool unified() const { return unified_; }

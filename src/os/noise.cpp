@@ -1,0 +1,207 @@
+#include "src/os/noise.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pd::os {
+
+Status NoiseProfile::validate(std::string* why) const {
+  const auto fail = [&](const char* reason) -> Status {
+    if (why != nullptr) *why = reason;
+    return Errno::einval;
+  };
+  if (duty < 0.0 || duty >= 1.0)
+    return fail("noise duty must be in [0, 1): it is the stolen fraction");
+  if (daemon_period < 0 || daemon_cost < 0)
+    return fail("daemon tick period/cost must be >= 0");
+  if (burst_period < 0 || burst_cost < 0 || burst_cap < 0)
+    return fail("burst period/cost/cap must be >= 0");
+  if (burst_period > 0 && burst_cost > 0) {
+    if (burst_alpha <= 1.0)
+      return fail("burst_alpha must be > 1: a Pareto tail at alpha <= 1 has "
+                  "infinite mean and the sweep would never converge");
+    if (burst_cap > 0 && burst_cap < burst_cost)
+      return fail("burst_cap must be 0 (uncapped) or >= burst_cost (the "
+                  "Pareto scale is the minimum burst)");
+  }
+  if (stall_period < 0 || stall_cost < 0)
+    return fail("stall period/cost must be >= 0");
+  if (stall_period > 0 && stall_cost > 0 &&
+      (stall_jitter < 0.0 || stall_jitter > 1.0))
+    return fail("stall_jitter must be in [0, 1] (fraction of the period)");
+  return Status::success();
+}
+
+NoiseProfile NoiseProfile::none() {
+  NoiseProfile p;
+  p.name = "none";
+  return p;
+}
+
+NoiseProfile NoiseProfile::calibrated() {
+  // The seed's nohz_full Linux model: 0.2% steady steal plus rare short
+  // daemon ticks (50 ms mean gap, 10 us mean cost).
+  NoiseProfile p;
+  p.name = "calibrated";
+  p.duty = 0.002;
+  p.daemon_period = from_ms(50);
+  p.daemon_cost = from_us(10);
+  return p;
+}
+
+NoiseProfile NoiseProfile::daemon_storm() {
+  // An untuned kernel: frequent housekeeping ticks (kworkers, ksoftirqd,
+  // timer cascade) — each small, but at 1 ms mean gap some rank in a large
+  // communicator is essentially always paying one.
+  NoiseProfile p;
+  p.name = "daemon_storm";
+  p.duty = 0.002;
+  p.daemon_period = from_ms(1);
+  p.daemon_cost = from_us(40);
+  return p;
+}
+
+NoiseProfile NoiseProfile::irq_heavy() {
+  // Heavy-tailed interrupt bursts: most are ~30 us, but the Pareto tail
+  // (alpha 1.6) produces rare multi-hundred-us events — the stragglers
+  // that dominate max-over-ranks at scale. Capped at 2 ms so one sample
+  // cannot swallow a whole sweep point.
+  NoiseProfile p;
+  p.name = "irq_heavy";
+  p.burst_period = from_ms(4);
+  p.burst_cost = from_us(30);
+  p.burst_alpha = 1.6;
+  p.burst_cap = from_ms(2);
+  return p;
+}
+
+NoiseProfile NoiseProfile::correlated() {
+  // Kernel-wide stall epochs (global TLB shootdowns, lock convoys): every
+  // core of the kernel pays 150 us together roughly every 10 ms. Per-kernel
+  // schedules are independent (seeded per node), so at cluster scale the
+  // *nodes* straggle against each other. The epochs are deliberately rare
+  // relative to a collective's compute chunks: "some node stalled this
+  // iteration" then keeps growing with node count through paper scale
+  // instead of saturating at a handful of nodes.
+  NoiseProfile p;
+  p.name = "correlated";
+  p.stall_period = from_ms(10);
+  p.stall_cost = from_us(150);
+  p.stall_jitter = 0.5;
+  return p;
+}
+
+const std::vector<NoiseProfile>& NoiseProfile::presets() {
+  static const std::vector<NoiseProfile> all = {
+      none(), calibrated(), daemon_storm(), irq_heavy(), correlated()};
+  return all;
+}
+
+const NoiseProfile* NoiseProfile::preset(const std::string& name) {
+  for (const auto& p : presets())
+    if (p.name == name) return &p;
+  return nullptr;
+}
+
+NoiseModel::NoiseModel(NoiseProfile profile, std::uint64_t stream_seed)
+    : profile_(std::move(profile)) {
+  // One SplitMix64 step decorrelates sequential node ids into well-spread
+  // epoch streams.
+  std::uint64_t sm = stream_seed;
+  epoch_seed_ = splitmix64(sm);
+}
+
+std::uint64_t NoiseModel::stall_epochs_in(Time begin, Time end) const {
+  if (profile_.stall_period <= 0 || profile_.stall_cost <= 0 || end <= begin)
+    return 0;
+  const auto period = static_cast<std::uint64_t>(profile_.stall_period);
+  // Epoch k fires at k*period + jitter(k), jitter in [0, stall_jitter *
+  // period) — a pure function of (epoch_seed_, k), so every core of this
+  // kernel sees the same schedule without sharing mutable state.
+  const auto jitter_of = [&](std::uint64_t k) -> std::uint64_t {
+    if (profile_.stall_jitter <= 0.0) return 0;
+    std::uint64_t sm = epoch_seed_ ^ (k * 0x9E3779B97F4A7C15ull);
+    const double u =
+        static_cast<double>(splitmix64(sm) >> 11) * 0x1.0p-53;  // [0, 1)
+    return static_cast<std::uint64_t>(u * profile_.stall_jitter *
+                                      static_cast<double>(period));
+  };
+  const auto b = static_cast<std::uint64_t>(begin);
+  const auto e = static_cast<std::uint64_t>(end);
+  // Epochs whose base k*period could land in [begin, end) after jitter:
+  // jitter < period, so k ranges over [begin/period - 1, end/period].
+  const std::uint64_t k_lo = b / period == 0 ? 0 : b / period - 1;
+  const std::uint64_t k_hi = e / period;
+  std::uint64_t count = 0;
+  for (std::uint64_t k = k_lo; k <= k_hi; ++k) {
+    const std::uint64_t t = k * period + jitter_of(k);
+    if (t >= b && t < e) ++count;
+  }
+  return count;
+}
+
+Dur NoiseModel::inflate(Time now, Dur work, Rng& rng, Breakdown* out) const {
+  if (out != nullptr) *out = Breakdown{};
+  // Silent profiles must be a bit-exact no-op: no inflation *and* no RNG
+  // draws, so an LWK schedule is identical whatever the Linux side does.
+  if (profile_.silent() || work <= 0) return work;
+
+  Breakdown b;
+  // The independent components accumulate in one double and truncate once,
+  // exactly as the seed's scalar model did — the calibrated default must be
+  // bit-identical to the seed's schedules. Breakdown components truncate
+  // per-source; only the returned total is schedule-bearing.
+  double total = static_cast<double>(work) * (1.0 + profile_.duty);
+  b.steady = static_cast<Dur>(static_cast<double>(work) * profile_.duty);
+
+  if (profile_.daemon_period > 0 && profile_.daemon_cost > 0) {
+    // Poisson-ish tick arrivals across the compute span: expected count
+    // work/period, each tick exponentially distributed around its mean.
+    const double expected = static_cast<double>(work) /
+                            static_cast<double>(profile_.daemon_period);
+    auto ticks = static_cast<std::uint32_t>(expected);
+    if (rng.next_double() < expected - static_cast<double>(ticks)) ++ticks;
+    b.daemon_ticks = ticks;
+    double t = 0;
+    for (std::uint32_t i = 0; i < ticks; ++i)
+      t += rng.exponential(static_cast<double>(profile_.daemon_cost));
+    b.daemon = static_cast<Dur>(t);
+    total += t;
+  }
+
+  if (profile_.burst_period > 0 && profile_.burst_cost > 0) {
+    const double expected = static_cast<double>(work) /
+                            static_cast<double>(profile_.burst_period);
+    auto bursts = static_cast<std::uint32_t>(expected);
+    if (rng.next_double() < expected - static_cast<double>(bursts)) ++bursts;
+    b.bursts = bursts;
+    double t = 0;
+    for (std::uint32_t i = 0; i < bursts; ++i) {
+      // Pareto(scale = burst_cost, shape = alpha) via inverse transform;
+      // next_double() < 1 keeps the base positive.
+      const double u = rng.next_double();
+      double len = static_cast<double>(profile_.burst_cost) *
+                   std::pow(1.0 - u, -1.0 / profile_.burst_alpha);
+      if (profile_.burst_cap > 0)
+        len = std::min(len, static_cast<double>(profile_.burst_cap));
+      t += len;
+    }
+    b.burst = static_cast<Dur>(t);
+    total += t;
+  }
+
+  // Correlated epochs are counted over the span as already inflated by the
+  // independent components: a long stall-free estimate would undercount
+  // epochs the straggling core actually sits through.
+  const Dur independent = static_cast<Dur>(total);
+  if (profile_.stall_period > 0 && profile_.stall_cost > 0) {
+    const std::uint64_t epochs = stall_epochs_in(now, now + independent);
+    b.stall_epochs = static_cast<std::uint32_t>(epochs);
+    b.stall = static_cast<Dur>(epochs) * profile_.stall_cost;
+  }
+
+  if (out != nullptr) *out = b;
+  return independent + b.stall;
+}
+
+}  // namespace pd::os

@@ -1,0 +1,122 @@
+// OS-noise profiles (the paper's §4.1 "nohz_full Linux vs noise-free LWK"
+// argument, generalized).
+//
+// The seed modelled Linux-side noise as one steady duty factor plus a
+// single Poisson daemon process. That is enough to show *that* Linux cores
+// jitter, but not *how* the jitter shape interacts with collectives at
+// scale — which is the paper's actual claim: every Linux-side detour is a
+// straggler the whole communicator waits on, so the McKernel advantage
+// grows with rank count. `NoiseProfile` makes the shape explicit:
+//
+//   * steady duty        — uniform background steal (timekeeping, RCU);
+//   * periodic daemon    — Poisson tick arrivals, exponential tick cost
+//     ticks                 (kworkers, ksoftirqd; the seed's model);
+//   * heavy-tailed IRQ   — Poisson burst arrivals whose cost is Pareto
+//     bursts                distributed (alpha > 1), optionally capped —
+//                           the rare-but-huge events that dominate the
+//                           max over N ranks;
+//   * correlated stalls  — kernel-wide epochs (one jittered schedule per
+//                           kernel instance, seeded) at which *every* core
+//                           of that kernel stalls together: cross-core
+//                           lock convoys, global TLB shootdowns.
+//
+// A `NoiseModel` (one per kernel) owns the correlated epoch schedule; the
+// independent components draw from the calling process's own RNG stream so
+// runs stay bit-reproducible. A silent profile never touches the RNG — the
+// LWK's schedule is bit-identical whether the Linux side is noise-free or
+// storming, which is what the zero-noise regression pins.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.hpp"
+#include "src/common/status.hpp"
+#include "src/common/time.hpp"
+
+namespace pd::os {
+
+struct NoiseProfile {
+  /// Profile id, tagged into bench rows and profiler counter namespaces.
+  std::string name = "calibrated";
+
+  // --- steady background steal --------------------------------------------
+  double duty = 0.0;  // fraction of compute stolen uniformly
+
+  // --- periodic daemon ticks ----------------------------------------------
+  Dur daemon_period = 0;  // mean gap between ticks (0 = off)
+  Dur daemon_cost = 0;    // mean tick length (exponential)
+
+  // --- heavy-tailed interrupt bursts --------------------------------------
+  Dur burst_period = 0;      // mean gap between bursts (0 = off)
+  Dur burst_cost = 0;        // Pareto scale: the minimum burst length
+  double burst_alpha = 2.5;  // Pareto tail index; must be > 1 (finite mean)
+  Dur burst_cap = 0;         // hard cap per burst (0 = uncapped)
+
+  // --- correlated cross-core stalls ---------------------------------------
+  Dur stall_period = 0;       // epoch spacing (0 = off)
+  Dur stall_cost = 0;         // stall length every core pays per epoch
+  double stall_jitter = 0.5;  // epoch offset jitter, fraction of the period
+
+  /// True when the profile injects nothing (and must not consume RNG).
+  bool silent() const {
+    return duty == 0.0 && (daemon_period <= 0 || daemon_cost <= 0) &&
+           (burst_period <= 0 || burst_cost <= 0) &&
+           (stall_period <= 0 || stall_cost <= 0);
+  }
+
+  /// EINVAL with `why` on degenerate knobs (negative durations, a Pareto
+  /// tail with infinite mean, jitter outside [0, 1]).
+  Status validate(std::string* why = nullptr) const;
+
+  /// --- presets (the bench_noise_sweep axis) -------------------------------
+  static NoiseProfile none();          // injects nothing
+  static NoiseProfile calibrated();    // the seed's nohz_full Linux model
+  static NoiseProfile daemon_storm();  // untuned-kernel tick storm
+  static NoiseProfile irq_heavy();     // heavy-tailed interrupt bursts
+  static NoiseProfile correlated();    // kernel-wide stall epochs
+  /// All presets above, `none` first.
+  static const std::vector<NoiseProfile>& presets();
+  /// Preset by name, nullptr when unknown.
+  static const NoiseProfile* preset(const std::string& name);
+};
+
+/// Per-kernel noise injector. The independent components (duty, daemon
+/// ticks, bursts) are sampled from the calling process's RNG; the
+/// correlated stall epochs come from the model's own deterministic
+/// schedule, derived from (profile, stream seed) — every core asking about
+/// the same simulated window sees the same epochs.
+class NoiseModel {
+ public:
+  /// What one inflation injected, by source (simulated time, plus event
+  /// counts) — the caller folds this into its profiler counters.
+  struct Breakdown {
+    Dur steady = 0;
+    Dur daemon = 0;
+    Dur burst = 0;
+    Dur stall = 0;
+    std::uint32_t daemon_ticks = 0;
+    std::uint32_t bursts = 0;
+    std::uint32_t stall_epochs = 0;
+    Dur total() const { return steady + daemon + burst + stall; }
+  };
+
+  NoiseModel(NoiseProfile profile, std::uint64_t stream_seed);
+
+  const NoiseProfile& profile() const { return profile_; }
+
+  /// Inflate `work` starting at simulated time `now`. Silent profiles
+  /// return `work` exactly and never touch `rng`.
+  Dur inflate(Time now, Dur work, Rng& rng, Breakdown* out = nullptr) const;
+
+  /// The deterministic correlated-stall epoch count inside [begin, end):
+  /// exposed so tests can pin that two cores agree on the schedule.
+  std::uint64_t stall_epochs_in(Time begin, Time end) const;
+
+ private:
+  NoiseProfile profile_;
+  std::uint64_t epoch_seed_;
+};
+
+}  // namespace pd::os

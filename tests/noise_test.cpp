@@ -1,0 +1,235 @@
+// NoiseProfile / NoiseModel coverage (ISSUE 10) plus the zero-noise LWK
+// regression: whatever noise shape the Linux side runs, the LWK's compute
+// schedule must stay bit-identical — silent profiles may not consume RNG.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <string>
+
+#include "src/common/rng.hpp"
+#include "src/common/units.hpp"
+#include "src/os/config.hpp"
+#include "src/os/ihk.hpp"
+#include "src/os/kernel.hpp"
+#include "src/os/mckernel.hpp"
+#include "src/os/noise.hpp"
+#include "src/sim/engine.hpp"
+
+namespace pd::os {
+namespace {
+
+using namespace pd::time_literals;
+
+// ---------------------------------------------------------------------------
+// Profile validation.
+// ---------------------------------------------------------------------------
+
+TEST(NoiseProfile, PresetsAreValidAndLookupWorks) {
+  for (const auto& p : NoiseProfile::presets()) {
+    std::string why;
+    EXPECT_TRUE(p.validate(&why).ok()) << p.name << ": " << why;
+    const NoiseProfile* found = NoiseProfile::preset(p.name);
+    ASSERT_NE(found, nullptr);
+    EXPECT_EQ(found->name, p.name);
+  }
+  EXPECT_EQ(NoiseProfile::preset("no_such_profile"), nullptr);
+  EXPECT_TRUE(NoiseProfile::none().silent());
+  EXPECT_FALSE(NoiseProfile::calibrated().silent());
+}
+
+TEST(NoiseProfile, ValidateRejectsDegenerateKnobs) {
+  const auto einval = [](const NoiseProfile& p) {
+    std::string why;
+    const Status s = p.validate(&why);
+    EXPECT_FALSE(s.ok());
+    EXPECT_FALSE(why.empty());
+    return !s.ok();
+  };
+
+  NoiseProfile p = NoiseProfile::calibrated();
+  p.duty = -0.1;
+  EXPECT_TRUE(einval(p));
+  p.duty = 1.0;  // would steal everything: the inflation diverges
+  EXPECT_TRUE(einval(p));
+
+  p = NoiseProfile::calibrated();
+  p.daemon_period = -1;
+  EXPECT_TRUE(einval(p));
+
+  p = NoiseProfile::irq_heavy();
+  p.burst_alpha = 1.0;  // infinite-mean Pareto tail
+  EXPECT_TRUE(einval(p));
+  p = NoiseProfile::irq_heavy();
+  p.burst_cap = p.burst_cost / 2;  // cap below the distribution's minimum
+  EXPECT_TRUE(einval(p));
+
+  p = NoiseProfile::correlated();
+  p.stall_jitter = 1.5;
+  EXPECT_TRUE(einval(p));
+  p.stall_jitter = -0.1;
+  EXPECT_TRUE(einval(p));
+}
+
+TEST(NoiseProfile, ConfigValidateCoversBothKernelProfiles) {
+  Config cfg;
+  EXPECT_TRUE(cfg.validate().ok());
+  cfg.linux_noise.duty = 2.0;
+  EXPECT_FALSE(cfg.validate().ok());
+  cfg.linux_noise.duty = 0.002;
+  cfg.lwk_noise.burst_period = from_ms(1);
+  cfg.lwk_noise.burst_cost = from_us(10);
+  cfg.lwk_noise.burst_alpha = 0.5;
+  EXPECT_FALSE(cfg.validate().ok());
+}
+
+// ---------------------------------------------------------------------------
+// Silent profiles: bit-exact no-op, zero RNG consumption.
+// ---------------------------------------------------------------------------
+
+TEST(NoiseModel, SilentProfileNeverTouchesRng) {
+  NoiseModel model(NoiseProfile::none(), /*stream_seed=*/0xABCDEF);
+  Rng rng(42);
+  Rng untouched(42);
+  for (Dur work : {Dur(1), from_us(1), from_us(250), from_ms(10)}) {
+    NoiseModel::Breakdown b;
+    EXPECT_EQ(model.inflate(from_ms(3), work, rng, &b), work);
+    EXPECT_EQ(b.total(), 0);
+  }
+  // The stream is untouched: the next draw equals a virgin stream's first.
+  EXPECT_EQ(rng.next_u64(), untouched.next_u64());
+}
+
+TEST(NoiseModel, CalibratedMatchesLegacyScalarModel) {
+  // The calibrated preset is the seed's nohz_full model; its inflation must
+  // reproduce the legacy formula bit-for-bit (single accumulate, truncate
+  // once) with the identical RNG draw order, or every committed baseline
+  // schedule shifts.
+  const NoiseProfile p = NoiseProfile::calibrated();
+  NoiseModel model(p, 7);
+  Rng rng(2026);
+  Rng ref_rng(2026);
+  for (Dur work : {from_us(250), from_us(400), from_ms(5)}) {
+    const Dur got = model.inflate(0, work, rng);
+
+    double total = static_cast<double>(work) * (1.0 + p.duty);
+    const double expected = static_cast<double>(work) /
+                            static_cast<double>(p.daemon_period);
+    auto ticks = static_cast<std::uint32_t>(expected);
+    if (ref_rng.next_double() < expected - static_cast<double>(ticks)) ++ticks;
+    for (std::uint32_t i = 0; i < ticks; ++i)
+      total += ref_rng.exponential(static_cast<double>(p.daemon_cost));
+    EXPECT_EQ(got, static_cast<Dur>(total)) << "work=" << work;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Heavy-tailed bursts.
+// ---------------------------------------------------------------------------
+
+TEST(NoiseModel, BurstsAreHeavyTailedButCapped) {
+  const NoiseProfile p = NoiseProfile::irq_heavy();
+  NoiseModel model(p, 11);
+  Rng rng(1);
+  const Dur work = from_ms(50);  // expect ~12 bursts per inflation
+  Dur min_extra = 0, max_extra = 0;
+  std::uint64_t bursts = 0;
+  for (int i = 0; i < 200; ++i) {
+    NoiseModel::Breakdown b;
+    model.inflate(0, work, rng, &b);
+    bursts += b.bursts;
+    EXPECT_EQ(b.daemon_ticks, 0u);
+    EXPECT_EQ(b.stall_epochs, 0u);
+    if (b.bursts > 0) {
+      // Every burst is at least the Pareto scale and at most the cap.
+      EXPECT_GE(b.burst, static_cast<Dur>(b.bursts) * p.burst_cost);
+      EXPECT_LE(b.burst, static_cast<Dur>(b.bursts) * p.burst_cap);
+    }
+    min_extra = (i == 0) ? b.burst : std::min(min_extra, b.burst);
+    max_extra = std::max(max_extra, b.burst);
+  }
+  EXPECT_GT(bursts, 0u);
+  // Heavy tail: the worst inflation dwarfs the best by a margin no
+  // light-tailed (exponential) cost at the same mean would reach.
+  EXPECT_GT(max_extra, 3 * std::max<Dur>(min_extra, p.burst_cost));
+}
+
+// ---------------------------------------------------------------------------
+// Correlated stalls: one deterministic schedule per kernel.
+// ---------------------------------------------------------------------------
+
+TEST(NoiseModel, StallScheduleIsSharedWithinAKernel) {
+  const NoiseProfile p = NoiseProfile::correlated();
+  NoiseModel a(p, 123), b(p, 123), other(p, 456);
+  std::uint64_t total = 0, diff = 0;
+  for (int w = 0; w < 64; ++w) {
+    const Time begin = static_cast<Time>(w) * from_ms(12);
+    const Time end = begin + from_ms(8);
+    // Two cores of the same kernel agree on every window...
+    EXPECT_EQ(a.stall_epochs_in(begin, end), b.stall_epochs_in(begin, end));
+    total += a.stall_epochs_in(begin, end);
+    // ...while another kernel's schedule is independently jittered.
+    if (a.stall_epochs_in(begin, end) != other.stall_epochs_in(begin, end))
+      ++diff;
+  }
+  EXPECT_GT(total, 0u);
+  EXPECT_GT(diff, 0u);
+  // One epoch per 10 ms; the windows cover 2/3 of a 768 ms span, so the
+  // in-window count brackets ~51.
+  EXPECT_NEAR(static_cast<double>(total), 51.0, 20.0);
+}
+
+TEST(NoiseModel, StallsChargeEveryInflationInTheWindow) {
+  const NoiseProfile p = NoiseProfile::correlated();
+  NoiseModel model(p, 9);
+  Rng rng(3);
+  // A compute span covering many periods pays close to span/period epochs.
+  NoiseModel::Breakdown b;
+  const Dur got = model.inflate(0, from_ms(100), rng, &b);
+  EXPECT_NEAR(static_cast<double>(b.stall_epochs), 10.0, 2.0);
+  EXPECT_EQ(b.stall, static_cast<Dur>(b.stall_epochs) * p.stall_cost);
+  EXPECT_EQ(got, from_ms(100) + b.stall);
+  // Correlated stalls draw nothing from the per-core stream.
+  Rng untouched(3);
+  EXPECT_EQ(rng.next_u64(), untouched.next_u64());
+}
+
+// ---------------------------------------------------------------------------
+// The zero-noise LWK regression (ISSUE 10 satellite): every preset on the
+// Linux side, and the LWK's own compute stays bit-exact.
+// ---------------------------------------------------------------------------
+
+TEST(NoiseRegression, LwkIsNoiseFreeUnderEveryLinuxProfile) {
+  for (const auto& prof : NoiseProfile::presets()) {
+    sim::Engine engine;
+    Config cfg;
+    cfg.linux_noise = prof;  // storm the Linux side
+    ASSERT_TRUE(cfg.validate().ok());
+    LinuxKernel linux_kernel(engine, cfg);
+    Ihk ihk(engine, cfg, linux_kernel);
+    McKernel mck(engine, cfg, ihk, /*unified_layout=*/false);
+
+    Rng rng(17);
+    Rng untouched(17);
+    for (Dur work : {from_us(250), from_ms(1), from_ms(7)}) {
+      EXPECT_EQ(mck.noisy_duration(work, rng), work) << prof.name;
+    }
+    // The LWK never consumed noise RNG, whatever Linux is configured with.
+    EXPECT_EQ(rng.next_u64(), untouched.next_u64()) << prof.name;
+
+    // The Linux side meanwhile *does* inflate under every noisy profile.
+    Rng lrng(17);
+    if (!prof.silent()) {
+      Dur inflated = 0;
+      for (int i = 0; i < 32; ++i)
+        inflated += linux_kernel.noisy_duration(from_ms(1), lrng) - from_ms(1);
+      EXPECT_GT(inflated, 0) << prof.name;
+    } else {
+      EXPECT_EQ(linux_kernel.noisy_duration(from_ms(1), lrng), from_ms(1));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pd::os

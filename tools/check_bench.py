@@ -26,6 +26,13 @@ more than ``--tolerance`` (default 15%) fails the run.  Two suites:
               extent-vs-per-page PTE reduction, and that the fast path
               never falls back (all simulated-time, deterministic — run
               without --quick so the batch count matches the baseline).
+  noise     — bench_noise_sweep / BENCH_noise.json: the OS-noise
+              sensitivity study.  Gates that the Linux-vs-LWK slowdown gap
+              is monotone in rank count under every noise profile and
+              nonzero at the largest scale, exactly zero without noise,
+              and that the LWK side is bit-exactly noise-immune (all
+              simulated-time — run without --quick, which trims the node
+              axis and the per-cell trial count).
 
 Only host-speed-robust metrics are gated: simulated-time results (queueing
 p95s, simulated bandwidth, simulated runtimes) are deterministic, and
@@ -201,6 +208,39 @@ INFORMATIONAL_DOOM_SUBMIT = [
     "doom_submit.dma_bytes",
 ]
 
+# OS-noise sensitivity (ISSUE 10): the amplification claim. All simulated
+# time; the seed-averaged mean gaps are deterministic given the committed
+# noise seeds, so the suite runs without --quick (quick mode trims the node
+# axis and the trial count, changing every gated value).
+GATES_NOISE = [
+    # The paper's claim, per noise shape: the Linux-vs-LWK slowdown gap is
+    # monotone in rank count (1.0 = monotone, hard-gated via zero band)...
+    ("noise.profiles.calibrated.monotone", "higher", 0.0),
+    ("noise.profiles.daemon_storm.monotone", "higher", 0.0),
+    ("noise.profiles.irq_heavy.monotone", "higher", 0.0),
+    ("noise.profiles.correlated.monotone", "higher", 0.0),
+    # ... and materially nonzero at the largest scale.
+    ("noise.profiles.daemon_storm.gap_at_max_ranks", "higher", 0.01),
+    ("noise.profiles.irq_heavy.gap_at_max_ranks", "higher", 0.01),
+    ("noise.profiles.correlated.gap_at_max_ranks", "higher", 0.01),
+    # No noise, no gap — exactly zero, the control arm of the study.
+    ("noise.zero.max_abs_gap", "lower", 0.0),
+    # LWK immunity: its slowdown under every Linux-side profile is 1.0 to
+    # the last bit (silent profiles consume no RNG).
+    ("noise.lwk.max_abs_dev", "lower", 0.0),
+]
+
+INFORMATIONAL_NOISE = [
+    "noise.profiles.calibrated.gap_at_max_ranks",
+    "noise.profiles.daemon_storm.gap_slope_per_doubling",
+    "noise.profiles.irq_heavy.gap_slope_per_doubling",
+    "noise.profiles.correlated.gap_slope_per_doubling",
+    "noise.algos.Allreduce/dissemination",
+    "noise.algos.Allreduce/recursive_doubling",
+    "noise.algos.Allreduce/ring",
+    "noise.algos.Alltoall/pairwise",
+]
+
 SUITES = {
     "fastpath": {
         "gates": GATES_FASTPATH,
@@ -226,6 +266,11 @@ SUITES = {
         "gates": GATES_DOOM_SUBMIT,
         "informational": INFORMATIONAL_DOOM_SUBMIT,
         "json": "BENCH_doom_submit.json",
+    },
+    "noise": {
+        "gates": GATES_NOISE,
+        "informational": INFORMATIONAL_NOISE,
+        "json": "BENCH_noise.json",
     },
 }
 
